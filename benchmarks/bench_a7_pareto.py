@@ -1,0 +1,55 @@
+"""A7 — the energy-QoS Pareto frontier (extension).
+
+Energy-per-QoS is one projection; the frontier view asks whether any
+baseline strictly beats the RL policy on *both* axes simultaneously.
+Shape target: on the gaming evaluation trace, the RL policy is not
+dominated by any realisable baseline (a small tolerance absorbs
+measurement noise).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.pareto import FrontierPoint, frontier_table, pareto_frontier
+from repro.core.trainer import evaluate_policy, train_policy
+from repro.governors import create
+from repro.governors.base import available
+from repro.sim.engine import Simulator
+from repro.soc.presets import exynos5422
+from repro.workload.scenarios import get_scenario
+
+from conftest import write_result
+
+
+def _run():
+    chip = exynos5422()
+    scenario = get_scenario("gaming")
+    trace = scenario.trace(20.0, seed=100)
+    points = []
+    for name in available():
+        run = Simulator(chip, trace, lambda c, n=name: create(n)).run()
+        points.append(FrontierPoint(name, run.total_energy_j, run.qos.mean_qos))
+    training = train_policy(chip, scenario, episodes=16, episode_duration_s=20.0)
+    rl = evaluate_policy(chip, training.policies, trace)
+    points.append(FrontierPoint("rl-policy", rl.total_energy_j, rl.qos.mean_qos))
+    return points
+
+
+def test_a7_pareto(benchmark):
+    points = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report = frontier_table(points)
+    frontier = pareto_frontier(points)
+    report += "\nfrontier: " + " -> ".join(p.label for p in frontier)
+    write_result("a7_pareto", report)
+
+    rl = next(p for p in points if p.label == "rl-policy")
+    # No baseline strictly beats the policy on both axes (1% energy / one
+    # QoS point of tolerance for noise).
+    for p in points:
+        if p.label == "rl-policy":
+            continue
+        strictly_dominates = (
+            p.energy_j < rl.energy_j * 0.99 and p.qos > rl.qos + 0.01
+        )
+        assert not strictly_dominates, f"{p.label} dominates the RL policy"
+    # The frontier's high-QoS end includes a near-perfect-QoS point.
+    assert max(p.qos for p in frontier) > 0.99

@@ -1,0 +1,26 @@
+"""E5 — learning convergence (figure).
+
+After every training episode the policy is frozen and evaluated greedily
+on one fixed held-out trace, isolating learning progress from workload
+variance.  Shape target: the greedy curve descends from the untrained
+policy and flattens at high QoS.  Implementation:
+:func:`repro.experiments.e5_learning_curve`.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import e5_learning_curve
+
+from conftest import write_result
+
+
+def test_e5_convergence(benchmark):
+    result = benchmark.pedantic(e5_learning_curve, rounds=1, iterations=1)
+    write_result("e5_convergence", result.report)
+    late = result.tail_mean_j()
+    assert late < result.start_j, (
+        f"no learning: start {result.start_j:.4g}, late {late:.4g}"
+    )
+    tail = [run.energy_per_qos_j for _, run in result.curve[-4:]]
+    assert max(tail) / min(tail) < 1.25
+    assert result.tail_qos() > 0.95

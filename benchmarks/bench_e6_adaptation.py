@@ -1,0 +1,28 @@
+"""E6 — online adaptation across scenario switches (figure).
+
+"The policy can flexibly manage the system power regardless of the
+application scenario": a gaming-trained policy keeps learning online as
+the device switches to video playback and web browsing.  Shape target:
+on each unseen scenario the adapting policy lands within a modest factor
+of a specialist and beats ondemand, with QoS intact.  Implementation:
+:func:`repro.experiments.e6_adaptation`.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import e6_adaptation
+
+from conftest import write_result
+
+
+def test_e6_adaptation(benchmark):
+    result = benchmark.pedantic(e6_adaptation, rounds=1, iterations=1)
+    write_result("e6_adaptation", result.report)
+    for seg in result.segments:
+        assert seg.adapting_qos > 0.9, f"{seg.scenario}: QoS collapsed while adapting"
+        assert seg.adapting_j < seg.ondemand_j * 1.05, (
+            f"{seg.scenario}: worse than ondemand"
+        )
+        assert seg.adapting_j < seg.specialist_j * 1.35, (
+            f"{seg.scenario}: far from the specialist"
+        )

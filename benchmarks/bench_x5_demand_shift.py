@@ -1,0 +1,64 @@
+"""X5 — robustness to demand shift (extension).
+
+A policy trained on nominal gaming demand faces the same scenario at
+0.7x and 1.3x per-frame work (an app update, a heavier scene).  Shape
+target: with online learning enabled the policy keeps beating ondemand
+at every shift level and holds QoS on the heavier-than-trained load.
+Implementation: :mod:`repro.workload.perturb` transforms.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core.trainer import train_policy
+from repro.governors import create
+from repro.sim.engine import Simulator
+from repro.soc.presets import exynos5422
+from repro.workload.perturb import scale_demand
+from repro.workload.scenarios import get_scenario
+
+from conftest import write_result
+
+FACTORS = [0.7, 1.0, 1.3]
+
+
+def _run():
+    chip = exynos5422()
+    scenario = get_scenario("gaming")
+    training = train_policy(chip, scenario, episodes=16, episode_duration_s=20.0)
+    base_trace = scenario.trace(20.0, seed=100)
+
+    rows = []
+    for factor in FACTORS:
+        trace = scale_demand(base_trace, factor)
+        # Online adaptation stays on, as deployed.
+        rl = Simulator(chip, trace, training.policies).run()
+        ondemand = Simulator(chip, trace, lambda c: create("ondemand")).run()
+        rows.append(
+            (factor, rl.energy_per_qos_j * 1e3, rl.qos.mean_qos,
+             ondemand.energy_per_qos_j * 1e3, ondemand.qos.mean_qos)
+        )
+    return rows
+
+
+def _report(rows) -> str:
+    return format_table(
+        ["demand x", "RL E/QoS [mJ]", "RL QoS", "ondemand E/QoS [mJ]",
+         "ondemand QoS"],
+        rows,
+        title="X5: gaming-trained policy under demand shift",
+    )
+
+
+def test_x5_demand_shift(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    write_result("x5_demand_shift", _report(rows))
+    for factor, rl_j, rl_qos, od_j, _od_qos in rows:
+        if factor >= 1.0:
+            # At and above the trained demand the policy must stay ahead.
+            assert rl_j < od_j, f"loses to ondemand at {factor}x demand"
+        else:
+            # Lighter-than-trained load favours ondemand's race-to-idle;
+            # the adapting policy must stay within 10%.
+            assert rl_j < od_j * 1.10, f"far behind ondemand at {factor}x"
+        assert rl_qos > 0.9, f"QoS collapsed at {factor}x demand"

@@ -1,0 +1,44 @@
+"""Shared machinery for the experiment benches.
+
+Every bench regenerates one table or figure of the paper (see
+DESIGN.md's experiment index).  Heavy shared computations (the full
+scenarios x governors sweep) are session-cached so E1/E2/E3 pay for one
+sweep.  Each bench writes its rendered table into
+``benchmarks/results/<bench>.txt`` so EXPERIMENTS.md numbers can be
+traced to a file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.sweep import SweepResult
+from repro.experiments import run_headline_sweep
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# One knob for total bench runtime: evaluation trace length and RL
+# training budget used by the sweep-based benches.
+EVAL_DURATION_S = 20.0
+TRAIN_EPISODES = 20
+EVAL_SEED = 100
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a bench's rendered table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def full_sweep() -> SweepResult:
+    """The E1/E2/E3 data: six governors + RL over the six-scenario set."""
+    return run_headline_sweep(
+        duration_s=EVAL_DURATION_S,
+        eval_seed=EVAL_SEED,
+        train_episodes=TRAIN_EPISODES,
+    )

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Battery life: what the energy/QoS numbers mean for screen-on time.
+
+Runs the day-in-the-life mixed scenario under three governors plus the
+RL policy and projects each run's average power onto a phone battery.
+
+Run:
+    python examples/battery_life.py
+"""
+
+from repro import (
+    Simulator,
+    create,
+    evaluate_policy,
+    exynos5422,
+    get_scenario,
+    train_policy,
+)
+from repro.analysis.tables import format_table
+from repro.power import Battery
+
+
+def main() -> None:
+    chip = exynos5422()
+    scenario = get_scenario("mixed_daily")
+    eval_trace = scenario.trace(30.0, seed=100)
+
+    runs = []
+    for name in ("performance", "ondemand", "conservative"):
+        runs.append((name, Simulator(chip, eval_trace, lambda c: create(name)).run()))
+
+    print("training the RL policy on the mixed daily scenario ...")
+    training = train_policy(chip, scenario, episodes=15, episode_duration_s=20.0)
+    runs.append(("rl-policy", evaluate_policy(chip, training.policies, eval_trace)))
+
+    rows = []
+    for name, run in runs:
+        battery = Battery()  # ~3000 mAh @ 3.85 V
+        hours = battery.runtime_estimate_s(run.average_power_w) / 3600.0
+        rows.append((name, run.average_power_w, run.qos.mean_qos, hours))
+
+    print()
+    print(
+        format_table(
+            ["governor", "avg power [W]", "QoS", "est. screen-on [h]"],
+            rows,
+            title="projected battery life, mixed daily usage (SoC power only)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""The deployment story end-to-end: train offline, checkpoint, restore,
+quantise into the hardware datapath, and verify on-device behaviour.
+
+Run:
+    python examples/checkpoint_deploy.py
+"""
+
+import tempfile
+
+from repro import Simulator, exynos5422, get_scenario, train_policy
+from repro.core.checkpoint import load_policies, save_policies
+from repro.hw.hwpolicy import HardwareRLPolicy
+
+
+def main() -> None:
+    chip = exynos5422()
+    scenario = get_scenario("mixed_daily")
+
+    # 1. "Factory" training run.
+    print("training on the mixed daily scenario ...")
+    training = train_policy(chip, scenario, episodes=12, episode_duration_s=20.0)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # 2. Ship the checkpoint (config + Q-tables).
+        path = save_policies(training.policies, f"{tmp}/rl-v1")
+        print(f"checkpoint written: {path}")
+
+        # 3. "Device" side: restore, validate against the chip, evaluate.
+        restored = load_policies(path, chip=chip)
+        trace = scenario.trace(20.0, seed=321)
+        sw = Simulator(chip, trace, restored).run()
+        print(f"restored software policy:  {sw.summary()}")
+
+        # 4. Quantise into the FPGA datapath and run the hardware policy.
+        hw_policies = {}
+        for name, soft in restored.items():
+            hard = HardwareRLPolicy(soft.config, online=False)
+            hard.load_from_software(soft)
+            hw_policies[name] = hard
+        hw = Simulator(chip, trace, hw_policies).run()
+        print(f"hardware (Q7.8) policy:    {hw.summary()}")
+
+        delta = abs(hw.energy_per_qos_j - sw.energy_per_qos_j) / sw.energy_per_qos_j
+        print(f"\nquantisation E/QoS delta: {delta:.2%}")
+        latency = max(p.mean_decision_latency_s for p in hw_policies.values())
+        print(f"modelled hardware decision latency: {latency * 1e6:.3f} us/step")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Bring your own workload and chip: define a custom phase-structured
+scenario (a navigation app: map rendering, GPS fixes, reroute bursts),
+a custom symmetric chip, save/load the trace as CSV, and run the policy.
+
+Run:
+    python examples/custom_scenario.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Simulator, Trace, create, evaluate_policy, train_policy
+from repro.soc import Chip, ClusterSpec, CoreSpec, make_table
+from repro.workload import PhaseMachine, PhaseSpec, Scenario
+
+
+def navigation_scenario() -> Scenario:
+    """A turn-by-turn navigation app."""
+
+    def machine() -> PhaseMachine:
+        phases = [
+            # Map view redraws at 30 fps with light work.
+            PhaseSpec("map_render", period_s=1 / 30, work_mean=6.0e6, work_cv=0.25,
+                      deadline_factor=1.5, dwell_mean_s=6.0, dwell_min_s=2.0),
+            # A GPS fix + position filter every 100 ms.
+            PhaseSpec("gps_fix", period_s=0.1, work_mean=2.5e6, work_cv=0.2,
+                      deadline_factor=2.0, dwell_mean_s=3.0, dwell_min_s=1.0),
+            # Rerouting: a heavy burst of graph search.
+            PhaseSpec("reroute", period_s=0.04, work_mean=5.0e7, work_cv=0.3,
+                      deadline_factor=5.0, dwell_mean_s=0.6, dwell_min_s=0.3,
+                      parallelism=2),
+        ]
+        transitions = [
+            [0.55, 0.35, 0.10],
+            [0.60, 0.30, 0.10],
+            [0.70, 0.30, 0.00],
+        ]
+        return PhaseMachine(phases, transitions, initial=0)
+
+    return Scenario("navigation", "map render / GPS fixes / reroute bursts", machine)
+
+
+def automotive_chip() -> Chip:
+    """A symmetric quad-core infotainment-class SoC."""
+    core = CoreSpec(name="A55", capacity=1.3, ceff_f=2.0e-10, leak_a_per_v=0.04)
+    table = make_table(
+        [400, 700, 1000, 1300, 1600, 1900],
+        [0.90, 0.94, 0.99, 1.05, 1.12, 1.20],
+    )
+    return Chip("auto-soc", [ClusterSpec("cpu", core, n_cores=4, opp_table=table)])
+
+
+def main() -> None:
+    scenario = navigation_scenario()
+    chip = automotive_chip()
+
+    # Traces round-trip through CSV, so recorded device traces drop in.
+    trace = scenario.trace(20.0, seed=7)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "navigation.csv"
+        trace.to_csv(path)
+        trace = Trace.from_csv(path)
+        print(f"trace: {len(trace)} work units over {trace.duration_s:.0f} s "
+              f"(round-tripped through {path.name})")
+
+    print("training the RL policy on the custom scenario/chip ...")
+    training = train_policy(chip, scenario, episodes=12, episode_duration_s=20.0)
+    rl = evaluate_policy(chip, training.policies, trace)
+    ondemand = Simulator(chip, trace, lambda c: create("ondemand")).run()
+    conservative = Simulator(chip, trace, lambda c: create("conservative")).run()
+
+    print()
+    for run in (rl, ondemand, conservative):
+        print(run.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Governor shootout: every baseline DVFS governor plus the RL policy on
+one scenario, reproducing the paper's comparison at example scale.
+
+Run:
+    python examples/governor_shootout.py [scenario]
+
+where scenario is any of the built-in names (default: web_browsing).
+"""
+
+import sys
+
+from repro import (
+    BASELINE_SIX,
+    Simulator,
+    create,
+    evaluate_policy,
+    exynos5422,
+    get_scenario,
+    train_policy,
+)
+from repro.analysis.tables import format_table
+
+
+def main() -> None:
+    scenario_name = sys.argv[1] if len(sys.argv) > 1 else "web_browsing"
+    chip = exynos5422()
+    scenario = get_scenario(scenario_name)
+    eval_trace = scenario.trace(20.0, seed=100)
+
+    rows = []
+    for name in BASELINE_SIX + ["schedutil"]:
+        run = Simulator(chip, eval_trace, lambda c: create(name)).run()
+        rows.append((name, run.total_energy_j, run.qos.mean_qos,
+                     run.qos.deadline_miss_rate * 100, run.energy_per_qos_j * 1e3))
+
+    print(f"training the RL policy on {scenario_name!r} ...")
+    training = train_policy(chip, scenario, episodes=15, episode_duration_s=20.0)
+    rl = evaluate_policy(chip, training.policies, eval_trace)
+    rows.append(("rl-policy", rl.total_energy_j, rl.qos.mean_qos,
+                 rl.qos.deadline_miss_rate * 100, rl.energy_per_qos_j * 1e3))
+
+    rows.sort(key=lambda r: r[4])
+    print()
+    print(
+        format_table(
+            ["governor", "energy [J]", "QoS", "miss [%]", "E/QoS [mJ/unit]"],
+            rows,
+            title=f"scenario: {scenario_name} (20 s, seed 100) — best first",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

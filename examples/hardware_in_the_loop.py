@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Hardware-in-the-loop: run the fixed-point FPGA model of the policy,
+with the thermal model and throttling active, and report the modelled
+CPU-FPGA decision latency against the software implementation.
+
+Run:
+    python examples/hardware_in_the_loop.py
+"""
+
+from repro import Simulator, exynos5422, get_scenario, train_policy
+from repro.analysis.tables import format_table
+from repro.hw.hwpolicy import HardwareRLPolicy
+from repro.hw.latency import compare_latency
+from repro.thermal.rc import default_thermal_model
+from repro.thermal.throttle import ThermalThrottle
+
+
+def main() -> None:
+    chip = exynos5422()
+    scenario = get_scenario("camera_preview")
+
+    # 1. Train the software policy, then quantise it into the datapath.
+    print("training the software policy ...")
+    training = train_policy(chip, scenario, episodes=12, episode_duration_s=15.0)
+    hw_policies = {}
+    for name, soft in training.policies.items():
+        hard = HardwareRLPolicy(soft.config, online=False)
+        hard.load_from_software(soft)
+        hw_policies[name] = hard
+        print(
+            f"  {name}: Q-table quantised to {hard.qformat} "
+            f"({hard.datapath.bram_bits() // 8} bytes of BRAM)"
+        )
+
+    # 2. Run the hardware policy with thermals + throttling in the loop.
+    thermal = default_thermal_model(chip.cluster_names)
+    sim = Simulator(
+        chip,
+        scenario.trace(20.0, seed=100),
+        hw_policies,
+        thermal=thermal,
+        throttle=ThermalThrottle(trip_c=85.0),
+    )
+    result = sim.run()
+    print()
+    print(result.summary())
+    print(f"peak junction temperature: {thermal.max_temperature_c:.1f} C")
+    for name, policy in hw_policies.items():
+        print(
+            f"  {name}: modelled HW decision latency "
+            f"{policy.mean_decision_latency_s * 1e6:.3f} us/step "
+            f"over {policy.decisions} decisions"
+        )
+
+    # 3. The latency story: hardware vs software decision paths.
+    rows = []
+    for freq_mhz in (200, 600, 1000, 1400):
+        cmp = compare_latency(freq_mhz * 1e6)
+        rows.append((f"{freq_mhz} MHz", cmp.software_s * 1e6,
+                     cmp.hardware_s * 1e6, cmp.speedup))
+    best = compare_latency(0.2e9, cold=True, n_clusters=2)
+    print()
+    print(
+        format_table(
+            ["governor CPU clock", "SW [us]", "HW [us]", "speedup"],
+            rows,
+            title="decision latency: software vs FPGA implementation",
+        )
+    )
+    print(f"best case (cold cache, batched clusters): {best.speedup:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

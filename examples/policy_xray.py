@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Policy X-ray: read what the Q-table learned.
+
+Trains the policy on gaming, then prints its greedy decision surface —
+the OPP delta it takes in each (utilisation, OPP) cell at relaxed vs
+critical deadline slack — and a plain-language sanity report.
+
+Run:
+    python examples/policy_xray.py
+"""
+
+from repro import exynos5422, get_scenario, train_policy
+from repro.core.introspect import decision_surface, sanity_report
+
+
+def main() -> None:
+    chip = exynos5422()
+    print("training on gaming ...")
+    training = train_policy(chip, get_scenario("gaming"), episodes=15,
+                            episode_duration_s=20.0)
+
+    for name, policy in training.policies.items():
+        print(f"\n===== {name} cluster =====")
+        print(sanity_report(policy))
+        surface = decision_surface(policy)
+        slack_bins = policy.config.slack_bins
+        print()
+        print(surface.render_slice(slack_bin=slack_bins - 1))  # relaxed
+        print()
+        print(surface.render_slice(slack_bin=0))  # critical
+    print(
+        "\nReading: at relaxed slack the policy steps down or holds; at "
+        "critical slack it\nsteps up — learned, not hard-coded."
+    )
+
+
+if __name__ == "__main__":
+    main()

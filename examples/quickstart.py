@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: train the RL power-management policy and compare it to
+ondemand on a gaming workload.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import (
+    Simulator,
+    create,
+    evaluate_policy,
+    exynos5422,
+    get_scenario,
+    improvement_percent,
+    train_policy,
+)
+
+
+def main() -> None:
+    chip = exynos5422()  # a big.LITTLE 4+4 mobile MPSoC
+    scenario = get_scenario("gaming")  # menu / 60 fps gameplay / level loads
+
+    # Train the proposed Q-learning policy online over a few episodes.
+    print("training the RL policy on the gaming scenario ...")
+    training = train_policy(chip, scenario, episodes=12, episode_duration_s=20.0)
+    for record in training.history[-3:]:
+        print(
+            f"  episode {record.episode:2d}: "
+            f"E/QoS = {record.energy_per_qos_j * 1e3:.2f} mJ/unit, "
+            f"QoS = {record.mean_qos:.3f}"
+        )
+
+    # Evaluate greedily on a held-out trace, against the ondemand governor.
+    eval_trace = scenario.trace(20.0, seed=100)
+    rl = evaluate_policy(chip, training.policies, eval_trace)
+    ondemand = Simulator(chip, eval_trace, lambda c: create("ondemand")).run()
+
+    print()
+    print(rl.summary())
+    print(ondemand.summary())
+    gain = improvement_percent(ondemand.energy_per_qos_j, rl.energy_per_qos_j)
+    print(f"\nRL policy uses {gain:.1f}% less energy per unit QoS than ondemand.")
+
+
+if __name__ == "__main__":
+    main()

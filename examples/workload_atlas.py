@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Workload atlas: characterise every built-in scenario and show where
+each governor spends its time on the most demanding one.
+
+Run:
+    python examples/workload_atlas.py
+"""
+
+from repro import Simulator, create, exynos5422
+from repro.sim.residency import residency
+from repro.workload.characterize import compare_profiles, profile
+from repro.workload.scenarios import SCENARIOS, get_scenario
+
+
+def main() -> None:
+    # 1. The behavioural characteristics the paper's policy learns from.
+    profiles = [
+        profile(SCENARIOS[name].trace(30.0, seed=0)) for name in sorted(SCENARIOS)
+    ]
+    print(compare_profiles(profiles))
+
+    # 2. Residency: why reactive governors burn energy on gaming.
+    print("\nOPP residency on gaming (20 s), big cluster:\n")
+    chip = exynos5422()
+    trace = get_scenario("gaming").trace(20.0, seed=100)
+    n_opps = {c.spec.name: len(c.spec.opp_table) for c in chip}
+    for governor in ("ondemand", "conservative", "performance"):
+        run = Simulator(
+            chip, trace, lambda c: create(governor), record_samples=True
+        ).run()
+        report = residency(run, n_opps=n_opps)["big"]
+        print(f"--- {governor} "
+              f"(E/QoS {run.energy_per_qos_j * 1e3:.1f} mJ/unit) ---")
+        print(report.render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""repro: reinforcement-learning power management for mobile MPSoCs.
+
+A reproduction of *Late Breaking Results: Reinforcement Learning-based
+Power Management Policy for Mobile Device Systems* (DAC 2020) and its
+journal extension: a Q-learning DVFS governor for big.LITTLE mobile
+SoCs, six baseline cpufreq governors, a full MPSoC/power/thermal/
+workload simulation substrate, and a fixed-point hardware model of the
+policy with CPU-FPGA interface latency accounting.
+
+Quick start::
+
+    from repro import exynos5422, get_scenario, train_policy, evaluate_policy
+
+    chip = exynos5422()
+    scenario = get_scenario("gaming")
+    training = train_policy(chip, scenario, episodes=10)
+    result = evaluate_policy(chip, training.policies, scenario.trace(seed=99))
+    print(result.summary())
+"""
+
+from repro.core import (
+    PolicyConfig,
+    RLPowerManagementPolicy,
+    TrainingResult,
+    evaluate_policy,
+    load_policies,
+    make_policies,
+    save_policies,
+    train_curriculum,
+    train_policy,
+)
+from repro.errors import ReproError
+from repro.governors import BASELINE_SIX, Governor, available, create
+from repro.hw import HardwareRLPolicy, QFormat, compare_latency
+from repro.power import PowerModel
+from repro.qos import energy_per_qos, improvement_percent
+from repro.sim import SimulationResult, Simulator
+from repro.soc import Chip, exynos5422, symmetric_quad, tiny_test_chip
+from repro.workload import SCENARIOS, Scenario, Trace, get_scenario
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BASELINE_SIX",
+    "Chip",
+    "Governor",
+    "HardwareRLPolicy",
+    "PolicyConfig",
+    "PowerModel",
+    "QFormat",
+    "ReproError",
+    "RLPowerManagementPolicy",
+    "SCENARIOS",
+    "Scenario",
+    "SimulationResult",
+    "Simulator",
+    "Trace",
+    "TrainingResult",
+    "__version__",
+    "available",
+    "compare_latency",
+    "create",
+    "energy_per_qos",
+    "evaluate_policy",
+    "exynos5422",
+    "get_scenario",
+    "improvement_percent",
+    "load_policies",
+    "make_policies",
+    "save_policies",
+    "symmetric_quad",
+    "tiny_test_chip",
+    "train_curriculum",
+    "train_policy",
+]

@@ -1,0 +1,99 @@
+"""Exporting experiment results to CSV/JSON.
+
+Sweep results and simulation summaries serialise to flat files so they
+can be analysed outside Python (spreadsheets, R, plotting tools).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.analysis.sweep import SweepResult, SweepRow
+from repro.errors import ReproError
+from repro.sim.result import SimulationResult
+
+_SWEEP_FIELDS = [
+    "scenario", "governor", "energy_j", "mean_qos",
+    "deadline_miss_rate", "energy_per_qos_j",
+]
+
+
+def sweep_to_csv(result: SweepResult, path: str | Path) -> None:
+    """Write a sweep's rows as CSV (one row per scenario x governor)."""
+    if not result.rows:
+        raise ReproError("cannot export an empty sweep")
+    with Path(path).open("w", newline="") as f:
+        writer = csv.DictWriter(f, fieldnames=_SWEEP_FIELDS)
+        writer.writeheader()
+        for row in result.rows:
+            writer.writerow(
+                {
+                    "scenario": row.scenario,
+                    "governor": row.governor,
+                    "energy_j": repr(row.energy_j),
+                    "mean_qos": repr(row.mean_qos),
+                    "deadline_miss_rate": repr(row.deadline_miss_rate),
+                    "energy_per_qos_j": repr(row.energy_per_qos_j),
+                }
+            )
+
+
+def sweep_from_csv(path: str | Path) -> SweepResult:
+    """Read a sweep written by :func:`sweep_to_csv`.
+
+    Raises:
+        ReproError: On missing columns or unparseable rows.
+    """
+    path = Path(path)
+    rows: list[SweepRow] = []
+    with path.open(newline="") as f:
+        reader = csv.DictReader(f)
+        missing = set(_SWEEP_FIELDS) - set(reader.fieldnames or [])
+        if missing:
+            raise ReproError(f"sweep CSV {path} missing columns: {sorted(missing)}")
+        for lineno, row in enumerate(reader, start=2):
+            try:
+                rows.append(
+                    SweepRow(
+                        scenario=row["scenario"],
+                        governor=row["governor"],
+                        energy_j=float(row["energy_j"]),
+                        mean_qos=float(row["mean_qos"]),
+                        deadline_miss_rate=float(row["deadline_miss_rate"]),
+                        energy_per_qos_j=float(row["energy_per_qos_j"]),
+                    )
+                )
+            except (KeyError, ValueError) as exc:
+                raise ReproError(f"{path}:{lineno}: bad sweep row: {exc}") from exc
+    return SweepResult(rows=rows)
+
+
+def result_to_json(result: SimulationResult, path: str | Path | None = None) -> dict:
+    """Serialise a run summary (no time series) as a JSON-ready dict;
+    optionally write it to a file."""
+    payload = {
+        "governor": result.governor,
+        "trace": result.trace_name,
+        "duration_s": result.duration_s,
+        "total_energy_j": result.total_energy_j,
+        "dynamic_energy_j": result.dynamic_energy_j,
+        "leakage_energy_j": result.leakage_energy_j,
+        "uncore_energy_j": result.uncore_energy_j,
+        "intervals": result.intervals,
+        "opp_switches": result.opp_switches,
+        "energy_per_qos_j": result.energy_per_qos_j,
+        "qos": {
+            "n_units": result.qos.n_units,
+            "n_completed": result.qos.n_completed,
+            "n_on_time": result.qos.n_on_time,
+            "n_dropped": result.qos.n_dropped,
+            "mean_qos": result.qos.mean_qos,
+            "deadline_miss_rate": result.qos.deadline_miss_rate,
+            "mean_lateness_s": result.qos.mean_lateness_s,
+        },
+    }
+    if path is not None:
+        Path(path).write_text(json.dumps(payload, indent=1))
+    return payload

@@ -1,0 +1,87 @@
+"""Pareto-frontier analysis over the (energy, QoS) plane.
+
+Energy-per-QoS collapses the two objectives into one number; the
+frontier view keeps them separate: a policy is *dominated* if another
+policy delivers at least as much QoS for no more energy.  The
+interesting question for the paper's policy is whether it sits on the
+frontier — i.e. no baseline strictly beats it on both axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One policy's position in the energy-QoS plane.
+
+    Attributes:
+        label: Policy name.
+        energy_j: Total energy (lower is better).
+        qos: Mean QoS (higher is better).
+    """
+
+    label: str
+    energy_j: float
+    qos: float
+
+    def dominates(self, other: "FrontierPoint", tolerance: float = 0.0) -> bool:
+        """Whether this point is at least as good on both axes and
+        strictly better on one (within ``tolerance`` slack on ties)."""
+        no_worse = (
+            self.energy_j <= other.energy_j + tolerance
+            and self.qos >= other.qos - tolerance
+        )
+        strictly_better = (
+            self.energy_j < other.energy_j - tolerance
+            or self.qos > other.qos + tolerance
+        )
+        return no_worse and strictly_better
+
+
+def pareto_frontier(points: list[FrontierPoint]) -> list[FrontierPoint]:
+    """The non-dominated subset, sorted by ascending energy.
+
+    Raises:
+        ReproError: For an empty point set.
+    """
+    if not points:
+        raise ReproError("frontier of an empty point set")
+    frontier = [
+        p for p in points
+        if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    return sorted(frontier, key=lambda p: p.energy_j)
+
+
+def on_frontier(label: str, points: list[FrontierPoint]) -> bool:
+    """Whether the named point survives domination by the others.
+
+    Raises:
+        ReproError: If the label is not among the points.
+    """
+    matches = [p for p in points if p.label == label]
+    if not matches:
+        raise ReproError(f"no point labelled {label!r}")
+    frontier_labels = {p.label for p in pareto_frontier(points)}
+    return label in frontier_labels
+
+
+def frontier_table(points: list[FrontierPoint]) -> str:
+    """Render all points, marking frontier membership."""
+    from repro.analysis.tables import format_table
+
+    frontier_labels = {p.label for p in pareto_frontier(points)}
+    rows = [
+        (p.label, p.energy_j, p.qos,
+         "*" if p.label in frontier_labels else "")
+        for p in sorted(points, key=lambda p: p.energy_j)
+    ]
+    return format_table(
+        ["policy", "energy [J]", "QoS", "frontier"],
+        rows,
+        title="energy-QoS plane (frontier members marked *)",
+    )

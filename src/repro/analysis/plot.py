@@ -1,0 +1,139 @@
+"""Text-mode plotting for benchmark figures.
+
+The paper's figures (learning curves, per-interval frequency traces) are
+regenerated as terminal-friendly ASCII charts so the benches produce
+figure artefacts without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ReproError
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line unicode sparkline of a series.
+
+    Values are min-max normalised; a constant series renders mid-height.
+    """
+    if not values:
+        raise ReproError("sparkline of empty series")
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _BARS[4] * len(values)
+    span = hi - lo
+    chars = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_BARS) - 1))
+        chars.append(_BARS[idx])
+    return "".join(chars)
+
+
+def line_chart(
+    values: Sequence[float],
+    height: int = 10,
+    width: int | None = None,
+    title: str | None = None,
+    y_format: str = "{:.3g}",
+) -> str:
+    """A block-character line chart with a labelled y-axis.
+
+    Args:
+        values: The series to plot.
+        height: Chart height in rows (>= 2).
+        width: Optional resampled width; ``None`` plots one column per
+            point.
+        title: Optional title line.
+        y_format: Format spec for the axis labels.
+
+    Returns:
+        The rendered chart (no trailing newline).
+    """
+    if not values:
+        raise ReproError("cannot plot an empty series")
+    if height < 2:
+        raise ReproError(f"chart height must be >= 2: {height}")
+    series = list(values)
+    if width is not None:
+        if width < 1:
+            raise ReproError(f"chart width must be >= 1: {width}")
+        series = _resample(series, width)
+
+    lo, hi = min(series), max(series)
+    span = hi - lo if hi > lo else 1.0
+    # Row index (0 = top) for each column.
+    rows_for_col = [
+        height - 1 - int((v - lo) / span * (height - 1)) for v in series
+    ]
+    label_lo = y_format.format(lo)
+    label_hi = y_format.format(hi)
+    label_w = max(len(label_lo), len(label_hi))
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for row in range(height):
+        if row == 0:
+            label = label_hi.rjust(label_w)
+        elif row == height - 1:
+            label = label_lo.rjust(label_w)
+        else:
+            label = " " * label_w
+        cells = []
+        for col, vrow in enumerate(rows_for_col):
+            if vrow == row:
+                cells.append("●")
+            elif vrow < row and (row < height - 1 or vrow < height - 1):
+                cells.append("│" if row > vrow else " ")
+            else:
+                cells.append(" ")
+        lines.append(f"{label} ┤{''.join(cells)}")
+    lines.append(" " * label_w + " └" + "─" * len(series))
+    return "\n".join(lines)
+
+
+def _resample(series: list[float], width: int) -> list[float]:
+    """Bucket-mean resampling to a fixed number of columns."""
+    if len(series) <= width:
+        return series
+    out: list[float] = []
+    for i in range(width):
+        start = i * len(series) // width
+        end = max(start + 1, (i + 1) * len(series) // width)
+        bucket = series[start:end]
+        out.append(sum(bucket) / len(bucket))
+    return out
+
+
+def histogram(
+    values: Sequence[float], bins: int = 10, width: int = 40, title: str | None = None
+) -> str:
+    """A horizontal ASCII histogram.
+
+    Args:
+        values: Samples.
+        bins: Number of equal-width bins.
+        width: Maximum bar width in characters.
+        title: Optional title line.
+    """
+    if not values:
+        raise ReproError("histogram of empty data")
+    if bins < 1 or width < 1:
+        raise ReproError("bins and width must be >= 1")
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        hi = lo + 1.0
+    counts = [0] * bins
+    for v in values:
+        idx = min(int((v - lo) / (hi - lo) * bins), bins - 1)
+        counts[idx] += 1
+    peak = max(counts)
+    lines = [title] if title else []
+    for i, count in enumerate(counts):
+        edge = lo + (hi - lo) * i / bins
+        bar = "█" * (count * width // peak if peak else 0)
+        lines.append(f"{edge:10.3g} | {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""One-shot report generation: run the experiments, write a markdown file.
+
+``generate_report`` runs a configurable subset of the paper experiments
+and assembles their rendered tables into one markdown document — the
+programmatic equivalent of running the whole benchmark tree, for users
+who want a single artefact (or a quick small-scale smoke run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import ReproError
+
+# Experiment ids in canonical order.  Each entry maps to a zero-argument
+# callable (built in _runners) returning an object with a .report str.
+_ORDER = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "a1", "a2", "a3", "a4",
+          "a6", "x2"]
+
+
+@dataclass
+class ReportConfig:
+    """Scaling knobs for the report run.
+
+    Attributes:
+        experiments: Which ids to include (subset of E1-E7/A1-A6/X2;
+            lower-case).  X1 is omitted by default for runtime.
+        duration_s: Evaluation trace length for sweep-based experiments.
+        train_episodes: RL training budget.
+        episode_duration_s: Per-episode trace length for per-scenario
+            experiments.
+        title: Document title.
+    """
+
+    experiments: list[str] = field(
+        default_factory=lambda: ["e1", "e2", "e3", "e4", "e7"]
+    )
+    duration_s: float = 20.0
+    train_episodes: int = 20
+    episode_duration_s: float = 15.0
+    title: str = "RL power-management reproduction report"
+
+
+def _runners(config: ReportConfig) -> dict[str, Callable[[], object]]:
+    from repro.experiments import (
+        a1_state_ablation,
+        a2_reward_sweep,
+        a3_learner_ablation,
+        a4_wordlength,
+        a6_fpga_resources,
+        e1_energy_per_qos,
+        e2_per_scenario,
+        e3_qos_preservation,
+        e4_decision_latency,
+        e5_learning_curve,
+        e6_adaptation,
+        e7_hw_fidelity,
+        run_headline_sweep,
+        x2_seed_stability,
+    )
+
+    sweep_cache: dict[str, object] = {}
+
+    def sweep_once():
+        if "sweep" not in sweep_cache:
+            sweep_cache["sweep"] = run_headline_sweep(
+                duration_s=config.duration_s,
+                train_episodes=config.train_episodes,
+            )
+        return sweep_cache["sweep"]
+
+    per_scenario = dict(
+        train_episodes=config.train_episodes,
+        episode_duration_s=config.episode_duration_s,
+    )
+    return {
+        "e1": lambda: e1_energy_per_qos(sweep_once()),
+        "e2": lambda: e2_per_scenario(sweep_once()),
+        "e3": lambda: e3_qos_preservation(sweep_once()),
+        "e4": e4_decision_latency,
+        "e5": lambda: e5_learning_curve(
+            episodes=config.train_episodes,
+            episode_duration_s=config.episode_duration_s,
+        ),
+        "e6": lambda: e6_adaptation(segment_duration_s=config.duration_s),
+        "e7": lambda: e7_hw_fidelity(**per_scenario),
+        "a1": lambda: a1_state_ablation(**per_scenario),
+        "a2": lambda: a2_reward_sweep(**per_scenario),
+        "a3": lambda: a3_learner_ablation(
+            train_episodes=config.train_episodes,
+            episode_duration_s=config.episode_duration_s,
+        ),
+        "a4": lambda: a4_wordlength(**per_scenario),
+        "a6": a6_fpga_resources,
+        "x2": lambda: x2_seed_stability(
+            duration_s=config.duration_s, train_episodes=config.train_episodes
+        ),
+    }
+
+
+def generate_report(
+    config: ReportConfig | None = None, path: str | Path | None = None
+) -> str:
+    """Run the configured experiments and render one markdown document.
+
+    Args:
+        config: What to run and at what scale.
+        path: Optional file to write the document to.
+
+    Returns:
+        The markdown text.
+
+    Raises:
+        ReproError: For unknown experiment ids.
+    """
+    config = config or ReportConfig()
+    runners = _runners(config)
+    unknown = set(config.experiments) - set(runners)
+    if unknown:
+        raise ReproError(
+            f"unknown experiment ids {sorted(unknown)}; "
+            f"available: {sorted(runners)}"
+        )
+    sections = [f"# {config.title}", ""]
+    ordered = [e for e in _ORDER if e in config.experiments]
+    for exp_id in ordered:
+        result = runners[exp_id]()
+        sections.append(f"## {exp_id.upper()}")
+        sections.append("")
+        sections.append("```")
+        sections.append(result.report)  # type: ignore[attr-defined]
+        sections.append("```")
+        sections.append("")
+    text = "\n".join(sections)
+    if path is not None:
+        Path(path).write_text(text)
+    return text

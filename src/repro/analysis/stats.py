@@ -1,0 +1,39 @@
+"""Small statistics helpers used by the benches."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ReproError
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on an empty sequence."""
+    if not values:
+        raise ReproError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (the right average for ratios)."""
+    if not values:
+        raise ReproError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ReproError(f"geomean requires positive values: {values}")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (0.0 for fewer than two values)."""
+    if len(values) < 2:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / (len(values) - 1))
+
+
+def normalize_to(values: Sequence[float], reference: float) -> list[float]:
+    """Each value divided by ``reference`` (must be non-zero)."""
+    if reference == 0:
+        raise ReproError("cannot normalise to zero")
+    return [v / reference for v in values]

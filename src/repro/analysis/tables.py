@@ -1,0 +1,63 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benches print the same rows the paper's tables/figures report; this
+module keeps the formatting in one place so every report looks alike.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ReproError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    Args:
+        headers: Column titles.
+        rows: Cell values; each row must match the header arity.  Floats
+            are rendered with 4 significant digits; everything else via
+            ``str``.
+        title: Optional title line printed above the table.
+
+    Returns:
+        The rendered table as one string (no trailing newline).
+    """
+    if not headers:
+        raise ReproError("table needs at least one column")
+    rendered: list[list[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        rendered.append([_cell(v) for v in row])
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro`` / ``repro``.
+
+Subcommands:
+
+* ``list`` — show available chips, scenarios, and governors.
+* ``run`` — simulate one governor on one scenario and print the summary.
+* ``train`` — train the RL policy on a scenario and save a checkpoint.
+* ``compare`` — the headline comparison (RL vs. baselines) on one scenario.
+* ``latency`` — the software-vs-hardware decision-latency table.
+* ``profile`` — characterise a scenario or a trace CSV.
+* ``report`` — run selected experiments and write a markdown report.
+
+``run --governor checkpoint:<dir>`` evaluates a saved policy checkpoint
+instead of a named governor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.sweep import run_baseline, sweep
+from repro.analysis.tables import format_table
+from repro.core.checkpoint import load_policies, save_policies
+from repro.core.trainer import train_policy
+from repro.errors import ReproError
+from repro.governors import available
+from repro.hw.latency import compare_latency
+from repro.sim.engine import Simulator
+from repro.soc.presets import PRESETS
+from repro.workload.scenarios import SCENARIOS, get_scenario
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("chips:     ", ", ".join(sorted(PRESETS)))
+    print("scenarios: ", ", ".join(sorted(SCENARIOS)))
+    print("governors: ", ", ".join(available() + ["rl-policy"]))
+    return 0
+
+
+def _resolve_chip(args: argparse.Namespace):
+    """Build the chip from --chip-file when given, else the preset."""
+    if getattr(args, "chip_file", None):
+        from repro.soc.devicetree import chip_from_json
+
+        return chip_from_json(args.chip_file)
+    return PRESETS[args.chip]()
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    chip = _resolve_chip(args)
+    scenario = get_scenario(args.scenario)
+    if args.governor.startswith("checkpoint:"):
+        policies = load_policies(args.governor.removeprefix("checkpoint:"), chip=chip)
+        trace = scenario.trace(args.duration, seed=args.seed)
+        result = Simulator(chip, trace, policies).run()
+    else:
+        result = run_baseline(
+            chip, scenario, args.governor, duration_s=args.duration, seed=args.seed
+        )
+    print(result.summary())
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    chip = _resolve_chip(args)
+    scenario = get_scenario(args.scenario)
+    training = train_policy(
+        chip,
+        scenario,
+        episodes=args.episodes,
+        episode_duration_s=args.duration,
+    )
+    for record in training.history:
+        print(
+            f"episode {record.episode:3d}: "
+            f"E/QoS = {record.energy_per_qos_j * 1e3:8.3f} mJ/unit  "
+            f"QoS = {record.mean_qos:.3f}"
+        )
+    path = save_policies(training.policies, args.out)
+    print(f"checkpoint saved to {path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    chip = _resolve_chip(args)
+    result = sweep(
+        chip,
+        [args.scenario],
+        args.governors.split(","),
+        include_rl=True,
+        duration_s=args.duration,
+        train_episodes=args.episodes,
+    )
+    rows = [
+        (r.governor, r.energy_j, r.mean_qos, r.energy_per_qos_j * 1e3)
+        for r in result.rows
+    ]
+    print(
+        format_table(
+            ["governor", "energy [J]", "QoS", "E/QoS [mJ/unit]"],
+            rows,
+            title=f"scenario: {args.scenario}",
+        )
+    )
+    return 0
+
+
+def _cmd_latency(args: argparse.Namespace) -> int:
+    chip = PRESETS[args.chip]()
+    rows = []
+    for cluster in chip:
+        for opp in cluster.spec.opp_table:
+            cmp = compare_latency(opp.freq_hz, label=f"{cluster.spec.name}@{opp.freq_mhz:.0f}MHz")
+            rows.append(
+                (cmp.label, cmp.software_s * 1e6, cmp.hardware_s * 1e6, cmp.speedup)
+            )
+    print(
+        format_table(
+            ["CPU operating point", "SW [us]", "HW [us]", "speedup"],
+            rows,
+            title="decision latency, software vs hardware policy",
+        )
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.workload.characterize import profile
+    from repro.workload.trace import Trace
+
+    if args.trace:
+        trace = Trace.from_csv(args.trace)
+    else:
+        trace = get_scenario(args.scenario).trace(args.duration, seed=args.seed)
+    print(profile(trace).summary())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import ReportConfig, generate_report
+
+    config = ReportConfig(
+        experiments=args.experiments.split(","),
+        duration_s=args.duration,
+        train_episodes=args.episodes,
+    )
+    generate_report(config, path=args.out)
+    print(f"report written to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RL power management for mobile MPSoCs (DAC 2020 LBR reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list chips, scenarios, governors").set_defaults(
+        func=_cmd_list
+    )
+
+    run_p = sub.add_parser("run", help="run one governor on one scenario")
+    run_p.add_argument("--chip", default="exynos5422", choices=sorted(PRESETS))
+    run_p.add_argument("--chip-file", default=None,
+                       help="chip JSON (device-tree schema), overrides --chip")
+    run_p.add_argument("--scenario", default="gaming", choices=sorted(SCENARIOS))
+    run_p.add_argument("--governor", default="ondemand")
+    run_p.add_argument("--duration", type=float, default=30.0)
+    run_p.add_argument("--seed", type=int, default=100)
+    run_p.set_defaults(func=_cmd_run)
+
+    train_p = sub.add_parser("train", help="train the RL policy, save a checkpoint")
+    train_p.add_argument("--chip", default="exynos5422", choices=sorted(PRESETS))
+    train_p.add_argument("--chip-file", default=None,
+                         help="chip JSON (device-tree schema), overrides --chip")
+    train_p.add_argument("--scenario", default="gaming", choices=sorted(SCENARIOS))
+    train_p.add_argument("--episodes", type=int, default=15)
+    train_p.add_argument("--duration", type=float, default=20.0)
+    train_p.add_argument("--out", default="rl-checkpoint")
+    train_p.set_defaults(func=_cmd_train)
+
+    cmp_p = sub.add_parser("compare", help="RL policy vs baseline governors")
+    cmp_p.add_argument("--chip", default="exynos5422", choices=sorted(PRESETS))
+    cmp_p.add_argument("--scenario", default="gaming", choices=sorted(SCENARIOS))
+    cmp_p.add_argument(
+        "--governors", default="performance,powersave,ondemand,conservative"
+    )
+    cmp_p.add_argument("--duration", type=float, default=20.0)
+    cmp_p.add_argument("--episodes", type=int, default=8)
+    cmp_p.set_defaults(func=_cmd_compare)
+
+    lat_p = sub.add_parser("latency", help="SW vs HW decision latency table")
+    lat_p.add_argument("--chip", default="exynos5422", choices=sorted(PRESETS))
+    lat_p.set_defaults(func=_cmd_latency)
+
+    prof_p = sub.add_parser("profile", help="characterise a scenario or trace CSV")
+    prof_p.add_argument("--scenario", default="gaming", choices=sorted(SCENARIOS))
+    prof_p.add_argument("--trace", default=None, help="trace CSV path (overrides --scenario)")
+    prof_p.add_argument("--duration", type=float, default=30.0)
+    prof_p.add_argument("--seed", type=int, default=0)
+    prof_p.set_defaults(func=_cmd_profile)
+
+    rep_p = sub.add_parser("report", help="run experiments, write a markdown report")
+    rep_p.add_argument("--experiments", default="e1,e3,e4,e7",
+                       help="comma-separated ids (e1..e7,a1..a6,x2)")
+    rep_p.add_argument("--duration", type=float, default=20.0)
+    rep_p.add_argument("--episodes", type=int, default=20)
+    rep_p.add_argument("--out", default="REPORT.md")
+    rep_p.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""The paper's contribution: the RL power-management policy and trainer."""
+
+from repro.core.checkpoint import load_policies, save_policies
+from repro.core.config import PolicyConfig
+from repro.core.introspect import DecisionSurface, decision_surface, sanity_report
+from repro.core.policy import (
+    DoubleQPowerManagementPolicy,
+    RLPowerManagementPolicy,
+    SarsaPowerManagementPolicy,
+)
+from repro.core.predictor import WorkloadPredictor
+from repro.core.state import StateFeaturizer
+from repro.core.trainer import (
+    EpisodeRecord,
+    TrainingResult,
+    evaluate_policy,
+    make_policies,
+    train_curriculum,
+    train_policy,
+)
+
+__all__ = [
+    "DecisionSurface",
+    "DoubleQPowerManagementPolicy",
+    "EpisodeRecord",
+    "PolicyConfig",
+    "RLPowerManagementPolicy",
+    "SarsaPowerManagementPolicy",
+    "StateFeaturizer",
+    "TrainingResult",
+    "WorkloadPredictor",
+    "decision_surface",
+    "evaluate_policy",
+    "load_policies",
+    "make_policies",
+    "sanity_report",
+    "save_policies",
+    "train_curriculum",
+    "train_policy",
+]

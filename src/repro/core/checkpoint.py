@@ -1,0 +1,137 @@
+"""Saving and restoring trained policies.
+
+A checkpoint is a directory: one JSON manifest with the policy
+configuration and geometry, plus one ``.npz`` Q-table per cluster.  This
+is what a deployment would flash/ship: the learned table plus the exact
+featurisation that indexes it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.core.config import PolicyConfig
+from repro.core.policy import RLPowerManagementPolicy
+from repro.errors import PolicyError
+from repro.rl.exploration import EpsilonSchedule
+from repro.rl.qtable import QTable
+from repro.soc.chip import Chip
+
+_MANIFEST = "policy.json"
+_FORMAT_VERSION = 1
+
+
+def _config_to_dict(config: PolicyConfig) -> dict:
+    data = asdict(config)
+    data["action_deltas"] = list(config.action_deltas)
+    return data
+
+
+def _config_from_dict(data: dict) -> PolicyConfig:
+    data = dict(data)
+    data["epsilon"] = EpsilonSchedule(**data["epsilon"])
+    data["action_deltas"] = tuple(data["action_deltas"])
+    return PolicyConfig(**data)
+
+
+def save_policies(
+    policies: dict[str, RLPowerManagementPolicy], directory: str | Path
+) -> Path:
+    """Write a checkpoint for a set of per-cluster policies.
+
+    Args:
+        policies: Trained (bound) policies keyed by cluster name.
+        directory: Target directory; created if missing.
+
+    Returns:
+        The checkpoint directory path.
+
+    Raises:
+        PolicyError: If any policy has not been trained/bound yet.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest: dict = {"version": _FORMAT_VERSION, "clusters": {}}
+    for name, policy in policies.items():
+        if policy.agent is None or policy.featurizer is None:
+            raise PolicyError(f"policy for cluster {name!r} has not been trained")
+        table_file = f"qtable_{name}.npz"
+        policy.agent.table.save(directory / table_file)
+        manifest["clusters"][name] = {
+            "config": _config_to_dict(policy.config),
+            "n_opps": policy.featurizer.n_opps,
+            "table_file": table_file,
+            "episodes": policy.episodes,
+        }
+    (directory / _MANIFEST).write_text(json.dumps(manifest, indent=1))
+    return directory
+
+
+def load_policies(
+    directory: str | Path, chip: Chip | None = None
+) -> dict[str, RLPowerManagementPolicy]:
+    """Restore policies from a checkpoint directory.
+
+    The restored policies are in evaluation mode (``online=False``);
+    flip the flag to resume learning.
+
+    Args:
+        directory: A directory written by :func:`save_policies`.
+        chip: Optional chip to validate against — cluster names must
+            match and each cluster's OPP-table size must equal the
+            checkpointed geometry.
+
+    Raises:
+        PolicyError: On a missing/corrupt manifest or a chip mismatch.
+    """
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST
+    if not manifest_path.is_file():
+        raise PolicyError(f"no checkpoint manifest at {manifest_path}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise PolicyError(f"corrupt checkpoint manifest: {exc}") from exc
+    if manifest.get("version") != _FORMAT_VERSION:
+        raise PolicyError(
+            f"unsupported checkpoint version {manifest.get('version')!r}"
+        )
+
+    clusters: dict = manifest["clusters"]
+    if chip is not None:
+        missing = set(chip.cluster_names) - set(clusters)
+        if missing:
+            raise PolicyError(f"checkpoint lacks clusters: {sorted(missing)}")
+
+    policies: dict[str, RLPowerManagementPolicy] = {}
+    for name, entry in clusters.items():
+        try:
+            config = _config_from_dict(entry["config"])
+            n_opps = int(entry["n_opps"])
+            table = QTable.load(directory / entry["table_file"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PolicyError(f"corrupt checkpoint entry for {name!r}: {exc}") from exc
+        if chip is not None:
+            actual = len(chip.cluster(name).spec.opp_table)
+            if actual != n_opps:
+                raise PolicyError(
+                    f"cluster {name!r}: checkpoint trained on {n_opps} OPPs, "
+                    f"chip has {actual}"
+                )
+        policy = RLPowerManagementPolicy(config, online=False)
+        # Materialise the featurizer/agent, then install the saved table.
+        from repro.core.state import StateFeaturizer
+
+        policy.featurizer = StateFeaturizer(config, n_opps)
+        policy.agent = policy._make_agent(policy.featurizer.n_states)
+        if table.values.shape != policy.agent.table.values.shape:
+            raise PolicyError(
+                f"cluster {name!r}: saved table shape {table.values.shape} does "
+                f"not match config geometry {policy.agent.table.values.shape}"
+            )
+        policy.agent.table = table
+        policy.episodes = int(entry.get("episodes", 0))
+        policies[name] = policy
+    return policies

@@ -1,0 +1,81 @@
+"""Configuration of the RL power-management policy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PolicyError
+from repro.rl.exploration import EpsilonSchedule
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """All tunables of the proposed policy in one place.
+
+    Attributes:
+        util_bins: Bins for the busiest-core utilisation feature.
+        trend_bins: Bins for the predicted-demand-trend feature.
+        opp_bins: Bins the current OPP index is quantised into (keeps the
+            state space compact on long OPP tables).
+        slack_bins: Bins for the QoS-slack feature.
+            Setting any feature's bin count to 1 removes that feature from
+            the state (used by the A1 state-ablation bench).
+        action_deltas: OPP-index moves the agent chooses among.  The
+            default five-action set {-2, -1, 0, +1, +2} lets the policy
+            both fine-tune and react fast.
+        alpha: Q-learning rate.
+        gamma: Discount factor.
+        epsilon: Exploration schedule used while learning.
+        lambda_qos: Reward weight of QoS violations versus energy.
+        slack_threshold: Queue slack below which anticipatory penalty
+            starts (see :class:`repro.rl.reward.RewardConfig`).
+        predictor_alpha: EWMA coefficient of the workload predictor.
+        phase_change_threshold: Normalised prediction-error level treated
+            as a phase change (resets the predictor).
+        seed: Exploration RNG seed.
+    """
+
+    util_bins: int = 6
+    trend_bins: int = 3
+    opp_bins: int = 5
+    slack_bins: int = 3
+    action_deltas: tuple[int, ...] = (-2, -1, 0, 1, 2)
+    alpha: float = 0.3
+    gamma: float = 0.85
+    epsilon: EpsilonSchedule = field(
+        default_factory=lambda: EpsilonSchedule(start=0.5, decay=0.9995, floor=0.05)
+    )
+    lambda_qos: float = 1.0
+    slack_threshold: float = 0.2
+    predictor_alpha: float = 0.35
+    phase_change_threshold: float = 0.4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        bins = (self.util_bins, self.trend_bins, self.opp_bins, self.slack_bins)
+        if min(bins) < 1:
+            raise PolicyError("state feature bins must be >= 1")
+        if max(bins) < 2:
+            raise PolicyError("at least one state feature needs >= 2 bins")
+        if not self.action_deltas:
+            raise PolicyError("need at least one action delta")
+        if len(set(self.action_deltas)) != len(self.action_deltas):
+            raise PolicyError(f"duplicate action deltas: {self.action_deltas}")
+        if 0 not in self.action_deltas:
+            raise PolicyError("the hold action (delta 0) must be available")
+        if not 0 < self.predictor_alpha <= 1:
+            raise PolicyError(
+                f"predictor alpha must be in (0, 1]: {self.predictor_alpha}"
+            )
+        if self.phase_change_threshold <= 0:
+            raise PolicyError(
+                f"phase-change threshold must be positive: {self.phase_change_threshold}"
+            )
+
+    @property
+    def n_actions(self) -> int:
+        return len(self.action_deltas)
+
+    @property
+    def n_states(self) -> int:
+        return self.util_bins * self.trend_bins * self.opp_bins * self.slack_bins

@@ -1,0 +1,129 @@
+"""Policy introspection: what did the Q-table actually learn?
+
+A trained policy is a lookup table; unlike a neural policy it can be
+*read*.  This module extracts the greedy decision surface — for each
+(utilisation, trend, OPP, slack) state, the OPP delta the policy would
+take — and renders the slices a human checks first:
+
+* at relaxed slack, does the action descend as utilisation falls?
+* at critical slack, does the policy ramp up regardless of utilisation?
+
+Used by the test suite to verify the learned policy is *sensible*, not
+just effective, and available to users debugging a training run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.policy import RLPowerManagementPolicy
+from repro.errors import PolicyError
+
+
+@dataclass(frozen=True)
+class DecisionSurface:
+    """The greedy action (as an OPP delta) for every state.
+
+    Attributes:
+        deltas: Array of shape (util_bins, trend_bins, opp_bins,
+            slack_bins) of greedy OPP deltas.
+        visits: Same shape; True where learning ever touched the state's
+            Q-row (unvisited states hold the tie-break default and should
+            not be over-interpreted).
+    """
+
+    deltas: np.ndarray
+    visits: np.ndarray
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of states that were visited during learning."""
+        return float(self.visits.mean())
+
+    def mean_delta(
+        self,
+        util_bin: int | None = None,
+        trend_bin: int | None = None,
+        opp_bin: int | None = None,
+        slack_bin: int | None = None,
+        visited_only: bool = True,
+    ) -> float:
+        """Mean greedy delta over a state slice (None = marginalise).
+
+        Raises:
+            PolicyError: If the slice contains no (visited) states.
+        """
+        index = [
+            slice(None) if b is None else b
+            for b in (util_bin, trend_bin, opp_bin, slack_bin)
+        ]
+        deltas = self.deltas[tuple(index)]
+        visits = self.visits[tuple(index)]
+        if visited_only:
+            deltas = deltas[visits]
+        if np.size(deltas) == 0:
+            raise PolicyError("slice contains no visited states")
+        return float(np.mean(deltas))
+
+    def render_slice(self, slack_bin: int, trend_bin: int = 1) -> str:
+        """An ASCII map of greedy deltas over (utilisation x OPP) at one
+        slack/trend slice; ``.`` marks unvisited states."""
+        n_util, _, n_opp, _ = self.deltas.shape
+        lines = [f"greedy OPP delta at slack bin {slack_bin}, trend bin {trend_bin}"]
+        header = "util\\opp " + " ".join(f"{o:>3d}" for o in range(n_opp))
+        lines.append(header)
+        for u in range(n_util):
+            cells = []
+            for o in range(n_opp):
+                if self.visits[u, trend_bin, o, slack_bin]:
+                    cells.append(f"{self.deltas[u, trend_bin, o, slack_bin]:+3d}")
+                else:
+                    cells.append("  .")
+            lines.append(f"{u:>8d} " + " ".join(cells))
+        return "\n".join(lines)
+
+
+def decision_surface(policy: RLPowerManagementPolicy) -> DecisionSurface:
+    """Extract a trained policy's greedy decision surface.
+
+    Raises:
+        PolicyError: If the policy has not been trained/bound.
+    """
+    if policy.agent is None or policy.featurizer is None:
+        raise PolicyError("policy has not been trained")
+    cfg = policy.config
+    shape = (cfg.util_bins, cfg.trend_bins, cfg.opp_bins, cfg.slack_bins)
+    deltas = np.zeros(shape, dtype=int)
+    visits = np.zeros(shape, dtype=bool)
+    table = policy.agent.table
+    for u in range(cfg.util_bins):
+        for t in range(cfg.trend_bins):
+            for o in range(cfg.opp_bins):
+                for s in range(cfg.slack_bins):
+                    idx = policy.featurizer.space.encode((u, t, o, s))
+                    action = table.argmax(idx)
+                    deltas[u, t, o, s] = cfg.action_deltas[action]
+                    visits[u, t, o, s] = bool(
+                        np.any(table.row(idx) != table.initial_value)
+                    )
+    return DecisionSurface(deltas=deltas, visits=visits)
+
+
+def sanity_report(policy: RLPowerManagementPolicy) -> str:
+    """A short plain-language reading of the learned behaviour."""
+    surface = decision_surface(policy)
+    cfg = policy.config
+    lines = [f"coverage: {surface.coverage:.1%} of states visited"]
+    try:
+        relaxed = surface.mean_delta(slack_bin=cfg.slack_bins - 1)
+        lines.append(f"relaxed slack: mean delta {relaxed:+.2f}")
+    except PolicyError:
+        lines.append("relaxed slack: (no visited states)")
+    try:
+        critical = surface.mean_delta(slack_bin=0)
+        lines.append(f"critical slack: mean delta {critical:+.2f}")
+    except PolicyError:
+        lines.append("critical slack: (no visited states)")
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Workload prediction: the "predicts a system's characteristics" part.
+
+A light EWMA tracker of the cluster's absolute load, with phase-change
+detection: when the prediction error spikes, the tracker snaps to the
+new level instead of converging slowly.  The policy consumes the
+*predicted trend* (where demand is heading), which is what lets it
+provision ahead of a burst instead of one interval behind it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PolicyError
+
+
+class WorkloadPredictor:
+    """EWMA load predictor with snap-on-phase-change.
+
+    Args:
+        alpha: EWMA smoothing coefficient in (0, 1]; higher tracks faster.
+        phase_change_threshold: Absolute prediction error (in load units,
+            i.e. fractions of peak capacity) treated as a phase change.
+    """
+
+    def __init__(self, alpha: float = 0.35, phase_change_threshold: float = 0.4):
+        if not 0 < alpha <= 1:
+            raise PolicyError(f"alpha must be in (0, 1]: {alpha}")
+        if phase_change_threshold <= 0:
+            raise PolicyError(
+                f"phase-change threshold must be positive: {phase_change_threshold}"
+            )
+        self.alpha = alpha
+        self.phase_change_threshold = phase_change_threshold
+        self._level: float | None = None
+        self._prev_level: float | None = None
+        self.phase_changes = 0
+
+    @property
+    def level(self) -> float:
+        """Current predicted load level (0 before any observation)."""
+        return self._level if self._level is not None else 0.0
+
+    @property
+    def trend(self) -> float:
+        """Predicted per-interval change in load (level minus previous
+        level); 0 until two observations arrive."""
+        if self._level is None or self._prev_level is None:
+            return 0.0
+        return self._level - self._prev_level
+
+    def observe(self, load: float) -> float:
+        """Feed one interval's absolute load; returns the updated level.
+
+        Raises:
+            PolicyError: For negative load (loads may exceed 1 transiently
+                when queues back up, which is allowed).
+        """
+        if load < 0:
+            raise PolicyError(f"load must be non-negative: {load}")
+        if self._level is None:
+            self._prev_level = None
+            self._level = load
+            return self._level
+        error = load - self._level
+        self._prev_level = self._level
+        if abs(error) > self.phase_change_threshold:
+            # Phase change: snap instead of crawling.
+            self._level = load
+            self.phase_changes += 1
+        else:
+            self._level = self._level + self.alpha * error
+        return self._level
+
+    def reset(self) -> None:
+        """Forget all history."""
+        self._level = None
+        self._prev_level = None
+        self.phase_changes = 0

@@ -1,0 +1,218 @@
+"""Episode-based training and evaluation drivers for the RL policy.
+
+The paper's policy learns online; for reproducible tables we train it
+over a fixed number of episodes of a scenario (each episode a fresh
+seeded trace) and then evaluate greedily on a held-out seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import PolicyConfig
+from repro.core.policy import RLPowerManagementPolicy
+from repro.errors import PolicyError
+from repro.power.model import PowerModel
+from repro.sim.engine import Simulator
+from repro.sim.result import SimulationResult
+from repro.soc.chip import Chip
+from repro.workload.scenarios import Scenario
+from repro.workload.trace import Trace
+
+
+@dataclass(frozen=True)
+class EpisodeRecord:
+    """Summary of one training episode."""
+
+    episode: int
+    total_energy_j: float
+    mean_qos: float
+    energy_per_qos_j: float
+    q_coverage: float
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of :func:`train_policy`.
+
+    Attributes:
+        policies: One trained policy per cluster name; still in online
+            mode (set ``online=False`` to freeze, or use
+            :func:`evaluate_policy`).
+        history: Per-episode learning curve (E5's data).
+    """
+
+    policies: dict[str, RLPowerManagementPolicy]
+    history: list[EpisodeRecord] = field(default_factory=list)
+
+    @property
+    def final_energy_per_qos(self) -> float:
+        if not self.history:
+            raise PolicyError("no training episodes recorded")
+        return self.history[-1].energy_per_qos_j
+
+
+def make_policies(
+    chip: Chip, config: PolicyConfig | None = None
+) -> dict[str, RLPowerManagementPolicy]:
+    """One fresh policy instance per cluster, with decorrelated seeds."""
+    base = (config or PolicyConfig()).seed
+    policies: dict[str, RLPowerManagementPolicy] = {}
+    for i, name in enumerate(chip.cluster_names):
+        cfg = config or PolicyConfig()
+        if i > 0:
+            # Decorrelate exploration across clusters.
+            cfg = PolicyConfig(
+                util_bins=cfg.util_bins,
+                trend_bins=cfg.trend_bins,
+                opp_bins=cfg.opp_bins,
+                slack_bins=cfg.slack_bins,
+                action_deltas=cfg.action_deltas,
+                alpha=cfg.alpha,
+                gamma=cfg.gamma,
+                epsilon=cfg.epsilon,
+                lambda_qos=cfg.lambda_qos,
+                slack_threshold=cfg.slack_threshold,
+                predictor_alpha=cfg.predictor_alpha,
+                phase_change_threshold=cfg.phase_change_threshold,
+                seed=base + 1000 * i,
+            )
+        policies[name] = RLPowerManagementPolicy(cfg, online=True)
+    return policies
+
+
+def train_policy(
+    chip: Chip,
+    scenario: Scenario,
+    episodes: int = 12,
+    episode_duration_s: float = 30.0,
+    base_seed: int = 0,
+    config: PolicyConfig | None = None,
+    interval_s: float = 0.01,
+    power_model: PowerModel | None = None,
+    policies: dict[str, RLPowerManagementPolicy] | None = None,
+) -> TrainingResult:
+    """Train the RL policy on a scenario over several episodes.
+
+    Args:
+        chip: The MPSoC to control.
+        scenario: Workload scenario; each episode draws a fresh seed.
+        episodes: Number of training episodes.
+        episode_duration_s: Simulated seconds per episode.
+        base_seed: First trace seed; episode ``k`` uses ``base_seed + k``.
+        config: Policy configuration (shared across clusters).
+        interval_s: DVFS sampling interval.
+        power_model: Chip power model (default model when omitted).
+        policies: Pre-existing policies to continue training (e.g. for
+            curriculum over several scenarios); fresh ones when omitted.
+
+    Returns:
+        A :class:`TrainingResult` with the per-episode learning curve.
+    """
+    if episodes < 1:
+        raise PolicyError(f"need at least one episode: {episodes}")
+    policies = policies or make_policies(chip, config)
+    missing = set(chip.cluster_names) - set(policies)
+    if missing:
+        raise PolicyError(f"no policy for clusters: {sorted(missing)}")
+    power_model = power_model or PowerModel()
+
+    history: list[EpisodeRecord] = []
+    for episode in range(episodes):
+        trace = scenario.trace(episode_duration_s, seed=base_seed + episode)
+        sim = Simulator(
+            chip, trace, policies, power_model=power_model, interval_s=interval_s
+        )
+        result = sim.run()
+        coverage = max(p.q_coverage for p in policies.values())
+        history.append(
+            EpisodeRecord(
+                episode=episode,
+                total_energy_j=result.total_energy_j,
+                mean_qos=result.qos.mean_qos,
+                energy_per_qos_j=result.energy_per_qos_j,
+                q_coverage=coverage,
+            )
+        )
+    return TrainingResult(policies=policies, history=history)
+
+
+def train_curriculum(
+    chip: Chip,
+    scenarios: list[Scenario],
+    episodes_per_scenario: int = 8,
+    episode_duration_s: float = 20.0,
+    base_seed: int = 0,
+    config: PolicyConfig | None = None,
+    interval_s: float = 0.01,
+    power_model: PowerModel | None = None,
+) -> TrainingResult:
+    """Train one policy set across several scenarios in sequence.
+
+    The same policies carry their Q-tables through the whole curriculum,
+    producing a generalist (the paper's "regardless of the application
+    scenario" deployment mode) rather than a per-scenario specialist.
+    The returned history concatenates all scenarios' episodes; seeds are
+    offset per scenario so no trace repeats.
+
+    Raises:
+        PolicyError: On an empty curriculum.
+    """
+    if not scenarios:
+        raise PolicyError("curriculum needs at least one scenario")
+    policies = make_policies(chip, config)
+    history: list[EpisodeRecord] = []
+    for i, scenario in enumerate(scenarios):
+        result = train_policy(
+            chip,
+            scenario,
+            episodes=episodes_per_scenario,
+            episode_duration_s=episode_duration_s,
+            base_seed=base_seed + 10_000 * i,
+            config=config,
+            interval_s=interval_s,
+            power_model=power_model,
+            policies=policies,
+        )
+        offset = len(history)
+        history.extend(
+            EpisodeRecord(
+                episode=offset + r.episode,
+                total_energy_j=r.total_energy_j,
+                mean_qos=r.mean_qos,
+                energy_per_qos_j=r.energy_per_qos_j,
+                q_coverage=r.q_coverage,
+            )
+            for r in result.history
+        )
+    return TrainingResult(policies=policies, history=history)
+
+
+def evaluate_policy(
+    chip: Chip,
+    policies: dict[str, RLPowerManagementPolicy],
+    trace: Trace,
+    interval_s: float = 0.01,
+    power_model: PowerModel | None = None,
+    record_samples: bool = False,
+) -> SimulationResult:
+    """Run trained policies greedily (no exploration, no updates).
+
+    The online flags are restored afterwards, so training can continue.
+    """
+    saved = {name: p.online for name, p in policies.items()}
+    try:
+        for p in policies.values():
+            p.online = False
+        sim = Simulator(
+            chip,
+            trace,
+            policies,
+            power_model=power_model or PowerModel(),
+            interval_s=interval_s,
+            record_samples=record_samples,
+        )
+        return sim.run()
+    finally:
+        for name, p in policies.items():
+            p.online = saved[name]

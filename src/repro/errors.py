@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch one base class at an API boundary.  Specific subclasses
+mark configuration mistakes versus runtime simulation problems, which
+call for different handling (fix your inputs vs. inspect the run).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A model or policy was constructed with inconsistent parameters."""
+
+
+class OPPError(ConfigurationError):
+    """An operating-performance-point table is malformed or an OPP lookup
+    fell outside the table."""
+
+
+class WorkloadError(ReproError):
+    """A workload trace or scenario definition is invalid."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine entered an inconsistent state."""
+
+
+class GovernorError(ReproError):
+    """A DVFS governor was misconfigured or produced an illegal decision."""
+
+
+class PolicyError(ReproError):
+    """The RL power-management policy was misconfigured."""
+
+
+class HardwareModelError(ReproError):
+    """The hardware (fixed-point / pipeline / interface) model detected an
+    illegal configuration or datapath condition."""
+
+
+class FixedPointError(HardwareModelError):
+    """A fixed-point conversion overflowed without saturation enabled, or
+    the Q-format itself is invalid."""

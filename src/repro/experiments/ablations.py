@@ -1,0 +1,200 @@
+"""A1/A2/A3 — design-choice ablations: state features, reward weight,
+and TD learner."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Type
+
+from repro.analysis.tables import format_table
+from repro.core.config import PolicyConfig
+from repro.core.policy import (
+    DoubleQPowerManagementPolicy,
+    RLPowerManagementPolicy,
+    SarsaPowerManagementPolicy,
+)
+from repro.core.trainer import evaluate_policy, train_policy
+from repro.governors.userspace import UserspaceGovernor
+from repro.sim.engine import Simulator
+from repro.sim.result import SimulationResult
+from repro.soc.chip import Chip
+from repro.soc.presets import exynos5422
+from repro.workload.scenarios import get_scenario
+
+DEFAULT_STATE_VARIANTS: dict[str, PolicyConfig] = {
+    "full": PolicyConfig(),
+    "no-trend": PolicyConfig(trend_bins=1),
+    "no-slack": PolicyConfig(slack_bins=1),
+    "no-opp": PolicyConfig(opp_bins=1),
+    "util-only": PolicyConfig(trend_bins=1, slack_bins=1, opp_bins=1),
+}
+"""The A1 feature-knockout configurations."""
+
+
+@dataclass(frozen=True)
+class A1Result:
+    """A1: state-feature ablation runs keyed by variant name."""
+
+    report: str
+    results: dict[str, SimulationResult]
+
+
+def a1_state_ablation(
+    variants: dict[str, PolicyConfig] | None = None,
+    scenario_name: str = "gaming",
+    train_episodes: int = 14,
+    episode_duration_s: float = 15.0,
+    eval_seed: int = 100,
+    chip: Chip | None = None,
+) -> A1Result:
+    """Retrain with individual state features disabled."""
+    variants = variants or DEFAULT_STATE_VARIANTS
+    chip = chip or exynos5422()
+    scenario = get_scenario(scenario_name)
+    trace = scenario.trace(episode_duration_s, seed=eval_seed)
+    results: dict[str, SimulationResult] = {}
+    for name, config in variants.items():
+        training = train_policy(
+            chip, scenario, episodes=train_episodes,
+            episode_duration_s=episode_duration_s, config=config,
+        )
+        results[name] = evaluate_policy(chip, training.policies, trace)
+    report = format_table(
+        ["state variant", "energy [J]", "QoS", "E/QoS [mJ/unit]"],
+        [
+            (name, r.total_energy_j, r.qos.mean_qos, r.energy_per_qos_j * 1e3)
+            for name, r in results.items()
+        ],
+        title=f"A1: state-feature ablation ({scenario_name})",
+    )
+    return A1Result(report=report, results=results)
+
+
+@dataclass(frozen=True)
+class A2Result:
+    """A2: reward-weight sweep runs keyed by lambda."""
+
+    report: str
+    results: dict[float, SimulationResult]
+
+
+def a2_reward_sweep(
+    lambdas: list[float] | None = None,
+    scenario_name: str = "gaming",
+    train_episodes: int = 14,
+    episode_duration_s: float = 15.0,
+    eval_seed: int = 100,
+    chip: Chip | None = None,
+) -> A2Result:
+    """Sweep the QoS weight of the reward."""
+    lambdas = lambdas if lambdas is not None else [0.0, 0.25, 1.0, 4.0, 16.0]
+    chip = chip or exynos5422()
+    scenario = get_scenario(scenario_name)
+    trace = scenario.trace(episode_duration_s, seed=eval_seed)
+    results: dict[float, SimulationResult] = {}
+    for lam in lambdas:
+        training = train_policy(
+            chip, scenario, episodes=train_episodes,
+            episode_duration_s=episode_duration_s,
+            config=PolicyConfig(lambda_qos=lam),
+        )
+        results[lam] = evaluate_policy(chip, training.policies, trace)
+    report = format_table(
+        ["lambda_qos", "energy [J]", "QoS", "miss [%]", "E/QoS [mJ/unit]"],
+        [
+            (lam, r.total_energy_j, r.qos.mean_qos,
+             r.qos.deadline_miss_rate * 100, r.energy_per_qos_j * 1e3)
+            for lam, r in results.items()
+        ],
+        title=f"A2: reward-weight sweep ({scenario_name})",
+    )
+    return A2Result(report=report, results=results)
+
+
+@dataclass(frozen=True)
+class A3Result:
+    """A3: learner comparison plus the peeking static oracle."""
+
+    report: str
+    learners: dict[str, SimulationResult]
+    oracle: SimulationResult
+
+
+def _train_learner(
+    policy_cls: Type[RLPowerManagementPolicy],
+    scenario_name: str,
+    episodes: int,
+    episode_s: float,
+) -> tuple[Chip, dict[str, RLPowerManagementPolicy]]:
+    chip = exynos5422()
+    scenario = get_scenario(scenario_name)
+    policies = {
+        name: policy_cls(PolicyConfig(seed=1000 * i))
+        for i, name in enumerate(chip.cluster_names)
+    }
+    for episode in range(episodes):
+        Simulator(chip, scenario.trace(episode_s, seed=episode), policies).run()
+    return chip, policies
+
+
+def static_oracle(trace, opp_stride: int = 2) -> SimulationResult:
+    """Best fixed (per-cluster) userspace OPP setting found by exhaustive
+    search **on the evaluation trace itself** — an unrealisable bound.
+
+    Args:
+        trace: The evaluation trace (the oracle gets to peek at it).
+        opp_stride: Search every ``opp_stride``-th index to bound cost.
+    """
+    chip = exynos5422()
+    ranges = [
+        range(0, len(c.spec.opp_table), opp_stride) for c in chip.clusters
+    ]
+    best: SimulationResult | None = None
+    for combo in itertools.product(*ranges):
+        governors = {
+            c.spec.name: UserspaceGovernor(idx)
+            for c, idx in zip(chip.clusters, combo)
+        }
+        run = Simulator(chip, trace, governors).run()
+        if best is None or run.energy_per_qos_j < best.energy_per_qos_j:
+            best = run
+    assert best is not None
+    return best
+
+
+def a3_learner_ablation(
+    scenario_name: str = "gaming",
+    train_episodes: int = 14,
+    episode_duration_s: float = 15.0,
+    eval_seed: int = 100,
+) -> A3Result:
+    """Q-learning vs SARSA vs double Q vs the static oracle."""
+    trace = get_scenario(scenario_name).trace(episode_duration_s, seed=eval_seed)
+
+    learners: dict[str, SimulationResult] = {}
+    for label, cls in [
+        ("Q-learning (paper)", RLPowerManagementPolicy),
+        ("SARSA", SarsaPowerManagementPolicy),
+        ("double Q-learning", DoubleQPowerManagementPolicy),
+    ]:
+        chip, policies = _train_learner(
+            cls, scenario_name, train_episodes, episode_duration_s
+        )
+        learners[label] = evaluate_policy(chip, policies, trace)
+    oracle = static_oracle(trace)
+
+    rows = [
+        (label, r.total_energy_j, r.qos.mean_qos, r.energy_per_qos_j * 1e3)
+        for label, r in learners.items()
+    ]
+    rows.append(
+        ("static oracle", oracle.total_energy_j, oracle.qos.mean_qos,
+         oracle.energy_per_qos_j * 1e3)
+    )
+    report = format_table(
+        ["learner", "energy [J]", "QoS", "E/QoS [mJ/unit]"],
+        rows,
+        title=f"A3: learner ablation ({scenario_name})",
+    )
+    return A3Result(report=report, learners=learners, oracle=oracle)

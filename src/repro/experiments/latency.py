@@ -1,0 +1,109 @@
+"""E4 — decision latency: hardware vs software implementation.
+
+Reproduces both latency claims (journal 3.92x typical; DAC "up to 40x"
+best case) from the calibrated software and hardware latency models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.hw.latency import (
+    HardwareLatencyModel,
+    LatencyComparison,
+    SoftwareLatencyModel,
+    compare_latency,
+)
+from repro.soc.chip import Chip
+from repro.soc.presets import exynos5422
+
+PAPER_TYPICAL_SPEEDUP = 3.92
+"""The journal's average hardware-over-software decision speedup."""
+
+PAPER_BEST_CASE_SPEEDUP = 40.0
+"""The DAC abstract's 'up to 40x' latency reduction."""
+
+
+@dataclass(frozen=True)
+class E4Result:
+    """E4 outputs.
+
+    Attributes:
+        report: The rendered latency table and band summary.
+        rows: Per-OPP comparisons on the governor's host cluster.
+        typical: The warm, top-LITTLE-clock, single-cluster comparison
+            (the journal's 3.92x reading).
+        best_case: The cold, floor-clock, batched comparison (the DAC
+            'up to 40x' reading).
+    """
+
+    report: str
+    rows: tuple[LatencyComparison, ...]
+    typical: LatencyComparison
+    best_case: LatencyComparison
+
+
+def e4_decision_latency(
+    chip: Chip | None = None,
+    software: SoftwareLatencyModel | None = None,
+    hardware: HardwareLatencyModel | None = None,
+) -> E4Result:
+    """Run the E4 latency comparison.
+
+    Args:
+        chip: The MPSoC whose LITTLE-class (lowest-capacity) cluster
+            hosts the software governor; the Exynos preset by default.
+        software: Software-path latency model.
+        hardware: Hardware-path latency model.
+    """
+    chip = chip or exynos5422()
+    host = min(
+        chip.clusters,
+        key=lambda c: c.spec.core.capacity * c.spec.opp_table.max_freq_hz,
+    )
+    rows = tuple(
+        compare_latency(
+            opp.freq_hz,
+            software,
+            hardware,
+            label=f"{host.spec.name} @ {opp.freq_mhz:.0f} MHz",
+        )
+        for opp in host.spec.opp_table
+    )
+    typical = compare_latency(
+        host.spec.opp_table.max_freq_hz, software, hardware
+    )
+    best_case = compare_latency(
+        host.spec.opp_table.min_freq_hz,
+        software,
+        hardware,
+        cold=True,
+        n_clusters=len(chip),
+    )
+    hw = hardware or HardwareLatencyModel()
+    sw = software or SoftwareLatencyModel()
+    report = "\n".join(
+        [
+            format_table(
+                ["CPU operating point", "SW [us]", "HW [us]", "speedup"],
+                [
+                    (r.label, r.software_s * 1e6, r.hardware_s * 1e6, r.speedup)
+                    for r in rows
+                ],
+                title="E4: policy decision latency, software vs hardware",
+            ),
+            "",
+            f"typical case (warm cache, {typical.label}, single cluster): "
+            f"{typical.speedup:.2f}x   (journal claim: {PAPER_TYPICAL_SPEEDUP}x)",
+            f"best case (cold cache, floor clock, batched {len(chip)} clusters):  "
+            f"{best_case.speedup:.1f}x   (DAC claim: up to "
+            f"{PAPER_BEST_CASE_SPEEDUP:.0f}x)",
+            "",
+            f"hardware step latency (pipeline + MMIO): "
+            f"{hw.decision_latency_s(1) * 1e6:.3f} us",
+            f"software instruction path: {sw.cycles():.0f} CPU cycles "
+            f"+ {sw.cache_misses_warm} DRAM access(es)",
+        ]
+    )
+    return E4Result(report=report, rows=rows, typical=typical, best_case=best_case)

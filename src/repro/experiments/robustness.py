@@ -1,0 +1,180 @@
+"""X1/X2 — robustness extensions: full-system realism and seed stability."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.repeat import RepeatedMeasure, repeat_over_seeds
+from repro.analysis.tables import format_table
+from repro.core.trainer import make_policies
+from repro.core.trainer import train_policy
+from repro.governors import create
+from repro.idle.governor import MenuIdleGovernor
+from repro.mem.dram import DRAMModel
+from repro.sim.engine import Simulator
+from repro.soc.chip import Chip
+from repro.soc.presets import exynos5422
+from repro.soc.transition import DVFSTransitionModel
+from repro.thermal.rc import default_thermal_model
+from repro.thermal.throttle import ThermalThrottle
+from repro.workload.scenarios import get_scenario
+
+X1_GOVERNORS = ["performance", "ondemand", "conservative", "interactive",
+                "schedutil", "scenario-aware"]
+X1_SCENARIOS = ["gaming", "web_browsing", "camera_preview"]
+
+
+def full_system_simulator(
+    chip: Chip, trace, governors, with_memory: bool = True
+) -> Simulator:
+    """A simulator with every optional substrate enabled: thermals with
+    throttling, cpuidle C-states, DVFS transition costs, and DRAM power."""
+    return Simulator(
+        chip,
+        trace,
+        governors,
+        thermal=default_thermal_model(chip.cluster_names),
+        throttle=ThermalThrottle(trip_c=85.0),
+        idle_governor=MenuIdleGovernor(),
+        transition=DVFSTransitionModel(),
+        memory=DRAMModel() if with_memory else None,
+    )
+
+
+@dataclass(frozen=True)
+class X1Result:
+    """X1: the comparison rerun with all realism subsystems enabled.
+
+    Attributes:
+        report: The rendered table.
+        cells_j: energy/QoS per (scenario, policy-name); the RL policy is
+            keyed ``"rl-policy"``.
+        rl_qos: RL mean QoS per scenario.
+    """
+
+    report: str
+    cells_j: dict[tuple[str, str], float]
+    rl_qos: dict[str, float]
+
+    def mean_j(self, policy: str) -> float:
+        """Mean energy/QoS of one policy across the swept scenarios."""
+        values = [v for (s, g), v in self.cells_j.items() if g == policy]
+        return sum(values) / len(values)
+
+
+def x1_full_system(
+    scenario_names: list[str] | None = None,
+    governor_names: list[str] | None = None,
+    duration_s: float = 20.0,
+    eval_seed: int = 100,
+    train_episodes: int = 16,
+    train_episode_s: float = 15.0,
+    with_memory: bool = False,
+) -> X1Result:
+    """Rerun the governor comparison inside the full-system simulator;
+    the RL policy trains inside it too, so it learns with C-states,
+    transition costs and thermals present.
+
+    Note:
+        ``with_memory`` defaults to False: DRAM power is common-mode
+        (identical across policies) and only dilutes relative gaps.
+    """
+    scenario_names = scenario_names or list(X1_SCENARIOS)
+    governor_names = governor_names or list(X1_GOVERNORS)
+    chip = exynos5422()
+    cells: dict[tuple[str, str], float] = {}
+    rl_qos: dict[str, float] = {}
+    rows = []
+    for scenario_name in scenario_names:
+        scenario = get_scenario(scenario_name)
+        trace = scenario.trace(duration_s, seed=eval_seed)
+        for g in governor_names:
+            run = full_system_simulator(
+                chip, trace, lambda c, g=g: create(g), with_memory
+            ).run()
+            cells[(scenario_name, g)] = run.energy_per_qos_j
+
+        policies = make_policies(chip)
+        for episode in range(train_episodes):
+            ep_trace = scenario.trace(train_episode_s, seed=episode)
+            full_system_simulator(chip, ep_trace, policies, with_memory).run()
+        for p in policies.values():
+            p.online = False
+        rl = full_system_simulator(chip, trace, policies, with_memory).run()
+        cells[(scenario_name, "rl-policy")] = rl.energy_per_qos_j
+        rl_qos[scenario_name] = rl.qos.mean_qos
+        rows.append(
+            [scenario_name]
+            + [cells[(scenario_name, g)] * 1e3 for g in governor_names]
+            + [rl.energy_per_qos_j * 1e3, rl.qos.mean_qos]
+        )
+    report = format_table(
+        ["scenario"] + governor_names + ["rl-policy", "rl QoS"],
+        rows,
+        title=(
+            "X1: energy/QoS [mJ/unit] with C-states + DVFS transition costs "
+            "+ thermals enabled"
+        ),
+    )
+    return X1Result(report=report, cells_j=cells, rl_qos=rl_qos)
+
+
+@dataclass(frozen=True)
+class X2Result:
+    """X2: seed stability of the headline gap on one scenario.
+
+    Attributes:
+        report: The rendered mean +- CI table.
+        measures: Per-policy :class:`RepeatedMeasure` of energy/QoS.
+    """
+
+    report: str
+    measures: dict[str, RepeatedMeasure]
+
+
+def x2_seed_stability(
+    scenario_name: str = "gaming",
+    governor_names: list[str] | None = None,
+    eval_seeds: list[int] | None = None,
+    duration_s: float = 20.0,
+    train_episodes: int = 16,
+) -> X2Result:
+    """Repeat the RL-vs-governors comparison across evaluation seeds."""
+    governor_names = governor_names or ["ondemand", "conservative", "interactive"]
+    eval_seeds = eval_seeds or [100, 200, 300, 400, 500]
+    chip = exynos5422()
+    scenario = get_scenario(scenario_name)
+    training = train_policy(
+        chip, scenario, episodes=train_episodes, episode_duration_s=duration_s
+    )
+
+    def rl_measure(seed: int) -> float:
+        from repro.core.trainer import evaluate_policy
+
+        trace = scenario.trace(duration_s, seed=seed)
+        return evaluate_policy(chip, training.policies, trace).energy_per_qos_j
+
+    measures: dict[str, RepeatedMeasure] = {
+        "rl-policy": repeat_over_seeds(rl_measure, eval_seeds)
+    }
+    for name in governor_names:
+        def measure(seed: int, name=name) -> float:
+            trace = scenario.trace(duration_s, seed=seed)
+            return Simulator(
+                chip, trace, lambda c: create(name)
+            ).run().energy_per_qos_j
+
+        measures[name] = repeat_over_seeds(measure, eval_seeds)
+
+    report = format_table(
+        ["policy", "mean E/QoS [mJ/unit]", "95% CI ±"],
+        [
+            (name, m.mean * 1e3, m.ci_halfwidth * 1e3)
+            for name, m in measures.items()
+        ],
+        title=(
+            f"X2: {scenario_name} energy/QoS over {len(eval_seeds)} "
+            "evaluation seeds"
+        ),
+    )
+    return X2Result(report=report, measures=measures)

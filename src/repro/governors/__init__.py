@@ -1,0 +1,55 @@
+"""Baseline DVFS governors (Linux/Android cpufreq reimplementations).
+
+``BASELINE_SIX`` lists the six previous governors the paper compares
+against; :func:`repro.governors.base.create` builds any registered
+governor by name.
+"""
+
+from repro.governors.base import Governor, available, create, register
+from repro.governors.tunables import create_many, create_tuned, tunables_of
+from repro.governors.conservative import ConservativeGovernor
+from repro.governors.interactive import InteractiveGovernor
+from repro.governors.ondemand import OndemandGovernor
+from repro.governors.performance import PerformanceGovernor
+from repro.governors.powersave import PowersaveGovernor
+from repro.governors.scenario_aware import ScenarioAwareGovernor
+from repro.governors.schedutil import SchedutilGovernor
+from repro.governors.userspace import UserspaceGovernor
+
+register("performance", PerformanceGovernor)
+register("powersave", PowersaveGovernor)
+register("userspace", UserspaceGovernor)
+register("ondemand", OndemandGovernor)
+register("conservative", ConservativeGovernor)
+register("interactive", InteractiveGovernor)
+register("schedutil", SchedutilGovernor)
+register("scenario-aware", ScenarioAwareGovernor)
+
+BASELINE_SIX = [
+    "performance",
+    "powersave",
+    "userspace",
+    "ondemand",
+    "conservative",
+    "interactive",
+]
+"""The six previous DVFS governors of the paper's comparison."""
+
+__all__ = [
+    "BASELINE_SIX",
+    "ConservativeGovernor",
+    "Governor",
+    "InteractiveGovernor",
+    "OndemandGovernor",
+    "PerformanceGovernor",
+    "PowersaveGovernor",
+    "ScenarioAwareGovernor",
+    "SchedutilGovernor",
+    "UserspaceGovernor",
+    "available",
+    "create",
+    "create_many",
+    "create_tuned",
+    "register",
+    "tunables_of",
+]

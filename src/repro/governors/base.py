@@ -1,0 +1,87 @@
+"""The governor interface and registry.
+
+A governor is a per-cluster DVFS decision policy: each sampling interval
+it receives the cluster's latest :class:`~repro.sim.telemetry.ClusterObservation`
+and returns the OPP index to run next.  Governors are stateful (they may
+keep histories, timers, or Q-tables) and are bound to one cluster via
+:meth:`Governor.reset`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from repro.errors import GovernorError
+from repro.sim.telemetry import ClusterObservation
+from repro.soc.cluster import Cluster
+
+
+class Governor(ABC):
+    """Base class for DVFS governors.
+
+    Attributes:
+        name: Short registry name (e.g. ``"ondemand"``).
+    """
+
+    name: str = "governor"
+
+    def __init__(self) -> None:
+        self._cluster: Cluster | None = None
+
+    def reset(self, cluster: Cluster) -> None:
+        """Bind the governor to a cluster at the start of a run.
+
+        Subclasses that keep decision state must call ``super().reset``
+        and clear their own state.
+        """
+        self._cluster = cluster
+
+    @property
+    def cluster(self) -> Cluster:
+        """The bound cluster.
+
+        Raises:
+            GovernorError: If :meth:`reset` has not been called.
+        """
+        if self._cluster is None:
+            raise GovernorError(f"governor {self.name!r} is not bound to a cluster")
+        return self._cluster
+
+    @abstractmethod
+    def decide(self, obs: ClusterObservation) -> int:
+        """Return the OPP index to apply for the next interval."""
+
+
+_REGISTRY: dict[str, Callable[[], Governor]] = {}
+
+
+def register(name: str, factory: Callable[[], Governor]) -> None:
+    """Register a zero-argument governor factory under ``name``.
+
+    Raises:
+        GovernorError: If the name is already taken.
+    """
+    if name in _REGISTRY:
+        raise GovernorError(f"governor {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def create(name: str) -> Governor:
+    """Instantiate a registered governor with default parameters.
+
+    Raises:
+        GovernorError: For unknown names, listing what is available.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise GovernorError(
+            f"unknown governor {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def available() -> list[str]:
+    """Sorted names of all registered governors."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,58 @@
+"""The ``conservative`` governor (Linux cpufreq semantics).
+
+Like ondemand but moves gradually: when load exceeds ``up_threshold``
+the frequency climbs by ``freq_step`` (a percentage of the maximum);
+when load drops below ``down_threshold`` it descends by one step.  The
+gentle ramp is battery-friendly on slowly varying load and notoriously
+sluggish on bursts — a shape the E2 per-scenario bench shows.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GovernorError
+from repro.governors.base import Governor
+from repro.sim.telemetry import ClusterObservation
+from repro.soc.cluster import Cluster
+
+
+class ConservativeGovernor(Governor):
+    """Step-up / step-down reactive governor.
+
+    Args:
+        up_threshold: Load above which frequency steps up (kernel 0.80).
+        down_threshold: Load below which frequency steps down (kernel 0.20).
+        freq_step: Step size as a fraction of the maximum frequency
+            (kernel default 5 %).
+    """
+
+    name = "conservative"
+
+    def __init__(
+        self,
+        up_threshold: float = 0.80,
+        down_threshold: float = 0.20,
+        freq_step: float = 0.05,
+    ):
+        super().__init__()
+        if not 0 < down_threshold < up_threshold <= 1:
+            raise GovernorError(
+                f"need 0 < down ({down_threshold}) < up ({up_threshold}) <= 1"
+            )
+        if not 0 < freq_step <= 1:
+            raise GovernorError(f"freq_step must be in (0, 1]: {freq_step}")
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+        self.freq_step = freq_step
+
+    def reset(self, cluster: Cluster) -> None:
+        super().reset(cluster)
+
+    def decide(self, obs: ClusterObservation) -> int:
+        table = self.cluster.spec.opp_table
+        load = obs.max_core_utilization
+        step_hz = self.freq_step * table.max_freq_hz
+        if load > self.up_threshold:
+            return table.ceil_index(obs.freq_hz + step_hz)
+        if load < self.down_threshold:
+            return table.floor_index(max(obs.freq_hz - step_hz, table.min_freq_hz))
+        return obs.opp_index

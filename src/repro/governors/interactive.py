@@ -1,0 +1,94 @@
+"""The ``interactive`` governor (Android cpufreq semantics).
+
+The touch-era Android governor: on a load spike it ramps immediately to
+``hispeed_freq``, holds there for ``above_hispeed_delay``, and otherwise
+chooses the frequency at which the observed load would sit at
+``target_load``.  Descents are damped by ``min_sample_time``.  The
+aggressive hispeed jump buys responsiveness at an energy premium — one
+of the six baselines the paper beats.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GovernorError
+from repro.governors.base import Governor
+from repro.sim.telemetry import ClusterObservation
+from repro.soc.cluster import Cluster
+
+
+class InteractiveGovernor(Governor):
+    """Android's interactive governor.
+
+    Args:
+        go_hispeed_load: Load fraction triggering the hispeed jump
+            (Android default 0.99; common device tunings use ~0.85).
+        hispeed_fraction: ``hispeed_freq`` as a fraction of max frequency.
+        above_hispeed_delay_s: Dwell at hispeed before climbing further.
+        target_load: Load the governor tries to sit at when scaling
+            proportionally (typical tuning 0.90).
+        min_sample_time_s: Minimum dwell before the frequency may drop.
+    """
+
+    name = "interactive"
+
+    def __init__(
+        self,
+        go_hispeed_load: float = 0.85,
+        hispeed_fraction: float = 0.7,
+        above_hispeed_delay_s: float = 0.02,
+        target_load: float = 0.90,
+        min_sample_time_s: float = 0.08,
+    ):
+        super().__init__()
+        if not 0 < go_hispeed_load <= 1:
+            raise GovernorError(f"go_hispeed_load must be in (0, 1]: {go_hispeed_load}")
+        if not 0 < hispeed_fraction <= 1:
+            raise GovernorError(f"hispeed_fraction must be in (0, 1]: {hispeed_fraction}")
+        if not 0 < target_load <= 1:
+            raise GovernorError(f"target_load must be in (0, 1]: {target_load}")
+        if above_hispeed_delay_s < 0 or min_sample_time_s < 0:
+            raise GovernorError("delays must be non-negative")
+        self.go_hispeed_load = go_hispeed_load
+        self.hispeed_fraction = hispeed_fraction
+        self.above_hispeed_delay_s = above_hispeed_delay_s
+        self.target_load = target_load
+        self.min_sample_time_s = min_sample_time_s
+        self._hispeed_until = 0.0
+        self._floor_until = 0.0
+        self._floor_index = 0
+
+    def reset(self, cluster: Cluster) -> None:
+        super().reset(cluster)
+        self._hispeed_until = 0.0
+        self._floor_until = 0.0
+        self._floor_index = 0
+
+    def decide(self, obs: ClusterObservation) -> int:
+        table = self.cluster.spec.opp_table
+        load = obs.max_core_utilization
+        hispeed_index = table.ceil_index(self.hispeed_fraction * table.max_freq_hz)
+
+        if load >= self.go_hispeed_load:
+            if obs.opp_index < hispeed_index:
+                # First spike: jump to hispeed and hold it before going higher.
+                target = hispeed_index
+                self._hispeed_until = obs.time_s + self.above_hispeed_delay_s
+            elif obs.time_s >= self._hispeed_until:
+                target = table.max_index
+            else:
+                target = obs.opp_index
+        else:
+            # Scale so that the observed absolute load sits at target_load.
+            target_hz = load * obs.freq_hz / self.target_load
+            target = table.ceil_index(target_hz)
+
+        # Descent damping: hold the recent floor for min_sample_time.
+        if target >= self._floor_index:
+            self._floor_index = target
+            self._floor_until = obs.time_s + self.min_sample_time_s
+            return target
+        if obs.time_s < self._floor_until:
+            return self._floor_index
+        self._floor_index = target
+        self._floor_until = obs.time_s + self.min_sample_time_s
+        return target

@@ -1,0 +1,62 @@
+"""The ``ondemand`` governor (Linux cpufreq dbs semantics).
+
+Algorithm, per sampling interval, as in the kernel's
+``drivers/cpufreq/cpufreq_ondemand.c``:
+
+* if the busiest core's load exceeds ``up_threshold`` (default 80 %),
+  jump straight to the maximum frequency and stay there for at least
+  ``sampling_down_factor`` further samples;
+* otherwise pick the lowest table frequency covering
+  ``load * max_freq / up_threshold`` — proportional provisioning with
+  the same headroom the threshold implies.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GovernorError
+from repro.governors.base import Governor
+from repro.sim.telemetry import ClusterObservation
+from repro.soc.cluster import Cluster
+
+
+class OndemandGovernor(Governor):
+    """Reactive jump-to-max / proportional-down governor.
+
+    Args:
+        up_threshold: Load fraction above which the governor jumps to the
+            top OPP (kernel default 0.80).
+        sampling_down_factor: Number of samples to hold the top OPP after
+            a jump before re-evaluating downward (kernel default 1).
+    """
+
+    name = "ondemand"
+
+    def __init__(self, up_threshold: float = 0.80, sampling_down_factor: int = 1):
+        super().__init__()
+        if not 0 < up_threshold <= 1:
+            raise GovernorError(f"up_threshold must be in (0, 1]: {up_threshold}")
+        if sampling_down_factor < 1:
+            raise GovernorError(
+                f"sampling_down_factor must be >= 1: {sampling_down_factor}"
+            )
+        self.up_threshold = up_threshold
+        self.sampling_down_factor = sampling_down_factor
+        self._hold = 0
+
+    def reset(self, cluster: Cluster) -> None:
+        super().reset(cluster)
+        self._hold = 0
+
+    def decide(self, obs: ClusterObservation) -> int:
+        table = self.cluster.spec.opp_table
+        load = obs.max_core_utilization
+        if load >= self.up_threshold:
+            self._hold = self.sampling_down_factor
+            return table.max_index
+        if self._hold > 0:
+            self._hold -= 1
+            return table.max_index
+        # Below threshold: provision load*max/up_threshold at current freq
+        # scale, then round up to a table frequency.
+        target_hz = load * obs.freq_hz / self.up_threshold
+        return table.ceil_index(target_hz)

@@ -1,0 +1,19 @@
+"""The ``performance`` governor: pin the cluster at its highest OPP.
+
+Maximises QoS at maximal energy; the upper anchor of the energy/QoS
+trade-off in the paper's comparison.
+"""
+
+from __future__ import annotations
+
+from repro.governors.base import Governor
+from repro.sim.telemetry import ClusterObservation
+
+
+class PerformanceGovernor(Governor):
+    """Always selects the top operating point."""
+
+    name = "performance"
+
+    def decide(self, obs: ClusterObservation) -> int:
+        return obs.n_opps - 1

@@ -1,0 +1,20 @@
+"""The ``powersave`` governor: pin the cluster at its lowest OPP.
+
+Minimises instantaneous power but starves deadline work, so its energy
+*per delivered QoS* is typically poor — the lower anchor of the paper's
+comparison.
+"""
+
+from __future__ import annotations
+
+from repro.governors.base import Governor
+from repro.sim.telemetry import ClusterObservation
+
+
+class PowersaveGovernor(Governor):
+    """Always selects the bottom operating point."""
+
+    name = "powersave"
+
+    def decide(self, obs: ClusterObservation) -> int:
+        return 0

@@ -1,0 +1,40 @@
+"""The ``schedutil`` governor (modern kernel cpufreq).
+
+Uses scheduler utilisation directly:
+
+    next_freq = C * max_freq * util_at_max
+
+with C = 1.25 headroom, as in ``kernel/sched/cpufreq_schedutil.c``.  The
+utilisation signal is frequency-invariant (rescaled to the top OPP), so
+unlike ondemand it does not conflate "busy at a low clock" with "needs
+the top clock".  Included as a seventh, newer baseline beyond the
+paper's six.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GovernorError
+from repro.governors.base import Governor
+from repro.sim.telemetry import ClusterObservation
+
+
+class SchedutilGovernor(Governor):
+    """Utilisation-proportional governor with fixed headroom.
+
+    Args:
+        headroom: The C factor (kernel value 1.25).
+    """
+
+    name = "schedutil"
+
+    def __init__(self, headroom: float = 1.25):
+        super().__init__()
+        if headroom < 1.0:
+            raise GovernorError(f"headroom must be >= 1: {headroom}")
+        self.headroom = headroom
+
+    def decide(self, obs: ClusterObservation) -> int:
+        table = self.cluster.spec.opp_table
+        util_at_max = obs.max_core_utilization * (obs.freq_hz / obs.max_freq_hz)
+        target_hz = self.headroom * util_at_max * table.max_freq_hz
+        return table.ceil_index(target_hz)

@@ -1,0 +1,88 @@
+"""Config-driven governor construction.
+
+Real systems configure governors through sysfs knobs; experiments here
+configure them through dicts (e.g. loaded from JSON).  Each governor
+declares its tunables; :func:`create_tuned` validates names and builds
+the instance, so a typo'd knob fails loudly instead of silently running
+defaults.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable
+
+from repro.errors import GovernorError
+from repro.governors.base import Governor, _REGISTRY
+
+
+def tunables_of(name: str) -> dict[str, Any]:
+    """The tunable names and default values of a registered governor.
+
+    Raises:
+        GovernorError: For unknown governor names.
+    """
+    factory = _factory(name)
+    signature = inspect.signature(factory)
+    out: dict[str, Any] = {}
+    for param in signature.parameters.values():
+        if param.name == "self":
+            continue
+        out[param.name] = (
+            None if param.default is inspect.Parameter.empty else param.default
+        )
+    return out
+
+
+def create_tuned(name: str, tunables: dict[str, Any] | None = None) -> Governor:
+    """Build a registered governor with explicit tunables.
+
+    Args:
+        name: Registered governor name.
+        tunables: Knob values; unknown knob names raise.
+
+    Raises:
+        GovernorError: For unknown governors, unknown knobs, or knob
+            values the governor itself rejects.
+    """
+    factory = _factory(name)
+    tunables = tunables or {}
+    known = set(tunables_of(name))
+    unknown = set(tunables) - known
+    if unknown:
+        raise GovernorError(
+            f"governor {name!r} has no tunables {sorted(unknown)}; "
+            f"available: {sorted(known)}"
+        )
+    return factory(**tunables)
+
+
+def create_many(spec: dict[str, dict[str, Any]]) -> dict[str, Governor]:
+    """Build per-cluster governors from a configuration mapping.
+
+    Args:
+        spec: ``{cluster_name: {"governor": name, **tunables}}``.
+
+    Raises:
+        GovernorError: On missing ``governor`` keys or bad tunables.
+    """
+    out: dict[str, Governor] = {}
+    for cluster_name, entry in spec.items():
+        entry = dict(entry)
+        try:
+            governor_name = entry.pop("governor")
+        except KeyError:
+            raise GovernorError(
+                f"cluster {cluster_name!r}: spec needs a 'governor' key"
+            ) from None
+        out[cluster_name] = create_tuned(governor_name, entry)
+    return out
+
+
+def _factory(name: str) -> Callable[..., Governor]:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise GovernorError(
+            f"unknown governor {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,41 @@
+"""The ``userspace`` governor: a fixed OPP chosen by the user.
+
+Models a statically tuned frequency cap, the third of the classic
+kernel governors.  The default of the middle OPP reflects the common
+"set it to a mid frequency" usage.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GovernorError
+from repro.governors.base import Governor
+from repro.sim.telemetry import ClusterObservation
+from repro.soc.cluster import Cluster
+
+
+class UserspaceGovernor(Governor):
+    """Holds the cluster at a fixed OPP index.
+
+    Args:
+        opp_index: The index to hold; ``None`` selects the middle of the
+            bound cluster's table at reset time.
+    """
+
+    name = "userspace"
+
+    def __init__(self, opp_index: int | None = None):
+        super().__init__()
+        if opp_index is not None and opp_index < 0:
+            raise GovernorError(f"userspace OPP index must be >= 0: {opp_index}")
+        self._requested = opp_index
+        self._index = 0
+
+    def reset(self, cluster: Cluster) -> None:
+        super().reset(cluster)
+        if self._requested is None:
+            self._index = cluster.spec.opp_table.max_index // 2
+        else:
+            self._index = cluster.spec.opp_table.clamp_index(self._requested)
+
+    def decide(self, obs: ClusterObservation) -> int:
+        return self._index

@@ -1,0 +1,60 @@
+"""Hardware-implementation substrate: fixed point, datapath, pipeline,
+CPU-FPGA interface, and latency models."""
+
+from repro.hw.datapath import QLearningDatapath
+from repro.hw.driver import AcceleratorDriver, DriverSpec, DriverTransaction
+from repro.hw.fixed_point import DEFAULT_QFORMAT, QFormat
+from repro.hw.hwpolicy import HardwareRLPolicy
+from repro.hw.interface import CpuHwInterface, InterfaceSpec
+from repro.hw.latency import (
+    HardwareLatencyModel,
+    LatencyComparison,
+    SoftwareLatencyModel,
+    compare_latency,
+)
+from repro.hw.pipeline import AcceleratorPipeline, PipelineSpec
+from repro.hw.power import AcceleratorPowerModel, overhead_fraction
+from repro.hw.registers import RegisterFile
+from repro.hw.rtl import Completion, Request, RTLAccelerator
+from repro.hw.synthesis import (
+    ResourceEstimate,
+    ZYNQ7010_BUDGET,
+    estimate_resources,
+    fits_zynq7010,
+)
+from repro.hw.verification import (
+    EquivalenceReport,
+    sweep_formats,
+    verify_equivalence,
+)
+
+__all__ = [
+    "AcceleratorDriver",
+    "AcceleratorPipeline",
+    "AcceleratorPowerModel",
+    "Completion",
+    "DriverSpec",
+    "DriverTransaction",
+    "CpuHwInterface",
+    "EquivalenceReport",
+    "DEFAULT_QFORMAT",
+    "HardwareLatencyModel",
+    "HardwareRLPolicy",
+    "InterfaceSpec",
+    "LatencyComparison",
+    "PipelineSpec",
+    "QFormat",
+    "QLearningDatapath",
+    "RTLAccelerator",
+    "RegisterFile",
+    "Request",
+    "ResourceEstimate",
+    "SoftwareLatencyModel",
+    "ZYNQ7010_BUDGET",
+    "compare_latency",
+    "estimate_resources",
+    "fits_zynq7010",
+    "overhead_fraction",
+    "sweep_formats",
+    "verify_equivalence",
+]

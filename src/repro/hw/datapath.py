@@ -1,0 +1,155 @@
+"""Fixed-point Q-learning datapath — the accelerator's functional model.
+
+Implements exactly the arithmetic the FPGA performs: Q-values live in a
+block-RAM-like table in Q-format raw integers, the greedy action comes
+from a priority comparator tree (lowest index wins ties), and the
+Watkins update uses a power-of-two learning rate realised as an
+arithmetic shift.  The software agent in :mod:`repro.rl.qlearning` is
+the float reference this datapath is checked against (experiment E7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import HardwareModelError
+from repro.hw.fixed_point import DEFAULT_QFORMAT, QFormat
+from repro.rl.qtable import QTable
+
+
+class QLearningDatapath:
+    """The accelerator's Q-table and update logic in fixed point.
+
+    Args:
+        n_states: Q-table rows (BRAM depth).
+        n_actions: Q-table columns (one BRAM word holds a row).
+        qformat: Number format of Q-values and rewards.
+        alpha_shift: Learning rate exponent; alpha = 2**-alpha_shift.
+        gamma: Discount factor, quantised into ``qformat`` once at
+            configuration time.
+    """
+
+    def __init__(
+        self,
+        n_states: int,
+        n_actions: int,
+        qformat: QFormat = DEFAULT_QFORMAT,
+        alpha_shift: int = 2,
+        gamma: float = 0.85,
+    ):
+        if n_states < 1 or n_actions < 1:
+            raise HardwareModelError(
+                f"datapath needs positive table dims: {n_states}x{n_actions}"
+            )
+        if alpha_shift < 0:
+            raise HardwareModelError(f"alpha shift must be >= 0: {alpha_shift}")
+        if not 0.0 <= gamma < 1.0:
+            raise HardwareModelError(f"gamma must be in [0, 1): {gamma}")
+        self.fmt = qformat
+        self.alpha_shift = alpha_shift
+        self.gamma_raw = qformat.quantize(gamma)
+        # Python ints in an object array would be slow; int64 raw storage is
+        # exact for widths up to 62 bits, far beyond practical Q-formats.
+        if qformat.width > 62:
+            raise HardwareModelError(f"{qformat} too wide for the model (max 62 bits)")
+        self.table = np.zeros((n_states, n_actions), dtype=np.int64)
+        self.updates = 0
+
+    @property
+    def n_states(self) -> int:
+        return int(self.table.shape[0])
+
+    @property
+    def n_actions(self) -> int:
+        return int(self.table.shape[1])
+
+    @property
+    def alpha(self) -> float:
+        """The effective learning rate (2**-alpha_shift)."""
+        return 2.0**-self.alpha_shift
+
+    def _check_state(self, state: int) -> None:
+        if not 0 <= state < self.n_states:
+            raise HardwareModelError(
+                f"state {state} out of range [0, {self.n_states})"
+            )
+
+    # -- datapath operations ---------------------------------------------------
+
+    def read_row(self, state: int) -> list[int]:
+        """BRAM row read: raw Q-values for one state."""
+        self._check_state(state)
+        return [int(v) for v in self.table[state]]
+
+    def argmax(self, state: int) -> int:
+        """Priority comparator tree: greedy action, lowest index on ties."""
+        row = self.read_row(state)
+        best_a = 0
+        best_v = row[0]
+        for a in range(1, len(row)):
+            if row[a] > best_v:  # strict: ties keep the lower index
+                best_v = row[a]
+                best_a = a
+        return best_a
+
+    def max_value_raw(self, state: int) -> int:
+        """Raw Q-value of the greedy action."""
+        return self.read_row(state)[self.argmax(state)]
+
+    def update(self, state: int, action: int, reward: float, next_state: int) -> int:
+        """One fixed-point Watkins update.
+
+        ``Q[s,a] += (r + gamma * max Q[s'] - Q[s,a]) >> alpha_shift``
+        with every intermediate saturated to the datapath format.
+
+        Args:
+            reward: Real-valued reward; quantised at the interface, as the
+                reward word written over MMIO would be.
+
+        Returns:
+            The raw TD error (before the learning-rate shift).
+        """
+        self._check_state(state)
+        if not 0 <= action < self.n_actions:
+            raise HardwareModelError(
+                f"action {action} out of range [0, {self.n_actions})"
+            )
+        fmt = self.fmt
+        r_raw = fmt.quantize(reward)
+        q_raw = int(self.table[state, action])
+        boot = fmt.mul(self.gamma_raw, self.max_value_raw(next_state))
+        target = fmt.add(r_raw, boot)
+        td = fmt.sub(target, q_raw)
+        new_q = fmt.add(q_raw, fmt.shift_right(td, self.alpha_shift))
+        self.table[state, action] = new_q
+        self.updates += 1
+        return td
+
+    # -- interchange with the float reference ----------------------------------
+
+    def load_float_table(self, qtable: QTable) -> None:
+        """Quantise a trained software Q-table into the datapath BRAM.
+
+        Raises:
+            HardwareModelError: On shape mismatch.
+        """
+        if (qtable.n_states, qtable.n_actions) != (self.n_states, self.n_actions):
+            raise HardwareModelError(
+                f"software table {qtable.n_states}x{qtable.n_actions} does not "
+                f"match datapath {self.n_states}x{self.n_actions}"
+            )
+        for s in range(self.n_states):
+            for a in range(self.n_actions):
+                self.table[s, a] = self.fmt.quantize(qtable.get(s, a))
+
+    def to_float_table(self) -> QTable:
+        """Dequantise the BRAM contents into a software Q-table."""
+        out = QTable(self.n_states, self.n_actions)
+        for s in range(self.n_states):
+            for a in range(self.n_actions):
+                out.set(s, a, self.fmt.dequantize(int(self.table[s, a])))
+        return out
+
+    def bram_bits(self) -> int:
+        """Total BRAM storage the table occupies, in bits."""
+        return self.n_states * self.n_actions * self.fmt.width

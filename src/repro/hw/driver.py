@@ -1,0 +1,167 @@
+"""The kernel-driver model for the policy accelerator.
+
+Between the governor callback and the register file sits a driver that
+submits the observation and collects the decision.  Two completion
+strategies exist in practice, with different latency/CPU-cost
+trade-offs:
+
+* **polling** — spin reading the DECISION register until the valid bit
+  sets; lowest latency, burns CPU, each poll is a bus read;
+* **interrupt** — sleep until the accelerator raises an IRQ; frees the
+  CPU but adds the interrupt path latency.
+
+The driver also implements the error handling the register-file mailbox
+needs: a timeout when the accelerator never completes, and sequence-
+number checking so a stale decision (from a previous request) is never
+consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+from repro.hw.interface import CpuHwInterface, InterfaceSpec
+from repro.hw.registers import RegisterFile
+
+
+@dataclass(frozen=True)
+class DriverSpec:
+    """Driver timing parameters.
+
+    Attributes:
+        mode: ``"polling"`` or ``"interrupt"``.
+        poll_interval_s: Delay between DECISION reads when polling.
+        irq_latency_s: Interrupt-path latency (IRQ delivery + wakeup +
+            context switch) in interrupt mode.
+        timeout_s: Give-up deadline for one request.
+    """
+
+    mode: str = "polling"
+    poll_interval_s: float = 100e-9
+    irq_latency_s: float = 5e-6
+    timeout_s: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("polling", "interrupt"):
+            raise HardwareModelError(f"unknown driver mode {self.mode!r}")
+        if self.poll_interval_s <= 0 or self.irq_latency_s < 0 or self.timeout_s <= 0:
+            raise HardwareModelError("driver timing parameters must be positive")
+
+
+@dataclass(frozen=True)
+class DriverTransaction:
+    """Accounting for one completed driver request.
+
+    Attributes:
+        action: The decision read back.
+        seq: Its sequence number.
+        latency_s: Total modelled latency (submit + wait + read-back).
+        polls: DECISION reads performed (1 in interrupt mode).
+    """
+
+    action: int
+    seq: int
+    latency_s: float
+    polls: int
+
+
+class AcceleratorDriver:
+    """Submits requests through a register file and collects decisions.
+
+    The accelerator itself is represented by a callable the caller
+    provides (``service``), which consumes the latched observation and
+    publishes a decision — in tests a lambda, in the policy the
+    datapath.  The driver adds the bus, poll/IRQ, and timeout behaviour.
+
+    Args:
+        registers: The shared register file.
+        spec: Driver timing.
+        interface_spec: Bus timing for the MMIO transactions.
+        compute_latency_s: Modelled accelerator compute time per request
+            (how long until the decision becomes valid).
+    """
+
+    def __init__(
+        self,
+        registers: RegisterFile,
+        spec: DriverSpec | None = None,
+        interface_spec: InterfaceSpec | None = None,
+        compute_latency_s: float = 0.14e-6,
+    ):
+        if compute_latency_s < 0:
+            raise HardwareModelError("compute latency must be non-negative")
+        self.registers = registers
+        self.spec = spec or DriverSpec()
+        self.interface = CpuHwInterface(interface_spec or InterfaceSpec(sync_cycles=2))
+        self.compute_latency_s = compute_latency_s
+        self.transactions: list[DriverTransaction] = []
+        self.timeouts = 0
+        self._expected_seq = 0
+
+    def request(self, digits, reward: float, service, learn: bool = True
+                ) -> DriverTransaction:
+        """One full request: write observation, let the accelerator
+        serve it, wait for completion, read the decision.
+
+        Args:
+            digits: State digits for OBS0.
+            reward: Reward for OBS1.
+            service: Callable ``(register_file) -> None`` that consumes
+                the observation and publishes a decision (or does not —
+                the timeout path).
+            learn: OBS1 learn flag.
+
+        Raises:
+            HardwareModelError: On timeout or a stale sequence number.
+        """
+        latency = self.interface.submit_observation(1)
+        self.registers.write_observation(digits, reward, learn)
+        service(self.registers)
+        latency += self.compute_latency_s
+
+        polls = 0
+        if self.spec.mode == "polling":
+            waited = 0.0
+            while True:
+                polls += 1
+                latency += self.interface.read_decision(1)
+                try:
+                    action, seq = self.registers.read_decision()
+                    break
+                except HardwareModelError:
+                    waited += self.spec.poll_interval_s
+                    latency += self.spec.poll_interval_s
+                    if waited > self.spec.timeout_s:
+                        self.timeouts += 1
+                        raise HardwareModelError(
+                            f"accelerator did not complete within "
+                            f"{self.spec.timeout_s} s"
+                        ) from None
+        else:
+            latency += self.spec.irq_latency_s
+            polls = 1
+            latency += self.interface.read_decision(1)
+            try:
+                action, seq = self.registers.read_decision()
+            except HardwareModelError:
+                self.timeouts += 1
+                raise HardwareModelError(
+                    "IRQ signalled but DECISION mailbox empty"
+                ) from None
+
+        self._expected_seq = (self._expected_seq + 1) & 0x7FFF
+        if seq != self._expected_seq:
+            raise HardwareModelError(
+                f"stale decision: sequence {seq}, expected {self._expected_seq}"
+            )
+        txn = DriverTransaction(action=action, seq=seq, latency_s=latency, polls=polls)
+        self.transactions.append(txn)
+        return txn
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean per-request latency over completed transactions."""
+        if not self.transactions:
+            return 0.0
+        return sum(t.latency_s for t in self.transactions) / len(self.transactions)

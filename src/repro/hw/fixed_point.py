@@ -1,0 +1,148 @@
+"""Q-format fixed-point arithmetic.
+
+The FPGA implementation of the policy stores Q-values and computes the
+Watkins update in signed fixed point.  A :class:`QFormat` describes a
+``Qm.n`` format (m integer bits, n fraction bits, plus sign); values are
+carried as raw integers, and all arithmetic saturates — as the RTL
+would — instead of wrapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FixedPointError
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """Signed Qm.n fixed-point format.
+
+    Attributes:
+        int_bits: Integer bits (excluding sign), >= 0.
+        frac_bits: Fraction bits, >= 0.  Total width is
+            ``1 + int_bits + frac_bits``.
+    """
+
+    int_bits: int
+    frac_bits: int
+
+    def __post_init__(self) -> None:
+        if self.int_bits < 0 or self.frac_bits < 0:
+            raise FixedPointError(
+                f"Q-format bits must be non-negative: Q{self.int_bits}.{self.frac_bits}"
+            )
+        if self.int_bits + self.frac_bits == 0:
+            raise FixedPointError("Q-format needs at least one magnitude bit")
+
+    def __str__(self) -> str:
+        return f"Q{self.int_bits}.{self.frac_bits}"
+
+    @property
+    def width(self) -> int:
+        """Total bit width including the sign bit."""
+        return 1 + self.int_bits + self.frac_bits
+
+    @property
+    def scale(self) -> int:
+        """The weight of the least-significant bit is ``1/scale``."""
+        return 1 << self.frac_bits
+
+    @property
+    def raw_max(self) -> int:
+        """Largest representable raw value."""
+        return (1 << (self.int_bits + self.frac_bits)) - 1
+
+    @property
+    def raw_min(self) -> int:
+        """Smallest (most negative) representable raw value."""
+        return -(1 << (self.int_bits + self.frac_bits))
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.raw_max / self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return self.raw_min / self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Real value of one LSB."""
+        return 1.0 / self.scale
+
+    # -- conversions ---------------------------------------------------------
+
+    def saturate(self, raw: int) -> int:
+        """Clamp a raw integer into the representable range."""
+        return max(self.raw_min, min(self.raw_max, raw))
+
+    def quantize(self, value: float, *, strict: bool = False) -> int:
+        """Convert a real value to raw fixed point (round to nearest).
+
+        Args:
+            value: The real value.
+            strict: When True, out-of-range values raise instead of
+                saturating.
+
+        Raises:
+            FixedPointError: On NaN, or out-of-range input with
+                ``strict=True``.
+        """
+        if value != value:  # NaN
+            raise FixedPointError("cannot quantize NaN")
+        raw = round(value * self.scale)
+        if strict and not self.raw_min <= raw <= self.raw_max:
+            raise FixedPointError(
+                f"{value} out of range for {self} "
+                f"[{self.min_value}, {self.max_value}]"
+            )
+        return self.saturate(raw)
+
+    def dequantize(self, raw: int) -> float:
+        """Convert a raw fixed-point integer back to a real value."""
+        if not self.raw_min <= raw <= self.raw_max:
+            raise FixedPointError(f"raw value {raw} out of range for {self}")
+        return raw / self.scale
+
+    # -- arithmetic (raw in, raw out, saturating) ------------------------------
+
+    def add(self, a: int, b: int) -> int:
+        """Saturating fixed-point addition."""
+        return self.saturate(a + b)
+
+    def sub(self, a: int, b: int) -> int:
+        """Saturating fixed-point subtraction."""
+        return self.saturate(a - b)
+
+    def mul(self, a: int, b: int) -> int:
+        """Saturating fixed-point multiply with round-to-nearest rescale.
+
+        The double-width product is shifted back by ``frac_bits`` with
+        rounding, exactly as a DSP-block multiply-and-truncate stage.
+        """
+        product = a * b
+        half = 1 << (self.frac_bits - 1) if self.frac_bits > 0 else 0
+        if product >= 0:
+            shifted = (product + half) >> self.frac_bits
+        else:
+            shifted = -((-product + half) >> self.frac_bits)
+        return self.saturate(shifted)
+
+    def shift_right(self, a: int, bits: int) -> int:
+        """Arithmetic right shift with round-to-nearest (the hardware's
+        cheap multiply-by-2^-k used for the learning rate)."""
+        if bits < 0:
+            raise FixedPointError(f"shift must be non-negative: {bits}")
+        if bits == 0:
+            return a
+        half = 1 << (bits - 1)
+        if a >= 0:
+            return (a + half) >> bits
+        return -((-a + half) >> bits)
+
+
+# The format the reference FPGA datapath uses: 16-bit Q7.8.
+DEFAULT_QFORMAT = QFormat(int_bits=7, frac_bits=8)

@@ -1,0 +1,164 @@
+"""Decision-latency models: software policy vs. hardware policy.
+
+The paper's second contribution is moving the policy into hardware:
+"Decision-making by the hardware-implemented policy is 3.92 times faster
+than by the software-implemented policy" (journal), "reduced the average
+latency up to 40x" (DAC).  Both numbers are latency *ratios* between two
+decision paths, so we model each path from its operation counts:
+
+Software path (governor running in the kernel on a mobile core):
+    kernel timer/governor-framework entry + the policy arithmetic at the
+    core's IPC, all scaled by the current CPU clock, plus DRAM accesses
+    for the Q-table that do not scale with the clock.  At low CPU clocks
+    the fixed instruction path dominates and latency balloons — which is
+    exactly when a DVFS governor tends to be running slowly.
+
+Hardware path:
+    the accelerator pipeline at the FPGA clock plus the MMIO round trip
+    (see :mod:`repro.hw.pipeline` and :mod:`repro.hw.interface`).  With
+    batching, one round trip serves every cluster's decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+from repro.hw.interface import CpuHwInterface, InterfaceSpec
+from repro.hw.pipeline import AcceleratorPipeline, PipelineSpec
+
+
+@dataclass(frozen=True)
+class SoftwareLatencyModel:
+    """Latency of the software (kernel) policy implementation.
+
+    Attributes:
+        kernel_overhead_cycles: Timer interrupt + cpufreq governor
+            framework entry/exit, in CPU cycles.
+        policy_instructions: Instructions of the policy proper (state
+            encode, Q-row walk, argmax, TD update).
+        ipc: Sustained instructions per cycle on the mobile core.
+        cache_misses_warm: DRAM accesses with a warm cache (the Q-row).
+        cache_misses_cold: DRAM accesses after the table was evicted.
+        dram_latency_s: Seconds per DRAM access (does not scale with the
+            CPU clock).
+        cold_factor: Cycle inflation when caches/branch predictors are
+            cold (applied to the instruction path).
+    """
+
+    kernel_overhead_cycles: int = 900
+    policy_instructions: int = 420
+    ipc: float = 0.8
+    cache_misses_warm: int = 1
+    cache_misses_cold: int = 16
+    dram_latency_s: float = 120e-9
+    cold_factor: float = 1.35
+
+    def __post_init__(self) -> None:
+        if self.kernel_overhead_cycles < 0 or self.policy_instructions < 1:
+            raise HardwareModelError("instruction counts must be positive")
+        if self.ipc <= 0:
+            raise HardwareModelError(f"IPC must be positive: {self.ipc}")
+        if self.cache_misses_warm < 0 or self.cache_misses_cold < 0:
+            raise HardwareModelError("cache miss counts must be non-negative")
+        if self.dram_latency_s < 0:
+            raise HardwareModelError("DRAM latency must be non-negative")
+        if self.cold_factor < 1.0:
+            raise HardwareModelError(f"cold factor must be >= 1: {self.cold_factor}")
+
+    def cycles(self, cold: bool = False) -> float:
+        """CPU cycles of the instruction path."""
+        base = self.kernel_overhead_cycles + self.policy_instructions / self.ipc
+        return base * (self.cold_factor if cold else 1.0)
+
+    def decision_latency_s(self, cpu_freq_hz: float, cold: bool = False) -> float:
+        """One policy step's latency at a given CPU clock.
+
+        Args:
+            cpu_freq_hz: The clock of the core executing the governor.
+            cold: Whether caches are cold (worst case).
+        """
+        if cpu_freq_hz <= 0:
+            raise HardwareModelError(f"CPU clock must be positive: {cpu_freq_hz}")
+        misses = self.cache_misses_cold if cold else self.cache_misses_warm
+        return self.cycles(cold) / cpu_freq_hz + misses * self.dram_latency_s
+
+
+@dataclass(frozen=True)
+class HardwareLatencyModel:
+    """Latency of the FPGA policy implementation (pipeline + MMIO).
+
+    Attributes:
+        pipeline_spec: Accelerator pipeline timing.
+        interface_spec: MMIO link timing.
+        n_actions: Action-set size (comparator-tree depth).
+    """
+
+    pipeline_spec: PipelineSpec = PipelineSpec()
+    interface_spec: InterfaceSpec = InterfaceSpec(sync_cycles=2)
+    n_actions: int = 5
+
+    def decision_latency_s(
+        self, n_clusters: int = 1, with_update: bool = True
+    ) -> float:
+        """Total latency of one batched policy step for ``n_clusters``."""
+        pipeline = AcceleratorPipeline(self.pipeline_spec, self.n_actions)
+        interface = CpuHwInterface(self.interface_spec)
+        compute = sum(
+            pipeline.process(with_update=with_update) for _ in range(n_clusters)
+        )
+        return compute + interface.round_trip_s(n_clusters)
+
+    def per_decision_latency_s(
+        self, n_clusters: int = 1, with_update: bool = True
+    ) -> float:
+        """Amortised per-cluster latency of a batched step."""
+        if n_clusters < 1:
+            raise HardwareModelError(f"need at least one cluster: {n_clusters}")
+        return self.decision_latency_s(n_clusters, with_update) / n_clusters
+
+
+@dataclass(frozen=True)
+class LatencyComparison:
+    """One row of the E4 latency table."""
+
+    label: str
+    cpu_freq_hz: float
+    software_s: float
+    hardware_s: float
+
+    @property
+    def speedup(self) -> float:
+        """How many times faster the hardware path is."""
+        if self.hardware_s <= 0:
+            raise HardwareModelError("hardware latency must be positive")
+        return self.software_s / self.hardware_s
+
+
+def compare_latency(
+    cpu_freq_hz: float,
+    software: SoftwareLatencyModel | None = None,
+    hardware: HardwareLatencyModel | None = None,
+    *,
+    cold: bool = False,
+    n_clusters: int = 1,
+    label: str = "",
+) -> LatencyComparison:
+    """Build one software-vs-hardware latency comparison row.
+
+    Args:
+        cpu_freq_hz: CPU clock for the software path.
+        software: Software latency model (defaults used when omitted).
+        hardware: Hardware latency model (defaults used when omitted).
+        cold: Cold-cache software worst case.
+        n_clusters: Batching width on the hardware path.
+        label: Row label for the report.
+    """
+    software = software or SoftwareLatencyModel()
+    hardware = hardware or HardwareLatencyModel()
+    return LatencyComparison(
+        label=label or f"{cpu_freq_hz / 1e6:.0f} MHz{' cold' if cold else ''}",
+        cpu_freq_hz=cpu_freq_hz,
+        software_s=software.decision_latency_s(cpu_freq_hz, cold=cold),
+        hardware_s=hardware.per_decision_latency_s(n_clusters),
+    )

@@ -1,0 +1,110 @@
+"""Cycle-level model of the accelerator pipeline.
+
+The policy engine on the FPGA is a short pipeline clocked at
+``clock_hz``:
+
+    state encode -> BRAM row read -> comparator tree -> (update: TD
+    compute -> write back)
+
+Stage depths follow the obvious RTL structure: the comparator tree over
+``n_actions`` values is ``ceil(log2(n_actions))`` levels, BRAM reads are
+the standard 2-cycle synchronous read, and the TD update spends one
+cycle each on the gamma multiply (DSP), add/shift, and write-back.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """Stage depths (in cycles) of the accelerator pipeline.
+
+    Attributes:
+        clock_hz: FPGA fabric clock.
+        encode_cycles: Binning + mixed-radix state encode.
+        bram_read_cycles: Synchronous BRAM row read latency.
+        update_mul_cycles: The gamma multiply (DSP latency).
+        update_add_cycles: TD add + learning-rate shift.
+        writeback_cycles: BRAM write-back.
+    """
+
+    clock_hz: float = 100e6
+    encode_cycles: int = 1
+    bram_read_cycles: int = 2
+    update_mul_cycles: int = 1
+    update_add_cycles: int = 1
+    writeback_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise HardwareModelError(f"clock must be positive: {self.clock_hz}")
+        for field_name in (
+            "encode_cycles",
+            "bram_read_cycles",
+            "update_mul_cycles",
+            "update_add_cycles",
+            "writeback_cycles",
+        ):
+            if getattr(self, field_name) < 1:
+                raise HardwareModelError(f"{field_name} must be >= 1")
+
+
+class AcceleratorPipeline:
+    """Counts cycles for decision and update operations.
+
+    Args:
+        spec: Stage depths and clock.
+        n_actions: Action count (sets the comparator-tree depth).
+    """
+
+    def __init__(self, spec: PipelineSpec | None = None, n_actions: int = 5):
+        if n_actions < 1:
+            raise HardwareModelError(f"need at least one action: {n_actions}")
+        self.spec = spec or PipelineSpec()
+        self.n_actions = n_actions
+        self.decisions = 0
+        self.total_cycles = 0
+
+    @property
+    def compare_cycles(self) -> int:
+        """Comparator-tree depth for the action argmax."""
+        return max(1, math.ceil(math.log2(self.n_actions)))
+
+    def decision_cycles(self) -> int:
+        """Cycles for one greedy decision (encode, read, compare)."""
+        s = self.spec
+        return s.encode_cycles + s.bram_read_cycles + self.compare_cycles
+
+    def update_cycles(self) -> int:
+        """Cycles for one Q update (read next-state row, compare for the
+        bootstrap max, multiply, add, write back)."""
+        s = self.spec
+        return (
+            s.bram_read_cycles
+            + self.compare_cycles
+            + s.update_mul_cycles
+            + s.update_add_cycles
+            + s.writeback_cycles
+        )
+
+    def step_cycles(self) -> int:
+        """Cycles for one full policy step: update for the previous
+        decision followed by the new decision (the per-interval work)."""
+        return self.update_cycles() + self.decision_cycles()
+
+    def decision_latency_s(self, *, with_update: bool = True) -> float:
+        """Wall-clock latency of one policy step at the fabric clock."""
+        cycles = self.step_cycles() if with_update else self.decision_cycles()
+        return cycles / self.spec.clock_hz
+
+    def process(self, *, with_update: bool = True) -> float:
+        """Account one policy step; returns its latency in seconds."""
+        cycles = self.step_cycles() if with_update else self.decision_cycles()
+        self.decisions += 1
+        self.total_cycles += cycles
+        return cycles / self.spec.clock_hz

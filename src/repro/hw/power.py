@@ -1,0 +1,105 @@
+"""Power estimate of the accelerator itself.
+
+The hardware policy only makes sense if the FPGA engine burns far less
+than the DVFS savings it buys.  This module estimates the accelerator's
+own power from its activity — a first-order FPGA dynamic model (energy
+per LUT toggle, per BRAM access, per DSP op) plus static floor — so the
+A6/E4 story can close the loop: savings ≫ overhead.
+
+Energy constants are 28 nm FPGA orders of magnitude (Xilinx XPE-class
+numbers); the conclusion (milliwatts vs. hundreds of milliwatts saved)
+has orders of magnitude of slack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+from repro.hw.synthesis import ResourceEstimate
+
+
+@dataclass(frozen=True)
+class AcceleratorPowerModel:
+    """First-order FPGA power model.
+
+    Attributes:
+        lut_energy_j: Energy per active LUT per cycle (with typical
+            toggle rates folded in).
+        bram_access_energy_j: Energy per 18 Kib BRAM access.
+        dsp_op_energy_j: Energy per DSP multiply.
+        static_w_per_klut: Leakage per 1000 LUTs of occupied fabric.
+        base_static_w: Device static floor attributable to the design
+            (clock tree share, config SRAM).
+    """
+
+    lut_energy_j: float = 5e-15
+    bram_access_energy_j: float = 5e-12
+    dsp_op_energy_j: float = 4e-12
+    static_w_per_klut: float = 1e-3
+    base_static_w: float = 2e-3
+
+    def __post_init__(self) -> None:
+        if min(self.lut_energy_j, self.bram_access_energy_j,
+               self.dsp_op_energy_j, self.static_w_per_klut,
+               self.base_static_w) < 0:
+            raise HardwareModelError("power constants must be non-negative")
+
+    def step_energy_j(self, resources: ResourceEstimate, step_cycles: int,
+                      bram_accesses: int = 3, dsp_ops: int = 1) -> float:
+        """Energy of one policy step (update + decision).
+
+        Args:
+            resources: The design's footprint.
+            step_cycles: Active cycles per step (from the pipeline model).
+            bram_accesses: BRAM reads/writes per step (2 row reads + 1
+                write-back in the reference design).
+            dsp_ops: DSP multiplies per step.
+        """
+        if step_cycles < 1:
+            raise HardwareModelError(f"step cycles must be >= 1: {step_cycles}")
+        dynamic = (
+            resources.luts * self.lut_energy_j * step_cycles
+            + bram_accesses * self.bram_access_energy_j
+            + dsp_ops * self.dsp_op_energy_j
+        )
+        return dynamic
+
+    def average_power_w(
+        self,
+        resources: ResourceEstimate,
+        step_cycles: int,
+        decision_rate_hz: float,
+        bram_accesses: int = 3,
+        dsp_ops: int = 1,
+    ) -> float:
+        """Average accelerator power at a sustained decision rate.
+
+        Args:
+            decision_rate_hz: Policy steps per second (100/s per cluster
+                at 10 ms intervals).
+        """
+        if decision_rate_hz < 0:
+            raise HardwareModelError(
+                f"decision rate must be non-negative: {decision_rate_hz}"
+            )
+        static = self.base_static_w + resources.luts / 1000.0 * self.static_w_per_klut
+        dynamic = self.step_energy_j(
+            resources, step_cycles, bram_accesses, dsp_ops
+        ) * decision_rate_hz
+        return static + dynamic
+
+
+def overhead_fraction(
+    accelerator_w: float, savings_w: float
+) -> float:
+    """The accelerator's power as a fraction of the DVFS savings it buys.
+
+    Raises:
+        HardwareModelError: For non-positive savings.
+    """
+    if savings_w <= 0:
+        raise HardwareModelError(f"savings must be positive: {savings_w}")
+    if accelerator_w < 0:
+        raise HardwareModelError(f"accelerator power must be non-negative")
+    return accelerator_w / savings_w

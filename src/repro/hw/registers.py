@@ -1,0 +1,172 @@
+"""The MMIO register map of the CPU <-> accelerator interface.
+
+The kernel driver writes two 32-bit observation words and reads one
+decision word back (matching the ``obs_words=2, decision_words=1``
+defaults of :class:`repro.hw.interface.InterfaceSpec`):
+
+``OBS0`` — the state digits, one byte each::
+
+    [ 7: 0] util bin     [15: 8] trend bin
+    [23:16] OPP bin      [31:24] slack bin
+
+``OBS1`` — the reward and control flags::
+
+    [15: 0] reward, two's-complement Q-format raw value
+    [   16] learn enable (0 = inference only)
+    [31:17] reserved, must be zero
+
+``DECISION`` — the accelerator's reply::
+
+    [ 7: 0] action index
+    [30:16] sequence counter (wraps at 2^15)
+    [   31] valid
+
+This module is the single source of truth both simulation sides use, so
+a register-layout bug would break the hardware policy loudly instead of
+silently disagreeing with the RTL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import HardwareModelError
+from repro.hw.fixed_point import QFormat
+
+WORD_MASK = 0xFFFFFFFF
+_LEARN_BIT = 1 << 16
+_VALID_BIT = 1 << 31
+_SEQ_SHIFT = 16
+_SEQ_MASK = 0x7FFF
+
+
+def _check_word(word: int, name: str) -> None:
+    if not 0 <= word <= WORD_MASK:
+        raise HardwareModelError(f"{name} is not a 32-bit word: {word:#x}")
+
+
+def pack_obs0(digits: Sequence[int]) -> int:
+    """Pack the four state digits into the OBS0 word.
+
+    Raises:
+        HardwareModelError: On wrong arity or digits outside one byte.
+    """
+    if len(digits) != 4:
+        raise HardwareModelError(f"OBS0 carries exactly 4 digits, got {len(digits)}")
+    word = 0
+    for i, digit in enumerate(digits):
+        if not 0 <= digit <= 0xFF:
+            raise HardwareModelError(f"state digit {i} out of byte range: {digit}")
+        word |= digit << (8 * i)
+    return word
+
+
+def unpack_obs0(word: int) -> tuple[int, int, int, int]:
+    """Inverse of :func:`pack_obs0`."""
+    _check_word(word, "OBS0")
+    return tuple((word >> (8 * i)) & 0xFF for i in range(4))  # type: ignore[return-value]
+
+
+def pack_obs1(reward: float, qformat: QFormat, learn: bool = True) -> int:
+    """Pack the reward (quantised to the datapath format) and flags.
+
+    The reward raw value is carried two's-complement in 16 bits, so the
+    Q-format must not be wider than 16 bits.
+    """
+    if qformat.width > 16:
+        raise HardwareModelError(
+            f"OBS1 reward field is 16 bits; {qformat} is {qformat.width}"
+        )
+    raw = qformat.quantize(reward)
+    word = raw & 0xFFFF  # two's complement into the low half-word
+    if learn:
+        word |= _LEARN_BIT
+    return word
+
+
+def unpack_obs1(word: int, qformat: QFormat) -> tuple[float, bool]:
+    """Inverse of :func:`pack_obs1`: returns ``(reward, learn)``.
+
+    The reward comes back through the Q-format, so it is the quantised
+    value the datapath actually saw.
+    """
+    _check_word(word, "OBS1")
+    if word & ~(0xFFFF | _LEARN_BIT):
+        raise HardwareModelError(f"OBS1 reserved bits set: {word:#x}")
+    raw = word & 0xFFFF
+    if raw >= 0x8000:  # sign-extend
+        raw -= 0x10000
+    return qformat.dequantize(raw), bool(word & _LEARN_BIT)
+
+
+def pack_decision(action: int, seq: int, valid: bool = True) -> int:
+    """Pack the accelerator's decision word."""
+    if not 0 <= action <= 0xFF:
+        raise HardwareModelError(f"action out of byte range: {action}")
+    if seq < 0:
+        raise HardwareModelError(f"sequence counter must be non-negative: {seq}")
+    word = action | ((seq & _SEQ_MASK) << _SEQ_SHIFT)
+    if valid:
+        word |= _VALID_BIT
+    return word
+
+
+def unpack_decision(word: int) -> tuple[int, int, bool]:
+    """Inverse of :func:`pack_decision`: ``(action, seq, valid)``."""
+    _check_word(word, "DECISION")
+    action = word & 0xFF
+    seq = (word >> _SEQ_SHIFT) & _SEQ_MASK
+    return action, seq, bool(word & _VALID_BIT)
+
+
+@dataclass
+class RegisterFile:
+    """A tiny model of the accelerator's AXI-Lite register file.
+
+    The CPU side writes OBS0/OBS1, the accelerator side consumes them
+    and publishes DECISION; reads of DECISION clear the valid bit, as a
+    one-shot mailbox would.
+    """
+
+    qformat: QFormat
+    obs0: int = 0
+    obs1: int = 0
+    decision: int = 0
+    writes: int = 0
+    reads: int = 0
+
+    def write_observation(self, digits: Sequence[int], reward: float,
+                          learn: bool = True) -> None:
+        """CPU-side: latch a new observation."""
+        self.obs0 = pack_obs0(digits)
+        self.obs1 = pack_obs1(reward, self.qformat, learn)
+        self.writes += 1
+
+    def consume_observation(self) -> tuple[tuple[int, int, int, int], float, bool]:
+        """Accelerator-side: read the latched observation."""
+        digits = unpack_obs0(self.obs0)
+        reward, learn = unpack_obs1(self.obs1, self.qformat)
+        return digits, reward, learn
+
+    def publish_decision(self, action: int) -> None:
+        """Accelerator-side: publish a decision with the next sequence
+        number and the valid bit set."""
+        _, prev_seq, _ = unpack_decision(self.decision)
+        self.decision = pack_decision(action, (prev_seq + 1) & _SEQ_MASK, valid=True)
+
+    def read_decision(self) -> tuple[int, int]:
+        """CPU-side: pop the decision mailbox.
+
+        Returns:
+            ``(action, seq)``.
+
+        Raises:
+            HardwareModelError: If no valid decision is pending.
+        """
+        action, seq, valid = unpack_decision(self.decision)
+        if not valid:
+            raise HardwareModelError("DECISION mailbox is empty (valid bit clear)")
+        self.decision = pack_decision(action, seq, valid=False)
+        self.reads += 1
+        return action, seq

@@ -1,0 +1,232 @@
+"""Cycle-driven RTL-level simulation of the policy accelerator.
+
+:mod:`repro.hw.pipeline` prices operations analytically; this module
+actually *clocks* the design: a request queue feeds a pipeline whose
+stages hold one transaction each, with a single-ported BRAM arbitrating
+between the read of a new request and the write-back of an update.
+It exists to validate the analytical model (tests assert the two agree
+on throughput and latency) and to answer questions the closed-form
+model cannot, like queueing behaviour when several clusters' requests
+arrive back-to-back.
+
+Stage structure (one transaction in flight per stage register):
+
+    ENCODE -> READ0 -> READ1 -> CMP[xN] -> (update only) MUL -> ADD -> WB
+
+``CMP`` repeats for the comparator-tree depth.  ``WB`` needs the BRAM
+write port; a new request's ``READ0`` stalls while a write-back is in
+progress (structural hazard of the single-ported BRAM).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque
+
+from repro.errors import HardwareModelError
+
+
+@dataclass(frozen=True)
+class Request:
+    """One policy step submitted to the accelerator.
+
+    Attributes:
+        req_id: Caller-assigned identifier.
+        state: Flat Q-table row index.
+        with_update: Whether a TD update precedes the decision (the
+            normal online step).
+    """
+
+    req_id: int
+    state: int
+    with_update: bool = True
+
+
+@dataclass(frozen=True)
+class Completion:
+    """A finished request.
+
+    Attributes:
+        req_id: Matches the submitted request.
+        accepted_cycle: Cycle the request left the queue.
+        done_cycle: Cycle the decision was valid.
+    """
+
+    req_id: int
+    accepted_cycle: int
+    done_cycle: int
+
+    @property
+    def latency_cycles(self) -> int:
+        return self.done_cycle - self.accepted_cycle
+
+
+@dataclass
+class _InFlight:
+    request: Request
+    accepted_cycle: int
+    plan: list[tuple[str, int]]
+    remaining: int = 0  # cycles left in the current macro-stage
+    stage: str = ""
+
+
+class RTLAccelerator:
+    """A clocked model of the Q-policy engine.
+
+    The design is deliberately un-pipelined across *transactions* (one
+    request in the datapath at a time, as a small control FSM would be
+    built); throughput therefore equals the analytical per-step cycle
+    count, which is what the tests check.
+
+    Args:
+        n_actions: Comparator-tree width.
+        encode_cycles / bram_read_cycles / mul_cycles / add_cycles /
+        writeback_cycles: Stage depths, matching
+            :class:`repro.hw.pipeline.PipelineSpec` semantics.
+        queue_depth: Request FIFO depth; submissions beyond it are
+            rejected (the MMIO layer would back-pressure).
+    """
+
+    def __init__(
+        self,
+        n_actions: int = 5,
+        encode_cycles: int = 1,
+        bram_read_cycles: int = 2,
+        mul_cycles: int = 1,
+        add_cycles: int = 1,
+        writeback_cycles: int = 1,
+        queue_depth: int = 8,
+    ):
+        if n_actions < 1:
+            raise HardwareModelError(f"need at least one action: {n_actions}")
+        if queue_depth < 1:
+            raise HardwareModelError(f"queue depth must be >= 1: {queue_depth}")
+        for name, v in [
+            ("encode_cycles", encode_cycles),
+            ("bram_read_cycles", bram_read_cycles),
+            ("mul_cycles", mul_cycles),
+            ("add_cycles", add_cycles),
+            ("writeback_cycles", writeback_cycles),
+        ]:
+            if v < 1:
+                raise HardwareModelError(f"{name} must be >= 1")
+        self.n_actions = n_actions
+        self.encode_cycles = encode_cycles
+        self.bram_read_cycles = bram_read_cycles
+        self.mul_cycles = mul_cycles
+        self.add_cycles = add_cycles
+        self.writeback_cycles = writeback_cycles
+        self.queue_depth = queue_depth
+
+        self.cycle = 0
+        self._queue: Deque[Request] = deque()
+        self._inflight: _InFlight | None = None
+        self.completions: list[Completion] = []
+        self.rejected = 0
+        self._busy_cycles = 0
+
+    @property
+    def compare_cycles(self) -> int:
+        return max(1, math.ceil(math.log2(self.n_actions)))
+
+    def _stage_plan(self, request: Request) -> list[tuple[str, int]]:
+        """The (stage, cycles) sequence a request passes through."""
+        plan: list[tuple[str, int]] = []
+        if request.with_update:
+            # TD update first: read next-state row, find its max, multiply
+            # by gamma, add, write back.
+            plan += [
+                ("upd-read", self.bram_read_cycles),
+                ("upd-cmp", self.compare_cycles),
+                ("upd-mul", self.mul_cycles),
+                ("upd-add", self.add_cycles),
+                ("upd-wb", self.writeback_cycles),
+            ]
+        plan += [
+            ("encode", self.encode_cycles),
+            ("read", self.bram_read_cycles),
+            ("cmp", self.compare_cycles),
+        ]
+        return plan
+
+    def submit(self, request: Request) -> bool:
+        """Enqueue a request; returns False (and counts a rejection) when
+        the FIFO is full."""
+        if len(self._queue) >= self.queue_depth:
+            self.rejected += 1
+            return False
+        self._queue.append(request)
+        return True
+
+    def tick(self) -> list[Completion]:
+        """Advance one clock cycle; returns completions this cycle."""
+        self.cycle += 1
+        done: list[Completion] = []
+
+        if self._inflight is None and self._queue:
+            request = self._queue.popleft()
+            self._inflight = _InFlight(
+                request=request,
+                accepted_cycle=self.cycle,
+                plan=self._stage_plan(request),
+            )
+            self._advance_stage()
+
+        if self._inflight is not None:
+            self._busy_cycles += 1
+            self._inflight.remaining -= 1
+            if self._inflight.remaining == 0:
+                if self._inflight.plan:
+                    self._advance_stage()
+                else:
+                    done.append(
+                        Completion(
+                            req_id=self._inflight.request.req_id,
+                            accepted_cycle=self._inflight.accepted_cycle,
+                            done_cycle=self.cycle,
+                        )
+                    )
+                    self.completions.append(done[-1])
+                    self._inflight = None
+        return done
+
+    def _advance_stage(self) -> None:
+        assert self._inflight is not None
+        stage, cycles = self._inflight.plan.pop(0)
+        self._inflight.stage = stage
+        self._inflight.remaining = cycles
+
+    def run_until_idle(self, max_cycles: int = 1_000_000) -> list[Completion]:
+        """Clock until the queue and datapath drain.
+
+        Raises:
+            HardwareModelError: If the design does not drain within
+                ``max_cycles`` (a hang would be a model bug).
+        """
+        start = self.cycle
+        while self._queue or self._inflight is not None:
+            if self.cycle - start > max_cycles:
+                raise HardwareModelError("RTL model failed to drain (hang?)")
+            self.tick()
+        return list(self.completions)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of elapsed cycles the datapath was busy."""
+        return self._busy_cycles / self.cycle if self.cycle else 0.0
+
+    def step_cycles(self, with_update: bool = True) -> int:
+        """The analytical per-request cycle count (for cross-checking
+        against :class:`repro.hw.pipeline.AcceleratorPipeline`)."""
+        total = self.encode_cycles + self.bram_read_cycles + self.compare_cycles
+        if with_update:
+            total += (
+                self.bram_read_cycles
+                + self.compare_cycles
+                + self.mul_cycles
+                + self.add_cycles
+                + self.writeback_cycles
+            )
+        return total

@@ -1,0 +1,124 @@
+"""FPGA resource estimation for the policy accelerator.
+
+First-order synthesis estimates from the design parameters — the kind
+of budgeting done before writing RTL.  Formulas follow the obvious
+structure of the datapath:
+
+* **BRAM**: the Q-table, ``n_states * n_actions * width`` bits, packed
+  into 18 Kib block halves.
+* **DSP**: one multiplier for the gamma product when the word width
+  fits a DSP slice, otherwise a LUT multiplier.
+* **LUTs/FFs**: comparator tree (one W-bit comparator per node), the
+  adder/subtractor pair of the TD update, the mixed-radix state encoder,
+  and the AXI-Lite register file.
+
+Numbers are estimates, not synthesis results; the A6-style bench uses
+them to show the implementation comfortably fits a small FPGA and how
+resources scale with word length.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+from repro.hw.fixed_point import QFormat
+
+# A W-bit compare/select node costs roughly W LUTs (carry chain) + W FFs
+# when registered; an add/sub similar.  Per-bit constants below.
+_LUT_PER_BIT_CMP = 1.0
+_LUT_PER_BIT_ADD = 1.0
+_FF_PER_BIT_STAGE = 1.0
+_AXI_LITE_LUTS = 150
+_AXI_LITE_FFS = 200
+_CONTROL_FSM_LUTS = 80
+_CONTROL_FSM_FFS = 60
+_DSP_MAX_WIDTH = 18  # one DSP48-class slice multiplies up to 18x18
+_BRAM_KBIT = 18
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """Estimated FPGA resources for one accelerator instance."""
+
+    luts: int
+    ffs: int
+    bram_18k: int
+    dsps: int
+
+    def fits(self, luts: int, ffs: int, bram_18k: int, dsps: int) -> bool:
+        """Whether the estimate fits a device with the given budget."""
+        return (
+            self.luts <= luts
+            and self.ffs <= ffs
+            and self.bram_18k <= bram_18k
+            and self.dsps <= dsps
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.luts} LUTs, {self.ffs} FFs, "
+            f"{self.bram_18k}x18Kb BRAM, {self.dsps} DSP"
+        )
+
+
+def estimate_resources(
+    n_states: int, n_actions: int, qformat: QFormat
+) -> ResourceEstimate:
+    """Estimate the accelerator's FPGA footprint.
+
+    Args:
+        n_states: Q-table rows.
+        n_actions: Q-table columns (comparator-tree width).
+        qformat: Q-value word format.
+
+    Raises:
+        HardwareModelError: For non-positive table dimensions.
+    """
+    if n_states < 1 or n_actions < 1:
+        raise HardwareModelError(
+            f"table dimensions must be positive: {n_states}x{n_actions}"
+        )
+    width = qformat.width
+
+    table_bits = n_states * n_actions * width
+    bram = max(1, math.ceil(table_bits / (_BRAM_KBIT * 1024)))
+
+    # Comparator tree: n_actions - 1 compare/select nodes.
+    cmp_nodes = max(0, n_actions - 1)
+    cmp_luts = math.ceil(cmp_nodes * width * _LUT_PER_BIT_CMP)
+    cmp_ffs = math.ceil(cmp_nodes * width * _FF_PER_BIT_STAGE)
+
+    # TD update: subtract (target - q), shift (free), add.
+    add_luts = math.ceil(2 * width * _LUT_PER_BIT_ADD)
+    add_ffs = math.ceil(2 * width * _FF_PER_BIT_STAGE)
+
+    # gamma multiply: a DSP when the operands fit, else a LUT multiplier
+    # (~W^2 / 2 LUTs for a naive array multiplier).
+    if width <= _DSP_MAX_WIDTH:
+        dsps = 1
+        mul_luts = 0
+    else:
+        dsps = 0
+        mul_luts = math.ceil(width * width / 2)
+
+    # Mixed-radix state encoder: one small multiplier-accumulate per
+    # dimension; budget ~4 dimensions at ~width LUTs each.
+    encoder_luts = 4 * width
+
+    luts = (
+        cmp_luts + add_luts + mul_luts + encoder_luts
+        + _AXI_LITE_LUTS + _CONTROL_FSM_LUTS
+    )
+    ffs = cmp_ffs + add_ffs + _AXI_LITE_FFS + _CONTROL_FSM_FFS
+    return ResourceEstimate(luts=luts, ffs=ffs, bram_18k=bram, dsps=dsps)
+
+
+# A small-end Zynq-7010-class budget (the natural board for this design).
+ZYNQ7010_BUDGET = {"luts": 17_600, "ffs": 35_200, "bram_18k": 120, "dsps": 80}
+
+
+def fits_zynq7010(estimate: ResourceEstimate) -> bool:
+    """Whether the estimate fits the smallest common Zynq part."""
+    return estimate.fits(**ZYNQ7010_BUDGET)

@@ -1,0 +1,126 @@
+"""Randomised equivalence verification: datapath vs float reference.
+
+The hardware flow needs evidence that the fixed-point datapath tracks
+the software agent.  This module drives both with identical random
+experience streams and reports the divergence — maximum absolute
+Q-value error, greedy-decision mismatch rate, and where the divergence
+concentrates.  Used by the test suite and available to users verifying
+custom Q-formats before committing to RTL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import HardwareModelError
+from repro.hw.datapath import QLearningDatapath
+from repro.hw.fixed_point import QFormat
+from repro.rl.qlearning import QLearningAgent
+
+
+@dataclass(frozen=True)
+class EquivalenceReport:
+    """Outcome of one randomized equivalence run.
+
+    Attributes:
+        steps: Experience steps driven through both implementations.
+        max_abs_error: Largest |Q_hw - Q_sw| over all table entries at
+            the end of the run.
+        mean_abs_error: Mean |Q_hw - Q_sw| over all entries.
+        decision_mismatch_rate: Fraction of states whose greedy action
+            differs at the end of the run.
+        q_range: The float table's (min, max) — context for the errors.
+    """
+
+    steps: int
+    max_abs_error: float
+    mean_abs_error: float
+    decision_mismatch_rate: float
+    q_range: tuple[float, float]
+
+    def acceptable(self, error_lsb: float, resolution: float,
+                   max_mismatch: float = 0.05) -> bool:
+        """Whether divergence is within ``error_lsb`` LSBs and the
+        mismatch rate under ``max_mismatch``."""
+        return (
+            self.max_abs_error <= error_lsb * resolution
+            and self.decision_mismatch_rate <= max_mismatch
+        )
+
+    def summary(self) -> str:
+        """A one-line human-readable divergence summary."""
+        return (
+            f"{self.steps} steps: max |dQ| = {self.max_abs_error:.4g}, "
+            f"mean |dQ| = {self.mean_abs_error:.4g}, "
+            f"greedy mismatch = {self.decision_mismatch_rate:.2%} "
+            f"(Q in [{self.q_range[0]:.3g}, {self.q_range[1]:.3g}])"
+        )
+
+
+def verify_equivalence(
+    n_states: int = 32,
+    n_actions: int = 5,
+    qformat: QFormat | None = None,
+    alpha_shift: int = 2,
+    gamma: float = 0.85,
+    steps: int = 2000,
+    reward_range: tuple[float, float] = (-4.0, 0.0),
+    seed: int = 0,
+) -> EquivalenceReport:
+    """Drive random experience through both implementations and compare.
+
+    The float agent uses exactly alpha = 2**-alpha_shift so the only
+    divergence source is quantisation.
+
+    Raises:
+        HardwareModelError: On invalid dimensions (via the datapath) or
+            a reward range outside the Q-format.
+    """
+    qformat = qformat or QFormat(7, 8)
+    lo, hi = reward_range
+    if lo > hi:
+        raise HardwareModelError(f"bad reward range: {reward_range}")
+    if lo < qformat.min_value or hi > qformat.max_value:
+        raise HardwareModelError(
+            f"reward range {reward_range} exceeds {qformat} "
+            f"[{qformat.min_value}, {qformat.max_value}]"
+        )
+    datapath = QLearningDatapath(
+        n_states, n_actions, qformat=qformat, alpha_shift=alpha_shift, gamma=gamma
+    )
+    agent = QLearningAgent(
+        n_states, n_actions, alpha=2.0**-alpha_shift, gamma=gamma
+    )
+    rng = np.random.default_rng(seed)
+    for _ in range(steps):
+        s = int(rng.integers(n_states))
+        a = int(rng.integers(n_actions))
+        r = float(rng.uniform(lo, hi))
+        s2 = int(rng.integers(n_states))
+        datapath.update(s, a, r, s2)
+        agent.update(s, a, r, s2)
+
+    hw = datapath.to_float_table()
+    errors = np.abs(hw.values - agent.table.values)
+    mismatches = sum(
+        datapath.argmax(s) != agent.table.argmax(s) for s in range(n_states)
+    )
+    return EquivalenceReport(
+        steps=steps,
+        max_abs_error=float(errors.max()),
+        mean_abs_error=float(errors.mean()),
+        decision_mismatch_rate=mismatches / n_states,
+        q_range=(float(agent.table.values.min()), float(agent.table.values.max())),
+    )
+
+
+def sweep_formats(
+    formats: list[QFormat],
+    **kwargs,
+) -> dict[str, EquivalenceReport]:
+    """Run :func:`verify_equivalence` for several formats."""
+    if not formats:
+        raise HardwareModelError("need at least one format")
+    return {str(fmt): verify_equivalence(qformat=fmt, **kwargs) for fmt in formats}

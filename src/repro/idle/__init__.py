@@ -1,0 +1,6 @@
+"""cpuidle substrate: C-state tables and the menu-style idle governor."""
+
+from repro.idle.cstates import CState, CStateTable, mobile_cstates
+from repro.idle.governor import MenuIdleGovernor
+
+__all__ = ["CState", "CStateTable", "MenuIdleGovernor", "mobile_cstates"]

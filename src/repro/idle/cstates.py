@@ -1,0 +1,150 @@
+"""CPU idle states (C-states).
+
+Mobile SoCs do not just clock-gate idle cores: the cpuidle subsystem
+picks among progressively deeper sleep states — WFI (clock gate), core
+power collapse, cluster power collapse — trading higher entry/exit
+latency for lower residency power.  Governors interact with this: a
+DVFS policy that races to a high frequency and finishes early leaves
+more room for deep idle, which is why "race to idle" sometimes wins.
+
+This module defines the C-state tables; :mod:`repro.idle.governor`
+implements the menu-style state selection, and the simulation engine
+applies the result as a per-interval idle-power discount.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CState:
+    """One idle state.
+
+    Attributes:
+        name: State name (e.g. ``"WFI"``, ``"core-off"``).
+        power_fraction: Idle power in this state as a fraction of the
+            core's shallow-idle (clock-gated) power, in [0, 1].  WFI is
+            1.0 by definition; deeper states are smaller.
+        target_residency_s: Minimum idle duration for which entering the
+            state pays off (break-even including entry/exit energy).
+        exit_latency_s: Wake-up latency; a pending-deadline constraint
+            can veto states that wake too slowly.
+    """
+
+    name: str
+    power_fraction: float
+    target_residency_s: float
+    exit_latency_s: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.power_fraction <= 1.0:
+            raise ConfigurationError(
+                f"C-state {self.name}: power fraction must be in [0, 1]: "
+                f"{self.power_fraction}"
+            )
+        if self.target_residency_s < 0 or self.exit_latency_s < 0:
+            raise ConfigurationError(
+                f"C-state {self.name}: residency and latency must be non-negative"
+            )
+
+
+class CStateTable:
+    """An ordered table of idle states, shallow to deep.
+
+    Validation enforces the physical ordering: deeper states save more
+    power, need longer residency, and wake more slowly.
+
+    Args:
+        states: States ordered shallow to deep.  The first state must
+            have ``power_fraction`` 1.0 (shallow clock gating is the
+            baseline the power model already charges).
+    """
+
+    def __init__(self, states: Sequence[CState]):
+        if not states:
+            raise ConfigurationError("C-state table needs at least one state")
+        if states[0].power_fraction != 1.0:
+            raise ConfigurationError(
+                "the shallowest C-state must have power fraction 1.0 "
+                f"(got {states[0].power_fraction})"
+            )
+        for shallow, deep in zip(states, states[1:]):
+            if deep.power_fraction >= shallow.power_fraction:
+                raise ConfigurationError(
+                    f"C-state {deep.name} must save more power than {shallow.name}"
+                )
+            if deep.target_residency_s <= shallow.target_residency_s:
+                raise ConfigurationError(
+                    f"C-state {deep.name} must need longer residency than "
+                    f"{shallow.name}"
+                )
+            if deep.exit_latency_s < shallow.exit_latency_s:
+                raise ConfigurationError(
+                    f"C-state {deep.name} cannot wake faster than {shallow.name}"
+                )
+        self._states = tuple(states)
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __getitem__(self, index: int) -> CState:
+        return self._states[index]
+
+    def __iter__(self):
+        return iter(self._states)
+
+    @property
+    def states(self) -> tuple[CState, ...]:
+        return self._states
+
+    def deepest_allowed(
+        self, predicted_idle_s: float, latency_limit_s: float | None = None
+    ) -> int:
+        """Index of the deepest state whose residency fits the predicted
+        idle span and whose exit latency respects the limit.
+
+        This is the core of the kernel's menu governor selection rule.
+
+        Args:
+            predicted_idle_s: Expected idle duration.
+            latency_limit_s: Maximum tolerable wake latency (``None`` =
+                unconstrained).
+
+        Returns:
+            A state index (0 = shallowest; always valid).
+        """
+        if predicted_idle_s < 0:
+            raise ConfigurationError(
+                f"predicted idle must be non-negative: {predicted_idle_s}"
+            )
+        chosen = 0
+        for i, state in enumerate(self._states):
+            if state.target_residency_s > predicted_idle_s:
+                break
+            if latency_limit_s is not None and state.exit_latency_s > latency_limit_s:
+                break
+            chosen = i
+        return chosen
+
+
+def mobile_cstates() -> CStateTable:
+    """A typical three-level mobile C-state table.
+
+    WFI (baseline), core power collapse (~25% of WFI power, 100 us
+    residency), cluster power collapse (~5%, 2 ms residency) — the
+    structure of big.LITTLE cpuidle drivers.
+    """
+    return CStateTable(
+        [
+            CState("WFI", power_fraction=1.0, target_residency_s=0.0,
+                   exit_latency_s=1e-6),
+            CState("core-off", power_fraction=0.25, target_residency_s=100e-6,
+                   exit_latency_s=50e-6),
+            CState("cluster-off", power_fraction=0.05, target_residency_s=2e-3,
+                   exit_latency_s=500e-6),
+        ]
+    )

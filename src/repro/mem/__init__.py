@@ -1,0 +1,5 @@
+"""Memory substrate: LPDDR DRAM power model."""
+
+from repro.mem.dram import DRAMModel
+
+__all__ = ["DRAMModel"]

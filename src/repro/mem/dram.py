@@ -1,0 +1,110 @@
+"""LPDDR DRAM power model.
+
+Mobile SoC energy is not all CPU: the LPDDR interface contributes a
+bandwidth-dependent term plus state-dependent background power.  The
+model has three states with the structure of LPDDR4 datasheet power
+numbers:
+
+* ``active``      — at least one bank open, traffic flowing;
+* ``standby``     — clocked but no traffic this interval;
+* ``self-refresh``— entered after ``self_refresh_after_s`` of no traffic.
+
+Traffic is derived from executed work: each reference-core cycle of a
+work unit moves ``bytes_per_cycle`` bytes on average (an L2-miss-rate
+proxy).  The engine integrates the resulting power into the uncore
+energy component when a memory model is attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class DRAMModel:
+    """Bandwidth- and state-dependent LPDDR power.
+
+    Attributes:
+        bytes_per_cycle: Average bytes of DRAM traffic per executed
+            reference-core cycle (workload memory intensity).  Mobile
+            SPEC-class mixes sit around 0.05-0.3 B/cycle.
+        energy_per_byte_j: Access energy, joules per byte moved.  LPDDR4
+            is in the tens of pJ/byte range including I/O.
+        active_background_w: Background power while actively serving.
+        standby_w: Clocked-idle background power.
+        self_refresh_w: Self-refresh power.
+        self_refresh_after_s: Contiguous idle time before the controller
+            drops to self-refresh.
+        peak_bandwidth_bps: Interface ceiling; demanded traffic above it
+            is clamped (and reported via :attr:`saturated_intervals`).
+    """
+
+    bytes_per_cycle: float = 0.12
+    energy_per_byte_j: float = 40e-12
+    active_background_w: float = 0.10
+    standby_w: float = 0.035
+    self_refresh_w: float = 0.006
+    self_refresh_after_s: float = 0.05
+    peak_bandwidth_bps: float = 12.8e9
+    saturated_intervals: int = 0
+    _idle_run_s: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_cycle < 0 or self.energy_per_byte_j < 0:
+            raise ConfigurationError("traffic parameters must be non-negative")
+        if not self.self_refresh_w <= self.standby_w <= self.active_background_w:
+            raise ConfigurationError(
+                "background powers must order self-refresh <= standby <= active"
+            )
+        if self.self_refresh_after_s < 0:
+            raise ConfigurationError("self-refresh threshold must be non-negative")
+        if self.peak_bandwidth_bps <= 0:
+            raise ConfigurationError("peak bandwidth must be positive")
+
+    def interval_power_w(self, completed_work: float, interval_s: float) -> float:
+        """Average DRAM power over one interval.
+
+        Args:
+            completed_work: Reference-core cycles executed chip-wide in
+                the interval.
+            interval_s: Interval length in seconds.
+
+        Returns:
+            Average power in watts (background state + access energy).
+        """
+        if completed_work < 0:
+            raise ConfigurationError(f"work must be non-negative: {completed_work}")
+        if interval_s <= 0:
+            raise ConfigurationError(f"interval must be positive: {interval_s}")
+
+        demanded_bps = completed_work * self.bytes_per_cycle / interval_s
+        bandwidth_bps = min(demanded_bps, self.peak_bandwidth_bps)
+        if demanded_bps > self.peak_bandwidth_bps:
+            self.saturated_intervals += 1
+
+        if completed_work > 0:
+            self._idle_run_s = 0.0
+            background = self.active_background_w
+        else:
+            self._idle_run_s += interval_s
+            if self._idle_run_s >= self.self_refresh_after_s:
+                background = self.self_refresh_w
+            else:
+                background = self.standby_w
+        return background + bandwidth_bps * self.energy_per_byte_j
+
+    @property
+    def state(self) -> str:
+        """The background state the model is currently in."""
+        if self._idle_run_s == 0.0:
+            return "active"
+        if self._idle_run_s >= self.self_refresh_after_s:
+            return "self-refresh"
+        return "standby"
+
+    def reset(self) -> None:
+        """Return to the active state and clear counters."""
+        self._idle_run_s = 0.0
+        self.saturated_intervals = 0

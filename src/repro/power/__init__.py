@@ -1,0 +1,16 @@
+"""Power and energy substrate: dynamic/leakage models, metering, battery."""
+
+from repro.power.battery import Battery
+from repro.power.dynamic import DynamicPowerModel
+from repro.power.energy import EnergyMeter
+from repro.power.leakage import LeakagePowerModel
+from repro.power.model import PowerBreakdown, PowerModel
+
+__all__ = [
+    "Battery",
+    "DynamicPowerModel",
+    "EnergyMeter",
+    "LeakagePowerModel",
+    "PowerBreakdown",
+    "PowerModel",
+]

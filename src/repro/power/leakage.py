@@ -1,0 +1,61 @@
+"""Static (leakage) power model.
+
+Sub-threshold leakage grows superlinearly with voltage and exponentially
+with temperature.  We use the standard compact form
+
+    P_leak = I0(V) * V * exp(beta * (T - T_ref))
+
+with ``I0(V) = leak_a_per_v * V`` (so leakage power is quadratic in V at
+the reference temperature), which matches the curvature of published
+mobile-SoC leakage measurements well enough for governor comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LeakagePowerModel:
+    """Voltage- and temperature-dependent leakage power.
+
+    Attributes:
+        t_ref_c: Reference junction temperature in Celsius at which the
+            core's ``leak_a_per_v`` coefficient was characterised.
+        beta_per_c: Exponential temperature sensitivity (1/degC).  Mobile
+            28 nm silicon roughly doubles leakage every ~25 degC, i.e.
+            beta ~ ln(2)/25 ~ 0.028.
+    """
+
+    t_ref_c: float = 45.0
+    beta_per_c: float = 0.028
+
+    def __post_init__(self) -> None:
+        if self.beta_per_c < 0:
+            raise ConfigurationError(
+                f"temperature sensitivity must be non-negative: {self.beta_per_c}"
+            )
+
+    def core_power_w(
+        self, leak_a_per_v: float, voltage_v: float, temp_c: float | None = None
+    ) -> float:
+        """Leakage power of one core.
+
+        Args:
+            leak_a_per_v: The core's leakage conductance coefficient (A/V).
+            voltage_v: Supply voltage in volts.
+            temp_c: Junction temperature; ``None`` means the reference
+                temperature (temperature scaling disabled).
+
+        Returns:
+            Leakage power in watts.
+        """
+        if leak_a_per_v < 0 or voltage_v < 0:
+            raise ConfigurationError("leakage parameters must be non-negative")
+        base = leak_a_per_v * voltage_v * voltage_v
+        if temp_c is None:
+            return base
+        return base * math.exp(self.beta_per_c * (temp_c - self.t_ref_c))

@@ -1,0 +1,92 @@
+"""Combined chip power model: dynamic + leakage per core, summed upward."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.power.dynamic import DynamicPowerModel
+from repro.power.leakage import LeakagePowerModel
+from repro.soc.chip import Chip
+from repro.soc.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Power of one cluster (or chip) split into components, in watts."""
+
+    dynamic_w: float
+    leakage_w: float
+    uncore_w: float = 0.0
+
+    @property
+    def total_w(self) -> float:
+        return self.dynamic_w + self.leakage_w + self.uncore_w
+
+    def __add__(self, other: "PowerBreakdown") -> "PowerBreakdown":
+        return PowerBreakdown(
+            dynamic_w=self.dynamic_w + other.dynamic_w,
+            leakage_w=self.leakage_w + other.leakage_w,
+            uncore_w=self.uncore_w + other.uncore_w,
+        )
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Full-chip power model.
+
+    Attributes:
+        dynamic: The switching-power component model.
+        leakage: The static-power component model.
+        uncore_w: Constant chip uncore/interconnect/memory-controller power
+            attributed to the SoC regardless of DVFS state.  This is the
+            floor that makes racing-to-idle at absurdly low frequencies
+            unattractive, as on real devices.
+    """
+
+    dynamic: DynamicPowerModel = field(default_factory=DynamicPowerModel)
+    leakage: LeakagePowerModel = field(default_factory=LeakagePowerModel)
+    uncore_w: float = 0.25
+
+    def cluster_power(
+        self,
+        cluster: Cluster,
+        temp_c: float | None = None,
+        idle_scales: list[float] | None = None,
+    ) -> PowerBreakdown:
+        """Average power of one cluster over the last simulated interval.
+
+        Uses each core's recorded utilisation and the cluster's current OPP.
+
+        Args:
+            cluster: The cluster to price.
+            temp_c: Junction temperature for leakage scaling.
+            idle_scales: Optional per-core C-state power multipliers (from
+                :class:`repro.idle.MenuIdleGovernor`); a power-collapsed
+                core's idle fraction pays ``scale`` times the shallow-idle
+                dynamic *and* leakage power.  ``None`` means shallow
+                clock-gating everywhere.
+        """
+        v = cluster.voltage_v
+        f = cluster.freq_hz
+        if idle_scales is not None and len(idle_scales) != len(cluster.cores):
+            raise ConfigurationError(
+                f"{len(idle_scales)} idle scales for {len(cluster.cores)} cores"
+            )
+        dyn = 0.0
+        leak = 0.0
+        for i, core in enumerate(cluster.cores):
+            scale = idle_scales[i] if idle_scales is not None else 1.0
+            util = core.utilization
+            dyn += self.dynamic.core_power_w(core.spec.ceff_f, v, f, util, scale)
+            full_leak = self.leakage.core_power_w(core.spec.leak_a_per_v, v, temp_c)
+            # Power collapse removes the rail for the idle fraction.
+            leak += full_leak * (util + (1.0 - util) * scale)
+        return PowerBreakdown(dynamic_w=dyn, leakage_w=leak)
+
+    def chip_power(self, chip: Chip, temp_c: float | None = None) -> PowerBreakdown:
+        """Average power of the whole chip over the last simulated interval."""
+        total = PowerBreakdown(0.0, 0.0, uncore_w=self.uncore_w)
+        for cluster in chip:
+            total = total + self.cluster_power(cluster, temp_c)
+        return total

@@ -1,0 +1,28 @@
+"""QoS substrate: per-unit quality scoring and the energy/QoS metric."""
+
+from repro.qos.classes import (
+    BACKGROUND,
+    BEST_EFFORT,
+    INTERACTIVE,
+    QoSClass,
+    QoSClassMap,
+    default_mobile_classes,
+    evaluate_jobs_weighted,
+)
+from repro.qos.energy_per_qos import energy_per_qos, improvement_percent
+from repro.qos.metrics import QoSReport, evaluate_jobs, soft_qos
+
+__all__ = [
+    "BACKGROUND",
+    "BEST_EFFORT",
+    "INTERACTIVE",
+    "QoSClass",
+    "QoSClassMap",
+    "QoSReport",
+    "default_mobile_classes",
+    "energy_per_qos",
+    "evaluate_jobs",
+    "evaluate_jobs_weighted",
+    "improvement_percent",
+    "soft_qos",
+]

@@ -1,0 +1,53 @@
+"""The paper's headline metric: energy per unit QoS.
+
+The abstract's comparison — "the average energy per unit quality of
+service (QoS) of the proposed policy is lower than that of the previous
+six DVFS governors by 31.66%" — divides consumed energy by delivered
+QoS.  We normalise per work unit so traces of different lengths compare:
+
+    energy_per_qos = total_energy_J / (mean_qos * n_units)
+
+A governor that saves energy by dropping frames gets *worse* (its
+denominator shrinks), which is exactly the property that makes the
+metric meaningful: it prices energy in units of delivered quality.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.qos.metrics import QoSReport
+
+
+def energy_per_qos(total_energy_j: float, report: QoSReport) -> float:
+    """Energy per unit of delivered QoS, in joules.
+
+    Args:
+        total_energy_j: Energy consumed over the run.
+        report: The run's QoS report.
+
+    Returns:
+        Joules per QoS-weighted work unit; ``float('inf')`` when no
+        quality was delivered at all.
+
+    Raises:
+        ConfigurationError: For negative energy or an empty report.
+    """
+    if total_energy_j < 0:
+        raise ConfigurationError(f"energy must be non-negative: {total_energy_j}")
+    if report.n_units == 0:
+        raise ConfigurationError("cannot compute energy/QoS with zero work units")
+    delivered = report.mean_qos * report.n_units
+    if delivered == 0:
+        return float("inf")
+    return total_energy_j / delivered
+
+
+def improvement_percent(baseline: float, proposed: float) -> float:
+    """Relative reduction of ``proposed`` versus ``baseline``, in percent.
+
+    Positive means the proposed value is lower (better).  This is the
+    form of the paper's "31.66% lower" claim.
+    """
+    if baseline <= 0:
+        raise ConfigurationError(f"baseline must be positive: {baseline}")
+    return 100.0 * (baseline - proposed) / baseline

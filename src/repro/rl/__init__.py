@@ -1,0 +1,24 @@
+"""Reinforcement-learning substrate: discretisation, Q storage, learners."""
+
+from repro.rl.discretize import Binner, StateSpace
+from repro.rl.double_q import DoubleQAgent
+from repro.rl.exploration import EpsilonGreedy, EpsilonSchedule
+from repro.rl.nstep import NStepQAgent
+from repro.rl.qlearning import QLearningAgent
+from repro.rl.qtable import QTable
+from repro.rl.reward import RewardConfig, default_energy_scale
+from repro.rl.sarsa import SarsaAgent
+
+__all__ = [
+    "Binner",
+    "DoubleQAgent",
+    "EpsilonGreedy",
+    "EpsilonSchedule",
+    "NStepQAgent",
+    "QLearningAgent",
+    "QTable",
+    "RewardConfig",
+    "SarsaAgent",
+    "StateSpace",
+    "default_energy_scale",
+]

@@ -1,0 +1,121 @@
+"""State discretisation for tabular RL.
+
+A :class:`Binner` maps a continuous signal into a bin index; a
+:class:`StateSpace` composes several binners (plus already-discrete
+dimensions) into a single flat state index — the row address of the
+Q-table, in software and in the hardware datapath alike.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import PolicyError
+
+
+@dataclass(frozen=True)
+class Binner:
+    """Maps a scalar to one of ``len(edges) + 1`` bins.
+
+    Edges are the *interior* boundaries: a value ``v`` lands in bin
+    ``i`` when ``edges[i-1] <= v < edges[i]`` (bin 0 is below the first
+    edge, the last bin is at-or-above the last edge).
+
+    Attributes:
+        edges: Strictly increasing interior boundaries.
+    """
+
+    edges: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.edges:
+            raise PolicyError("binner needs at least one edge")
+        for a, b in zip(self.edges, self.edges[1:]):
+            if b <= a:
+                raise PolicyError(f"bin edges must be strictly increasing: {self.edges}")
+
+    @property
+    def n_bins(self) -> int:
+        return len(self.edges) + 1
+
+    def bin(self, value: float) -> int:
+        """The bin index of ``value``; NaN raises."""
+        if value != value:  # NaN
+            raise PolicyError("cannot bin NaN")
+        return bisect_right(self.edges, value)
+
+    @classmethod
+    def uniform(cls, lo: float, hi: float, n_bins: int) -> "Binner":
+        """Equal-width bins over [lo, hi] (values outside clamp to the
+        outer bins)."""
+        if n_bins < 2:
+            raise PolicyError(f"need at least 2 bins: {n_bins}")
+        if hi <= lo:
+            raise PolicyError(f"need hi > lo: [{lo}, {hi}]")
+        width = (hi - lo) / n_bins
+        return cls(tuple(lo + width * i for i in range(1, n_bins)))
+
+
+class StateSpace:
+    """A mixed-radix encoding of several discrete dimensions.
+
+    Args:
+        dims: ``(name, size)`` pairs, most-significant first.  The flat
+            index is the mixed-radix number with these digit sizes; both
+            the software policy and the fixed-point hardware datapath
+            compute the identical address.
+    """
+
+    def __init__(self, dims: Sequence[tuple[str, int]]):
+        if not dims:
+            raise PolicyError("state space needs at least one dimension")
+        names = [n for n, _ in dims]
+        if len(set(names)) != len(names):
+            raise PolicyError(f"duplicate state dimension names: {names}")
+        for name, size in dims:
+            if size < 1:
+                raise PolicyError(f"dimension {name!r} needs size >= 1: {size}")
+        self.dims = tuple((n, s) for n, s in dims)
+
+    @property
+    def n_states(self) -> int:
+        """Total number of flat states (product of dimension sizes)."""
+        total = 1
+        for _, size in self.dims:
+            total *= size
+        return total
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(n for n, _ in self.dims)
+
+    def encode(self, digits: Sequence[int]) -> int:
+        """Flat index of a digit vector.
+
+        Raises:
+            PolicyError: On wrong arity or out-of-range digits.
+        """
+        if len(digits) != len(self.dims):
+            raise PolicyError(
+                f"expected {len(self.dims)} digits, got {len(digits)}"
+            )
+        index = 0
+        for digit, (name, size) in zip(digits, self.dims):
+            if not 0 <= digit < size:
+                raise PolicyError(
+                    f"digit {digit} out of range for dimension {name!r} (size {size})"
+                )
+            index = index * size + digit
+        return index
+
+    def decode(self, index: int) -> tuple[int, ...]:
+        """Digit vector of a flat index (inverse of :meth:`encode`)."""
+        if not 0 <= index < self.n_states:
+            raise PolicyError(f"state index {index} out of range [0, {self.n_states})")
+        digits: list[int] = []
+        for _, size in reversed(self.dims):
+            digits.append(index % size)
+            index //= size
+        return tuple(reversed(digits))

@@ -1,0 +1,94 @@
+"""Exploration schedules and action selection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PolicyError
+
+
+@dataclass(frozen=True)
+class EpsilonSchedule:
+    """Exponentially decaying epsilon with a floor.
+
+    ``epsilon(t) = max(floor, start * decay**t)`` where ``t`` counts
+    decisions.  ``decay=1.0`` gives a constant schedule.
+
+    Attributes:
+        start: Initial exploration probability in [0, 1].
+        decay: Per-decision multiplicative decay in (0, 1].
+        floor: Lower bound on epsilon (keeps the online policy adaptive
+            forever, the paper's "adapt to the variations" requirement).
+    """
+
+    start: float = 0.5
+    decay: float = 0.999
+    floor: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start <= 1.0:
+            raise PolicyError(f"epsilon start must be in [0, 1]: {self.start}")
+        if not 0.0 < self.decay <= 1.0:
+            raise PolicyError(f"epsilon decay must be in (0, 1]: {self.decay}")
+        if not 0.0 <= self.floor <= self.start:
+            raise PolicyError(
+                f"epsilon floor must be in [0, start={self.start}]: {self.floor}"
+            )
+
+    def value(self, step: int) -> float:
+        """Epsilon after ``step`` decisions."""
+        if step < 0:
+            raise PolicyError(f"step must be non-negative: {step}")
+        return max(self.floor, self.start * self.decay**step)
+
+
+class EpsilonGreedy:
+    """Stateful epsilon-greedy selector over a Q-table row.
+
+    Args:
+        schedule: The epsilon schedule.
+        n_actions: Size of the action set.
+        seed: RNG seed for reproducible exploration.
+    """
+
+    def __init__(self, schedule: EpsilonSchedule, n_actions: int, seed: int = 0):
+        if n_actions < 1:
+            raise PolicyError(f"need at least one action: {n_actions}")
+        self.schedule = schedule
+        self.n_actions = n_actions
+        self._rng = np.random.default_rng(seed)
+        self._step = 0
+
+    @property
+    def step(self) -> int:
+        """Number of decisions taken so far."""
+        return self._step
+
+    @property
+    def epsilon(self) -> float:
+        """Current exploration probability."""
+        return self.schedule.value(self._step)
+
+    def select(self, q_row: np.ndarray) -> int:
+        """Pick an action for the given Q-row and advance the schedule.
+
+        Raises:
+            PolicyError: If the row length does not match ``n_actions``.
+        """
+        if len(q_row) != self.n_actions:
+            raise PolicyError(
+                f"Q-row has {len(q_row)} entries, expected {self.n_actions}"
+            )
+        eps = self.epsilon
+        self._step += 1
+        if self._rng.random() < eps:
+            return int(self._rng.integers(self.n_actions))
+        return int(np.argmax(q_row))
+
+    def reset(self, *, keep_schedule: bool = True) -> None:
+        """Reset the decision counter (and thus epsilon) unless asked to
+        keep the schedule position across episodes."""
+        if not keep_schedule:
+            self._step = 0

@@ -1,0 +1,100 @@
+"""Dense tabular Q storage."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import PolicyError
+
+
+class QTable:
+    """A dense (n_states x n_actions) table of action values.
+
+    Ties in :meth:`argmax` break toward the *lowest* action index, which
+    keeps decisions deterministic and matches the hardware comparator
+    tree's priority order, so software and hardware agree bit-for-bit on
+    fresh (all-zero) rows.
+
+    Args:
+        n_states: Number of flat states.
+        n_actions: Number of actions.
+        initial_value: Fill value; optimistic initialisation (> 0 with
+            negative rewards) encourages early exploration.
+    """
+
+    def __init__(self, n_states: int, n_actions: int, initial_value: float = 0.0):
+        if n_states < 1 or n_actions < 1:
+            raise PolicyError(
+                f"Q-table needs positive dimensions: {n_states}x{n_actions}"
+            )
+        self.initial_value = float(initial_value)
+        self.values = np.full((n_states, n_actions), self.initial_value)
+
+    @property
+    def n_states(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def n_actions(self) -> int:
+        return self.values.shape[1]
+
+    def _check(self, state: int, action: int | None = None) -> None:
+        if not 0 <= state < self.n_states:
+            raise PolicyError(f"state {state} out of range [0, {self.n_states})")
+        if action is not None and not 0 <= action < self.n_actions:
+            raise PolicyError(f"action {action} out of range [0, {self.n_actions})")
+
+    def get(self, state: int, action: int) -> float:
+        """The Q-value of one (state, action) entry."""
+        self._check(state, action)
+        return float(self.values[state, action])
+
+    def set(self, state: int, action: int, value: float) -> None:
+        """Overwrite one (state, action) entry."""
+        self._check(state, action)
+        self.values[state, action] = value
+
+    def row(self, state: int) -> np.ndarray:
+        """A copy of the Q-row for ``state``."""
+        self._check(state)
+        return self.values[state].copy()
+
+    def argmax(self, state: int) -> int:
+        """Greedy action for ``state`` (lowest index wins ties)."""
+        self._check(state)
+        return int(np.argmax(self.values[state]))
+
+    def max(self, state: int) -> float:
+        """The greedy action's value for ``state``."""
+        self._check(state)
+        return float(self.values[state].max())
+
+    def visited_fraction(self) -> float:
+        """Fraction of entries that have moved off the construction-time
+        initial value — a rough learning-coverage diagnostic."""
+        return float(np.mean(self.values != self.initial_value))
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Serialise to ``.npz``."""
+        np.savez_compressed(Path(path), values=self.values)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "QTable":
+        """Load a table saved by :meth:`save`.
+
+        Raises:
+            PolicyError: If the file is missing the expected array.
+        """
+        with np.load(Path(path)) as data:
+            if "values" not in data:
+                raise PolicyError(f"{path} is not a saved Q-table")
+            values = data["values"]
+        if values.ndim != 2:
+            raise PolicyError(f"saved Q-table has bad shape {values.shape}")
+        table = cls(values.shape[0], values.shape[1])
+        table.values = values.astype(float)
+        return table

@@ -1,0 +1,78 @@
+"""Reward shaping for the power-management agent.
+
+The paper's objective is energy per unit QoS "without compromising the
+user satisfaction": spend as little energy as possible subject to
+deadlines being met.  The interval reward is
+
+    r = -(E_interval / E_scale) - lambda_qos * qos_penalty
+
+where ``E_scale`` normalises cluster energy to roughly [0, 1] per
+interval and the QoS penalty combines realised deadline misses with the
+urgency of the pending queue (so the agent is punished *before* the
+miss actually lands — the predictive part).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PolicyError
+from repro.sim.telemetry import ClusterObservation
+
+
+@dataclass(frozen=True)
+class RewardConfig:
+    """Parameters of the interval reward.
+
+    Attributes:
+        energy_scale_j: Energy that maps to one unit of penalty; a good
+            choice is the cluster's top-OPP full-load interval energy.
+        lambda_qos: Weight of the QoS penalty against normalised energy.
+            Larger values buy QoS with energy; swept by ablation A2.
+        slack_threshold: Queue slack below which urgency starts being
+            penalised (anticipatory term).
+        miss_penalty: Penalty per realised deadline miss in the interval.
+    """
+
+    energy_scale_j: float
+    lambda_qos: float = 4.0
+    slack_threshold: float = 0.5
+    miss_penalty: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.energy_scale_j <= 0:
+            raise PolicyError(f"energy scale must be positive: {self.energy_scale_j}")
+        if self.lambda_qos < 0:
+            raise PolicyError(f"lambda_qos must be non-negative: {self.lambda_qos}")
+        if not 0.0 <= self.slack_threshold <= 1.0:
+            raise PolicyError(
+                f"slack threshold must be in [0, 1]: {self.slack_threshold}"
+            )
+        if self.miss_penalty < 0:
+            raise PolicyError(f"miss penalty must be non-negative: {self.miss_penalty}")
+
+    def compute(self, obs: ClusterObservation) -> float:
+        """The reward earned over the observed interval."""
+        energy_term = obs.energy_j / self.energy_scale_j
+        urgency = 0.0
+        if obs.qos_slack < self.slack_threshold:
+            urgency = (self.slack_threshold - obs.qos_slack) / self.slack_threshold
+        qos_term = self.miss_penalty * obs.deadline_misses + urgency
+        return -energy_term - self.lambda_qos * qos_term
+
+
+def default_energy_scale(
+    ceff_f: float, voltage_v: float, freq_hz: float, n_cores: int, interval_s: float
+) -> float:
+    """Top-OPP full-load interval energy — the natural reward normaliser.
+
+    Args:
+        ceff_f: Core effective capacitance.
+        voltage_v: Top-OPP voltage.
+        freq_hz: Top-OPP frequency.
+        n_cores: Cores in the cluster.
+        interval_s: Decision interval.
+    """
+    if min(ceff_f, voltage_v, freq_hz, interval_s) <= 0 or n_cores < 1:
+        raise PolicyError("energy scale parameters must be positive")
+    return ceff_f * voltage_v * voltage_v * freq_hz * n_cores * interval_s

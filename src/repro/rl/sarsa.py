@@ -1,0 +1,75 @@
+"""SARSA: the on-policy TD learner, kept as an ablation (A3).
+
+SARSA bootstraps from the action the behaviour policy *actually* takes
+instead of the greedy one; with the same exploration it is typically
+slightly more conservative near QoS cliffs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PolicyError
+from repro.rl.exploration import EpsilonGreedy, EpsilonSchedule
+from repro.rl.qtable import QTable
+
+
+class SarsaAgent:
+    """Tabular SARSA with epsilon-greedy behaviour.
+
+    Update rule: ``Q(s,a) += alpha * (r + gamma * Q(s', a') - Q(s,a))``
+    where ``a'`` is the action the agent will take in ``s'``.
+
+    Args mirror :class:`repro.rl.qlearning.QLearningAgent`.
+    """
+
+    def __init__(
+        self,
+        n_states: int,
+        n_actions: int,
+        alpha: float = 0.2,
+        gamma: float = 0.9,
+        epsilon: EpsilonSchedule | None = None,
+        seed: int = 0,
+        initial_q: float = 0.0,
+    ):
+        if not 0.0 < alpha <= 1.0:
+            raise PolicyError(f"alpha must be in (0, 1]: {alpha}")
+        if not 0.0 <= gamma < 1.0:
+            raise PolicyError(f"gamma must be in [0, 1): {gamma}")
+        self.alpha = alpha
+        self.gamma = gamma
+        self.table = QTable(n_states, n_actions, initial_value=initial_q)
+        self.explorer = EpsilonGreedy(
+            epsilon or EpsilonSchedule(), n_actions, seed=seed
+        )
+        self.updates = 0
+
+    @property
+    def n_actions(self) -> int:
+        return self.table.n_actions
+
+    @property
+    def n_states(self) -> int:
+        return self.table.n_states
+
+    def act(self, state: int) -> int:
+        """Epsilon-greedy action for ``state``."""
+        return self.explorer.select(self.table.row(state))
+
+    def act_greedy(self, state: int) -> int:
+        """Pure-exploitation action."""
+        return self.table.argmax(state)
+
+    def update(
+        self, state: int, action: int, reward: float, next_state: int, next_action: int
+    ) -> float:
+        """Apply one SARSA update given the successor state *and action*.
+
+        Returns:
+            The temporal-difference error before scaling by alpha.
+        """
+        q = self.table.get(state, action)
+        target = reward + self.gamma * self.table.get(next_state, next_action)
+        td_error = target - q
+        self.table.set(state, action, q + self.alpha * td_error)
+        self.updates += 1
+        return td_error

@@ -1,0 +1,23 @@
+"""Simulation engine: interval loop, scheduling, telemetry, results."""
+
+from repro.sim.engine import Simulator
+from repro.sim.residency import ResidencyReport, residency
+from repro.sim.result import IntervalSample, SimulationResult
+from repro.sim.scheduler import HMPScheduler, PinnedScheduler, Scheduler
+from repro.sim.telemetry import ClusterObservation, initial_observation
+from repro.sim.timeline import timeline_from_csv, timeline_to_csv
+
+__all__ = [
+    "ClusterObservation",
+    "HMPScheduler",
+    "IntervalSample",
+    "PinnedScheduler",
+    "ResidencyReport",
+    "Scheduler",
+    "SimulationResult",
+    "Simulator",
+    "initial_observation",
+    "residency",
+    "timeline_from_csv",
+    "timeline_to_csv",
+]

@@ -1,0 +1,101 @@
+"""Frequency-residency statistics.
+
+Where did each cluster spend its time?  Residency histograms over OPP
+indices are the standard way to explain *why* one governor beats
+another (racing vs. sitting at "just enough"), and are computed from a
+result's recorded interval samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.result import SimulationResult
+
+
+@dataclass(frozen=True)
+class ResidencyReport:
+    """Per-cluster OPP residency of one run.
+
+    Attributes:
+        cluster: Cluster name.
+        counts: Intervals spent at each OPP index (index = position).
+        switches: Number of interval-to-interval OPP changes observed.
+    """
+
+    cluster: str
+    counts: tuple[int, ...]
+    switches: int
+
+    @property
+    def total_intervals(self) -> int:
+        return sum(self.counts)
+
+    @property
+    def fractions(self) -> tuple[float, ...]:
+        """Residency as fractions of the run."""
+        total = self.total_intervals
+        if total == 0:
+            raise SimulationError("residency report has no samples")
+        return tuple(c / total for c in self.counts)
+
+    @property
+    def mean_opp(self) -> float:
+        """Time-weighted mean OPP index."""
+        total = self.total_intervals
+        if total == 0:
+            raise SimulationError("residency report has no samples")
+        return sum(i * c for i, c in enumerate(self.counts)) / total
+
+    @property
+    def switch_rate(self) -> float:
+        """OPP switches per interval, in [0, 1]."""
+        total = self.total_intervals
+        return self.switches / total if total else 0.0
+
+    def render(self, width: int = 30) -> str:
+        """An ASCII residency histogram."""
+        peak = max(self.counts) if self.counts else 0
+        lines = [f"{self.cluster}: mean OPP {self.mean_opp:.2f}, "
+                 f"switch rate {self.switch_rate:.2%}"]
+        for i, count in enumerate(self.counts):
+            bar = "█" * (count * width // peak if peak else 0)
+            lines.append(f"  opp {i:2d} | {bar} {count}")
+        return "\n".join(lines)
+
+
+def residency(result: SimulationResult, n_opps: dict[str, int] | None = None
+              ) -> dict[str, ResidencyReport]:
+    """Compute per-cluster residency from a result's samples.
+
+    Args:
+        result: A run executed with ``record_samples=True``.
+        n_opps: Optional OPP-table sizes per cluster (histogram lengths);
+            inferred from the highest index seen when omitted.
+
+    Raises:
+        SimulationError: If the result carries no samples.
+    """
+    if not result.samples:
+        raise SimulationError(
+            "result has no samples; run the simulator with record_samples=True"
+        )
+    clusters = list(result.samples[0].opp_indices)
+    reports: dict[str, ResidencyReport] = {}
+    for name in clusters:
+        series = [s.opp_indices[name] for s in result.samples]
+        size = (n_opps or {}).get(name, max(series) + 1)
+        if size <= max(series):
+            raise SimulationError(
+                f"cluster {name!r}: n_opps {size} smaller than observed "
+                f"index {max(series)}"
+            )
+        counts = [0] * size
+        for idx in series:
+            counts[idx] += 1
+        switches = sum(1 for a, b in zip(series, series[1:]) if a != b)
+        reports[name] = ResidencyReport(
+            cluster=name, counts=tuple(counts), switches=switches
+        )
+    return reports

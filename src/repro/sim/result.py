@@ -1,0 +1,74 @@
+"""Simulation results: per-run summary plus optional interval traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.qos.energy_per_qos import energy_per_qos
+from repro.qos.metrics import QoSReport
+from repro.sim.telemetry import ClusterObservation
+
+
+@dataclass(frozen=True)
+class IntervalSample:
+    """One interval's chip-level sample for time-series reporting."""
+
+    time_s: float
+    power_w: float
+    opp_indices: dict[str, int]
+    utilizations: dict[str, float]
+    queue_jobs: int
+
+
+@dataclass
+class SimulationResult:
+    """Everything a benchmark needs from one simulated run.
+
+    Attributes:
+        governor: Name of the policy that ran.
+        trace_name: Name of the workload trace.
+        duration_s: Simulated wall time.
+        total_energy_j: Chip energy over the run.
+        dynamic_energy_j / leakage_energy_j / uncore_energy_j: Breakdown.
+        qos: Aggregated QoS report.
+        intervals: Number of simulated intervals.
+        opp_switches: Total OPP changes across clusters (DVFS activity).
+        samples: Optional per-interval time series (kept when the engine
+            is constructed with ``record_samples=True``).
+        observations: Optional full per-cluster observation log.
+    """
+
+    governor: str
+    trace_name: str
+    duration_s: float
+    total_energy_j: float
+    dynamic_energy_j: float
+    leakage_energy_j: float
+    uncore_energy_j: float
+    qos: QoSReport
+    intervals: int
+    opp_switches: int
+    samples: list[IntervalSample] = field(default_factory=list)
+    observations: dict[str, list[ClusterObservation]] = field(default_factory=dict)
+
+    @property
+    def energy_per_qos_j(self) -> float:
+        """The paper's headline metric for this run."""
+        return energy_per_qos(self.total_energy_j, self.qos)
+
+    @property
+    def average_power_w(self) -> float:
+        if self.duration_s <= 0:
+            raise SimulationError("run has zero duration")
+        return self.total_energy_j / self.duration_s
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.governor:>12s} on {self.trace_name:<20s} "
+            f"E={self.total_energy_j:7.2f} J  QoS={self.qos.mean_qos:5.3f}  "
+            f"miss={self.qos.deadline_miss_rate:6.2%}  "
+            f"E/QoS={self.energy_per_qos_j * 1e3:8.3f} mJ/unit  "
+            f"P={self.average_power_w:5.2f} W"
+        )

@@ -1,0 +1,77 @@
+"""Exporting per-interval time series for external analysis.
+
+A run executed with ``record_samples=True`` carries an
+:class:`~repro.sim.result.IntervalSample` per interval; this module
+flattens that into CSV (power, per-cluster OPP and utilisation, queue
+depth) so users can plot with whatever they like, and reads it back.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.errors import SimulationError
+from repro.sim.result import IntervalSample, SimulationResult
+
+
+def timeline_to_csv(result: SimulationResult, path: str | Path) -> None:
+    """Write a sampled run's time series as CSV.
+
+    Columns: ``time_s, power_w, queue_jobs, opp_<cluster>...,
+    util_<cluster>...`` in cluster-name order.
+
+    Raises:
+        SimulationError: If the run was not executed with
+            ``record_samples=True``.
+    """
+    if not result.samples:
+        raise SimulationError(
+            "result has no samples; run the simulator with record_samples=True"
+        )
+    clusters = sorted(result.samples[0].opp_indices)
+    fields = (
+        ["time_s", "power_w", "queue_jobs"]
+        + [f"opp_{c}" for c in clusters]
+        + [f"util_{c}" for c in clusters]
+    )
+    with Path(path).open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(fields)
+        for s in result.samples:
+            writer.writerow(
+                [repr(s.time_s), repr(s.power_w), s.queue_jobs]
+                + [s.opp_indices[c] for c in clusters]
+                + [repr(s.utilizations[c]) for c in clusters]
+            )
+
+
+def timeline_from_csv(path: str | Path) -> list[IntervalSample]:
+    """Read samples written by :func:`timeline_to_csv`.
+
+    Raises:
+        SimulationError: On missing columns or unparseable rows.
+    """
+    path = Path(path)
+    samples: list[IntervalSample] = []
+    with path.open(newline="") as f:
+        reader = csv.DictReader(f)
+        names = reader.fieldnames or []
+        clusters = [c.removeprefix("opp_") for c in names if c.startswith("opp_")]
+        required = {"time_s", "power_w", "queue_jobs"}
+        if not required <= set(names) or not clusters:
+            raise SimulationError(f"{path} is not a timeline CSV (columns: {names})")
+        for lineno, row in enumerate(reader, start=2):
+            try:
+                samples.append(
+                    IntervalSample(
+                        time_s=float(row["time_s"]),
+                        power_w=float(row["power_w"]),
+                        queue_jobs=int(row["queue_jobs"]),
+                        opp_indices={c: int(row[f"opp_{c}"]) for c in clusters},
+                        utilizations={c: float(row[f"util_{c}"]) for c in clusters},
+                    )
+                )
+            except (KeyError, ValueError) as exc:
+                raise SimulationError(f"{path}:{lineno}: bad timeline row: {exc}") from exc
+    return samples

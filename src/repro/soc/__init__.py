@@ -1,0 +1,35 @@
+"""MPSoC substrate: cores, clusters, OPP tables, and chip presets."""
+
+from repro.soc.chip import Chip
+from repro.soc.cluster import Cluster, ClusterSpec
+from repro.soc.core import BIG_CORE, LITTLE_CORE, CoreSpec, CoreState
+from repro.soc.opp import OperatingPoint, OPPTable, make_table
+from repro.soc.presets import (
+    PRESETS,
+    exynos5422,
+    symmetric_quad,
+    tiny_test_chip,
+)
+from repro.soc.devicetree import chip_from_dict, chip_from_json, chip_to_dict
+from repro.soc.transition import DVFSTransitionModel
+
+__all__ = [
+    "BIG_CORE",
+    "LITTLE_CORE",
+    "Chip",
+    "Cluster",
+    "ClusterSpec",
+    "CoreSpec",
+    "CoreState",
+    "DVFSTransitionModel",
+    "OPPTable",
+    "OperatingPoint",
+    "PRESETS",
+    "chip_from_dict",
+    "chip_from_json",
+    "chip_to_dict",
+    "exynos5422",
+    "make_table",
+    "symmetric_quad",
+    "tiny_test_chip",
+]

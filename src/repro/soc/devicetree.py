@@ -1,0 +1,146 @@
+"""Building chips from device-tree-style descriptions.
+
+Vendors publish OPP tables and cluster topologies in device-tree
+sources; this module accepts the same information as a plain dict (or a
+JSON file) and builds a validated :class:`~repro.soc.chip.Chip`, so new
+SoCs can be described as data rather than code.
+
+Schema::
+
+    {
+      "name": "my-soc",
+      "clusters": [
+        {
+          "name": "big",
+          "cores": 4,
+          "core": {"name": "A72", "capacity": 2.2,
+                   "ceff_f": 5.5e-10, "leak_a_per_v": 0.10,
+                   "is_big": true},
+          "opps": [[500, 0.90], [1000, 1.00], [2000, 1.25]]
+        }
+      ]
+    }
+
+OPP entries are ``[freq_mhz, voltage_v]`` pairs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+from repro.soc.chip import Chip
+from repro.soc.cluster import ClusterSpec
+from repro.soc.core import CoreSpec
+from repro.soc.opp import make_table
+
+_CORE_FIELDS = {"name", "capacity", "ceff_f", "leak_a_per_v", "is_big"}
+_CLUSTER_FIELDS = {"name", "cores", "core", "opps"}
+
+
+def chip_from_dict(data: Mapping[str, Any]) -> Chip:
+    """Build a chip from a device-tree-style dict.
+
+    Raises:
+        ConfigurationError: On missing/unknown fields or any value the
+            underlying spec classes reject.
+    """
+    try:
+        name = data["name"]
+        clusters = data["clusters"]
+    except (KeyError, TypeError) as exc:
+        raise ConfigurationError(f"chip description needs 'name' and 'clusters': {exc}") from exc
+    if not isinstance(clusters, list) or not clusters:
+        raise ConfigurationError("'clusters' must be a non-empty list")
+    specs = [_cluster_from_dict(c, i) for i, c in enumerate(clusters)]
+    return Chip(str(name), specs)
+
+
+def _cluster_from_dict(data: Mapping[str, Any], index: int) -> ClusterSpec:
+    if not isinstance(data, Mapping):
+        raise ConfigurationError(f"cluster {index}: expected a mapping")
+    unknown = set(data) - _CLUSTER_FIELDS
+    if unknown:
+        raise ConfigurationError(
+            f"cluster {index}: unknown fields {sorted(unknown)}"
+        )
+    missing = _CLUSTER_FIELDS - set(data)
+    if missing:
+        raise ConfigurationError(
+            f"cluster {index}: missing fields {sorted(missing)}"
+        )
+    core_data = data["core"]
+    if not isinstance(core_data, Mapping):
+        raise ConfigurationError(f"cluster {index}: 'core' must be a mapping")
+    unknown_core = set(core_data) - _CORE_FIELDS
+    if unknown_core:
+        raise ConfigurationError(
+            f"cluster {index}: unknown core fields {sorted(unknown_core)}"
+        )
+    try:
+        core = CoreSpec(
+            name=str(core_data["name"]),
+            capacity=float(core_data["capacity"]),
+            ceff_f=float(core_data["ceff_f"]),
+            leak_a_per_v=float(core_data["leak_a_per_v"]),
+            is_big=bool(core_data.get("is_big", False)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"cluster {index}: bad core spec: {exc}") from exc
+
+    opps = data["opps"]
+    if not isinstance(opps, list) or not opps:
+        raise ConfigurationError(f"cluster {index}: 'opps' must be a non-empty list")
+    try:
+        freqs = [float(entry[0]) for entry in opps]
+        volts = [float(entry[1]) for entry in opps]
+    except (TypeError, ValueError, IndexError) as exc:
+        raise ConfigurationError(
+            f"cluster {index}: OPP entries must be [freq_mhz, voltage_v]: {exc}"
+        ) from exc
+    return ClusterSpec(
+        name=str(data["name"]),
+        core=core,
+        n_cores=int(data["cores"]),
+        opp_table=make_table(freqs, volts),
+    )
+
+
+def chip_from_json(path: str | Path) -> Chip:
+    """Build a chip from a JSON file following the dict schema.
+
+    Raises:
+        ConfigurationError: On unreadable/invalid JSON or schema errors.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot load chip from {path}: {exc}") from exc
+    return chip_from_dict(data)
+
+
+def chip_to_dict(chip: Chip) -> dict[str, Any]:
+    """The inverse: serialise a chip back to the dict schema."""
+    return {
+        "name": chip.name,
+        "clusters": [
+            {
+                "name": c.spec.name,
+                "cores": c.spec.n_cores,
+                "core": {
+                    "name": c.spec.core.name,
+                    "capacity": c.spec.core.capacity,
+                    "ceff_f": c.spec.core.ceff_f,
+                    "leak_a_per_v": c.spec.core.leak_a_per_v,
+                    "is_big": c.spec.core.is_big,
+                },
+                "opps": [
+                    [p.freq_mhz, p.voltage_v] for p in c.spec.opp_table
+                ],
+            }
+            for c in chip.clusters
+        ],
+    }

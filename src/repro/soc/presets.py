@@ -1,0 +1,89 @@
+"""Ready-made chip configurations.
+
+The flagship preset models an Exynos 5422-class big.LITTLE part (4x
+Cortex-A15 + 4x Cortex-A7), the canonical mobile MPSoC of the paper's
+era.  OPP frequencies follow the published cpufreq tables for that part;
+voltages follow the typical published DVFS curves.  Absolute calibration
+is not the goal — the preset preserves the *ratios* (big:LITTLE power,
+frequency range, OPP granularity) that drive governor behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.soc.chip import Chip
+from repro.soc.cluster import ClusterSpec
+from repro.soc.core import BIG_CORE, LITTLE_CORE, CoreSpec
+from repro.soc.opp import OPPTable, make_table
+
+# Exynos 5422 A15 cluster exposes 200 MHz steps from 200 MHz to 2.0 GHz.
+_BIG_FREQS_MHZ = [200, 400, 600, 800, 1000, 1200, 1400, 1600, 1800, 2000]
+_BIG_VOLTS = [0.90, 0.92, 0.95, 0.98, 1.02, 1.06, 1.11, 1.16, 1.22, 1.3625]
+
+# A7 cluster: 200 MHz to 1.4 GHz.
+_LITTLE_FREQS_MHZ = [200, 400, 600, 800, 1000, 1200, 1400]
+_LITTLE_VOLTS = [0.90, 0.92, 0.95, 1.00, 1.05, 1.12, 1.20]
+
+
+def big_opp_table() -> OPPTable:
+    """OPP table for the big (Cortex-A15-class) cluster."""
+    return make_table(_BIG_FREQS_MHZ, _BIG_VOLTS)
+
+
+def little_opp_table() -> OPPTable:
+    """OPP table for the LITTLE (Cortex-A7-class) cluster."""
+    return make_table(_LITTLE_FREQS_MHZ, _LITTLE_VOLTS)
+
+
+def exynos5422() -> Chip:
+    """A big.LITTLE 4+4 MPSoC modelled on the Exynos 5422.
+
+    Returns:
+        A fresh :class:`~repro.soc.chip.Chip` with ``"big"`` and
+        ``"little"`` clusters, OPPs at the table floor.
+    """
+    return Chip(
+        "exynos5422",
+        [
+            ClusterSpec("big", BIG_CORE, n_cores=4, opp_table=big_opp_table()),
+            ClusterSpec("little", LITTLE_CORE, n_cores=4, opp_table=little_opp_table()),
+        ],
+    )
+
+
+def symmetric_quad() -> Chip:
+    """A symmetric 4-core chip with a single mid-range cluster.
+
+    Used by the companion paper's symmetric-CPU experiments and handy for
+    tests that want one DVFS domain.
+    """
+    core = CoreSpec(name="A53", capacity=1.2, ceff_f=2.5e-10, leak_a_per_v=0.05)
+    freqs = [300, 500, 700, 900, 1100, 1300, 1500, 1700]
+    volts = [0.90, 0.93, 0.96, 1.00, 1.04, 1.09, 1.15, 1.22]
+    return Chip(
+        "symmetric-quad",
+        [ClusterSpec("cpu", core, n_cores=4, opp_table=make_table(freqs, volts))],
+    )
+
+
+def tiny_test_chip() -> Chip:
+    """A minimal 1-cluster, 1-core, 3-OPP chip for fast unit tests."""
+    core = CoreSpec(name="T", capacity=1.0, ceff_f=1e-10, leak_a_per_v=0.01)
+    return Chip(
+        "tiny",
+        [
+            ClusterSpec(
+                "cpu",
+                core,
+                n_cores=1,
+                opp_table=make_table([500, 1000, 1500], [0.9, 1.0, 1.1]),
+            )
+        ],
+    )
+
+
+PRESETS = {
+    "exynos5422": exynos5422,
+    "symmetric-quad": symmetric_quad,
+    "tiny": tiny_test_chip,
+}
+"""Registry of chip presets by name, used by the CLI and benches."""

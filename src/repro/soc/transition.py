@@ -1,0 +1,44 @@
+"""DVFS transition costs.
+
+An OPP change is not free: the voltage regulator ramps, the PLL relocks,
+and the cluster stalls meanwhile (tens of microseconds on mobile parts).
+Thrashy governors pay this cost every interval; the paper's motivation
+for a low-overhead policy includes exactly this "runtime overhead".
+
+The engine applies the stall as lost execution time in the switching
+interval and adds the transition energy to the cluster's bill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DVFSTransitionModel:
+    """Latency and energy of one OPP switch.
+
+    Attributes:
+        latency_s: Cluster stall per transition (regulator ramp + PLL
+            relock); mobile cpufreq drivers report 50-300 us.
+        rail_capacitance_f: Effective regulator output capacitance; the
+            energy of a voltage step is ``C * |V_new^2 - V_old^2| / 2``.
+        pll_energy_j: Fixed PLL relock energy per transition.
+    """
+
+    latency_s: float = 100e-6
+    rail_capacitance_f: float = 10e-6
+    pll_energy_j: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0 or self.rail_capacitance_f < 0 or self.pll_energy_j < 0:
+            raise ConfigurationError("transition costs must be non-negative")
+
+    def energy_j(self, v_from: float, v_to: float) -> float:
+        """Energy of one transition between two rail voltages."""
+        if v_from < 0 or v_to < 0:
+            raise ConfigurationError("voltages must be non-negative")
+        rail = 0.5 * self.rail_capacitance_f * abs(v_to * v_to - v_from * v_from)
+        return rail + self.pll_energy_j

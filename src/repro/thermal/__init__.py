@@ -1,0 +1,11 @@
+"""Thermal substrate: lumped-RC network and throttling."""
+
+from repro.thermal.rc import ThermalModel, ThermalNodeSpec, default_thermal_model
+from repro.thermal.throttle import ThermalThrottle
+
+__all__ = [
+    "ThermalModel",
+    "ThermalNodeSpec",
+    "ThermalThrottle",
+    "default_thermal_model",
+]

@@ -1,0 +1,126 @@
+"""Lumped-RC thermal model.
+
+One thermal node per cluster plus an ambient node.  Each node integrates
+
+    C * dT/dt = P_in - (T - T_amb) / R - sum_j (T - T_j) / R_couple
+
+with a forward-Euler step per simulation interval, which is stable for
+the interval lengths (10 ms) and time constants (seconds) involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ThermalNodeSpec:
+    """RC parameters for one thermal node.
+
+    Attributes:
+        name: Node name; matched to cluster names by the simulator.
+        r_c_per_w: Thermal resistance to ambient, degC per watt.
+        c_j_per_c: Thermal capacitance, joules per degC.
+    """
+
+    name: str
+    r_c_per_w: float
+    c_j_per_c: float
+
+    def __post_init__(self) -> None:
+        if self.r_c_per_w <= 0 or self.c_j_per_c <= 0:
+            raise ConfigurationError(
+                f"thermal R and C must be positive: R={self.r_c_per_w}, "
+                f"C={self.c_j_per_c}"
+            )
+
+
+class ThermalModel:
+    """Per-node lumped RC network with optional inter-node coupling.
+
+    Args:
+        nodes: Node specs, one per heat source (cluster).
+        ambient_c: Ambient temperature in Celsius.
+        coupling_r_c_per_w: Thermal resistance between every node pair
+            (silicon spreading); ``None`` disables coupling.
+    """
+
+    def __init__(
+        self,
+        nodes: list[ThermalNodeSpec],
+        ambient_c: float = 25.0,
+        coupling_r_c_per_w: float | None = 8.0,
+    ):
+        if not nodes:
+            raise ConfigurationError("thermal model needs at least one node")
+        names = [n.name for n in nodes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate thermal node names: {names}")
+        self.nodes = list(nodes)
+        self.ambient_c = ambient_c
+        self.coupling_r = coupling_r_c_per_w
+        self._temps: dict[str, float] = {n.name: ambient_c for n in nodes}
+
+    def temperature_c(self, name: str) -> float:
+        """Current temperature of a node.
+
+        Raises:
+            ConfigurationError: For unknown node names.
+        """
+        try:
+            return self._temps[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown thermal node {name!r}; have {sorted(self._temps)}"
+            ) from None
+
+    @property
+    def max_temperature_c(self) -> float:
+        """Hottest node temperature."""
+        return max(self._temps.values())
+
+    def step(self, power_w: dict[str, float], dt_s: float) -> dict[str, float]:
+        """Advance the network by ``dt_s`` seconds.
+
+        Args:
+            power_w: Heat injected per node name over the step, watts.
+                Missing nodes receive zero power; unknown names raise.
+            dt_s: Step length in seconds.
+
+        Returns:
+            The new temperatures, keyed by node name.
+        """
+        if dt_s <= 0:
+            raise ConfigurationError(f"time step must be positive: {dt_s}")
+        unknown = set(power_w) - set(self._temps)
+        if unknown:
+            raise ConfigurationError(f"power given for unknown nodes: {sorted(unknown)}")
+        new_temps: dict[str, float] = {}
+        for spec in self.nodes:
+            t = self._temps[spec.name]
+            p = power_w.get(spec.name, 0.0)
+            flow = p - (t - self.ambient_c) / spec.r_c_per_w
+            if self.coupling_r is not None:
+                for other in self.nodes:
+                    if other.name != spec.name:
+                        flow -= (t - self._temps[other.name]) / self.coupling_r
+            new_temps[spec.name] = t + dt_s * flow / spec.c_j_per_c
+        self._temps = new_temps
+        return dict(new_temps)
+
+    def reset(self) -> None:
+        """Return all nodes to ambient."""
+        self._temps = {n.name: self.ambient_c for n in self.nodes}
+
+
+def default_thermal_model(cluster_names: list[str], ambient_c: float = 25.0) -> ThermalModel:
+    """A reasonable phone-form-factor thermal model for the given clusters.
+
+    Big-ish time constants: R = 12 degC/W and C = 0.4 J/degC give a ~5 s
+    time constant, matching the multi-second heat-up behaviour of
+    passively cooled handsets.
+    """
+    nodes = [ThermalNodeSpec(name, r_c_per_w=12.0, c_j_per_c=0.4) for name in cluster_names]
+    return ThermalModel(nodes, ambient_c=ambient_c)

@@ -1,0 +1,42 @@
+"""Workload substrate: work units, phases, scenarios, traces."""
+
+from repro.workload.characterize import WorkloadProfile, compare_profiles, profile
+from repro.workload.feasibility import FeasibilityReport, check_feasibility
+from repro.workload.fit import PhaseFit, fit_phase_machine
+from repro.workload.generator import TraceGenerator
+from repro.workload.mix import mix_scenarios
+from repro.workload.perturb import jitter_releases, scale_demand, tighten_deadlines
+from repro.workload.phases import PhaseMachine, PhaseSpec
+from repro.workload.scenarios import (
+    EVALUATION_SET,
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+)
+from repro.workload.task import Job, WorkUnit
+from repro.workload.trace import Trace, concat
+
+__all__ = [
+    "EVALUATION_SET",
+    "FeasibilityReport",
+    "Job",
+    "PhaseFit",
+    "PhaseMachine",
+    "PhaseSpec",
+    "SCENARIOS",
+    "Scenario",
+    "Trace",
+    "TraceGenerator",
+    "WorkUnit",
+    "WorkloadProfile",
+    "check_feasibility",
+    "compare_profiles",
+    "concat",
+    "fit_phase_machine",
+    "get_scenario",
+    "jitter_releases",
+    "mix_scenarios",
+    "profile",
+    "scale_demand",
+    "tighten_deadlines",
+]

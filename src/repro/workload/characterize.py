@@ -1,0 +1,148 @@
+"""Workload characterisation.
+
+The paper's premise is that mobile scenarios have distinct *behavioural
+characteristics* a policy can learn.  This module computes those
+characteristics from a trace — demand statistics, burstiness, phase
+residency, deadline tightness — both to sanity-check the generators and
+to characterise user-supplied traces before training on them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workload.trace import Trace
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Summary statistics of one trace.
+
+    Attributes:
+        name: The trace's name.
+        n_units: Number of work units.
+        duration_s: Trace horizon.
+        mean_rate: Mean demand rate, reference cycles per second.
+        peak_rate: Highest windowed demand rate observed.
+        burstiness: Peak rate over mean rate (1.0 = perfectly flat).
+        demand_cv: Coefficient of variation of windowed demand.
+        mean_unit_work: Mean per-unit demand.
+        mean_slack_s: Mean deadline slack (deadline - release).
+        tightness: Mean of (single-thread service time at a 1 GHz
+            reference core) / slack — how hard deadlines press; > 1 means
+            a 1 GHz reference core cannot keep up single-threaded.
+        kind_shares: Fraction of total work per unit kind (phase label).
+        window_s: The windowing used for rate statistics.
+    """
+
+    name: str
+    n_units: int
+    duration_s: float
+    mean_rate: float
+    peak_rate: float
+    burstiness: float
+    demand_cv: float
+    mean_unit_work: float
+    mean_slack_s: float
+    tightness: float
+    kind_shares: dict[str, float]
+    window_s: float
+
+    def dominant_kind(self) -> str:
+        """The unit kind carrying the most work."""
+        return max(self.kind_shares, key=self.kind_shares.get)  # type: ignore[arg-type]
+
+    def summary(self) -> str:
+        """A short multi-line human-readable profile."""
+        kinds = ", ".join(
+            f"{k}:{v:.0%}" for k, v in sorted(
+                self.kind_shares.items(), key=lambda kv: -kv[1]
+            )
+        )
+        return (
+            f"{self.name}: {self.n_units} units over {self.duration_s:.1f} s\n"
+            f"  demand    {self.mean_rate / 1e9:.2f} Gcycle/s mean, "
+            f"{self.peak_rate / 1e9:.2f} peak "
+            f"(burstiness {self.burstiness:.1f}x, cv {self.demand_cv:.2f})\n"
+            f"  deadlines {self.mean_slack_s * 1e3:.1f} ms mean slack, "
+            f"tightness {self.tightness:.2f}\n"
+            f"  work mix  {kinds}"
+        )
+
+
+def profile(trace: Trace, window_s: float = 0.1) -> WorkloadProfile:
+    """Characterise a trace.
+
+    Args:
+        trace: The trace to profile; must contain at least one unit.
+        window_s: Window length for rate statistics.
+
+    Raises:
+        WorkloadError: For an empty trace or non-positive window.
+    """
+    if len(trace) == 0:
+        raise WorkloadError("cannot profile an empty trace")
+    if window_s <= 0:
+        raise WorkloadError(f"window must be positive: {window_s}")
+
+    n_windows = max(1, math.ceil(trace.duration_s / window_s))
+    windowed = np.zeros(n_windows)
+    kind_work: dict[str, float] = {}
+    slack_sum = 0.0
+    tight_sum = 0.0
+    for u in trace:
+        idx = min(int(u.release_s / window_s), n_windows - 1)
+        windowed[idx] += u.work
+        kind_work[u.kind] = kind_work.get(u.kind, 0.0) + u.work
+        slack_sum += u.slack_s
+        service_1ghz = u.work / 1e9
+        tight_sum += service_1ghz / u.slack_s
+
+    rates = windowed / window_s
+    mean_rate = float(trace.total_work / trace.duration_s)
+    peak_rate = float(rates.max())
+    total = trace.total_work
+    return WorkloadProfile(
+        name=trace.name,
+        n_units=len(trace),
+        duration_s=trace.duration_s,
+        mean_rate=mean_rate,
+        peak_rate=peak_rate,
+        burstiness=peak_rate / mean_rate if mean_rate > 0 else 1.0,
+        demand_cv=float(rates.std() / rates.mean()) if rates.mean() > 0 else 0.0,
+        mean_unit_work=total / len(trace),
+        mean_slack_s=slack_sum / len(trace),
+        tightness=tight_sum / len(trace),
+        kind_shares={k: w / total for k, w in kind_work.items()},
+        window_s=window_s,
+    )
+
+
+def compare_profiles(profiles: list[WorkloadProfile]) -> str:
+    """Render a comparison table across several profiles."""
+    from repro.analysis.tables import format_table
+
+    if not profiles:
+        raise WorkloadError("need at least one profile")
+    rows = [
+        (
+            p.name,
+            p.mean_rate / 1e9,
+            p.burstiness,
+            p.demand_cv,
+            p.mean_slack_s * 1e3,
+            p.tightness,
+            p.dominant_kind(),
+        )
+        for p in profiles
+    ]
+    return format_table(
+        ["trace", "mean Gc/s", "burstiness", "cv", "slack [ms]", "tightness",
+         "dominant kind"],
+        rows,
+        title="workload characterisation",
+    )

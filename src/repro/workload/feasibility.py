@@ -1,0 +1,108 @@
+"""Trace feasibility analysis against a chip.
+
+Before blaming a governor for missed deadlines, check the work was
+schedulable at all: even the performance governor cannot finish a unit
+whose single-thread demand exceeds the fastest core's speed.  This
+module computes per-unit and aggregate feasibility bounds — necessary
+conditions (a feasible verdict does not guarantee an online scheduler
+finds the schedule, but an infeasible one guarantees misses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.soc.chip import Chip
+from repro.workload.task import WorkUnit
+from repro.workload.trace import Trace
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Feasibility of one trace on one chip.
+
+    Attributes:
+        n_units: Units analysed.
+        infeasible_units: Units whose own deadline is unmeetable even at
+            the chip's fastest single-thread (x parallelism) rate.
+        utilization_bound: Mean demand rate over the chip's total peak
+            rate; > 1 means aggregate overload.
+        peak_window_bound: The worst windowed demand over peak rate.
+        window_s: The window used for the peak bound.
+    """
+
+    n_units: int
+    infeasible_units: tuple[int, ...]
+    utilization_bound: float
+    peak_window_bound: float
+    window_s: float
+
+    @property
+    def feasible(self) -> bool:
+        """Whether no necessary condition is violated."""
+        return (
+            not self.infeasible_units
+            and self.utilization_bound <= 1.0
+            and self.peak_window_bound <= 1.0
+        )
+
+    def summary(self) -> str:
+        """One-line verdict with the binding bound."""
+        verdict = "feasible" if self.feasible else "INFEASIBLE"
+        return (
+            f"{verdict}: {len(self.infeasible_units)}/{self.n_units} "
+            f"per-unit violations, utilisation {self.utilization_bound:.2f}, "
+            f"peak window {self.peak_window_bound:.2f}"
+        )
+
+
+def _unit_feasible(unit: WorkUnit, chip: Chip) -> bool:
+    best_rate = max(
+        cluster.spec.core.capacity
+        * cluster.spec.opp_table.max_freq_hz
+        * min(unit.min_parallelism, cluster.n_cores)
+        for cluster in chip
+    )
+    return unit.work / best_rate <= unit.slack_s
+
+
+def check_feasibility(
+    trace: Trace, chip: Chip, window_s: float = 0.1
+) -> FeasibilityReport:
+    """Analyse a trace's schedulability on a chip.
+
+    Args:
+        trace: The workload (non-empty).
+        chip: The target chip (peak rates from its top OPPs).
+        window_s: Window for the transient-overload bound.
+
+    Raises:
+        WorkloadError: For an empty trace or non-positive window.
+    """
+    if len(trace) == 0:
+        raise WorkloadError("cannot analyse an empty trace")
+    if window_s <= 0:
+        raise WorkloadError(f"window must be positive: {window_s}")
+    peak_rate = sum(
+        c.spec.core.capacity * c.spec.opp_table.max_freq_hz * c.n_cores
+        for c in chip
+    )
+    infeasible = tuple(
+        u.uid for u in trace if not _unit_feasible(u, chip)
+    )
+    import math
+
+    n_windows = max(1, math.ceil(trace.duration_s / window_s))
+    windowed = [0.0] * n_windows
+    for u in trace:
+        idx = min(int(u.release_s / window_s), n_windows - 1)
+        windowed[idx] += u.work
+    peak_window = max(windowed) / (window_s * peak_rate)
+    return FeasibilityReport(
+        n_units=len(trace),
+        infeasible_units=infeasible,
+        utilization_bound=trace.mean_demand_rate / peak_rate,
+        peak_window_bound=peak_window,
+        window_s=window_s,
+    )

@@ -1,0 +1,186 @@
+"""Fitting a phase machine to an observed trace.
+
+Users with recorded device traces (imported through
+:meth:`repro.workload.trace.Trace.from_csv`) can distil them into a
+generative :class:`~repro.workload.phases.PhaseMachine` — useful for
+augmenting a short recording into arbitrarily long, statistically
+similar training workloads.
+
+The fit is deliberately simple and fully deterministic:
+
+1. window the trace and compute per-window demand;
+2. cluster window demand into K levels (1-D k-means);
+3. treat maximal runs of the same level as phase dwells;
+4. estimate each level's emission period, work distribution, and
+   deadline factor from its member units, and the transition matrix
+   from observed level changes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workload.phases import PhaseMachine, PhaseSpec
+from repro.workload.trace import Trace
+
+
+@dataclass(frozen=True)
+class PhaseFit:
+    """Result of fitting a phase machine to a trace.
+
+    Attributes:
+        machine: The fitted generative model.
+        levels: The demand level (reference cycles per window) of each
+            fitted phase, ascending.
+        assignments: Per-window phase indices from the clustering.
+    """
+
+    machine: PhaseMachine
+    levels: tuple[float, ...]
+    assignments: tuple[int, ...]
+
+
+def _kmeans_1d(values: np.ndarray, k: int, iterations: int = 50) -> np.ndarray:
+    """Deterministic 1-D k-means: centroids seeded at quantiles."""
+    quantiles = np.linspace(0.0, 1.0, k + 2)[1:-1]
+    centroids = np.quantile(values, quantiles)
+    for _ in range(iterations):
+        assignment = np.abs(values[:, None] - centroids[None, :]).argmin(axis=1)
+        new_centroids = centroids.copy()
+        for j in range(k):
+            members = values[assignment == j]
+            if len(members):
+                new_centroids[j] = members.mean()
+        if np.allclose(new_centroids, centroids):
+            break
+        centroids = new_centroids
+    order = np.argsort(centroids)
+    return centroids[order]
+
+
+def fit_phase_machine(
+    trace: Trace,
+    n_phases: int = 3,
+    window_s: float = 0.25,
+    min_dwell_s: float = 0.1,
+) -> PhaseFit:
+    """Fit an ``n_phases``-state phase machine to a trace.
+
+    Args:
+        trace: The observed trace (>= ``n_phases`` windows of data).
+        n_phases: Number of demand levels to fit.
+        window_s: Windowing used for level clustering.
+        min_dwell_s: Floor on the fitted phases' dwell time.
+
+    Raises:
+        WorkloadError: If the trace is empty or too short to fit.
+    """
+    if len(trace) == 0:
+        raise WorkloadError("cannot fit an empty trace")
+    if n_phases < 1:
+        raise WorkloadError(f"need at least one phase: {n_phases}")
+    if window_s <= 0:
+        raise WorkloadError(f"window must be positive: {window_s}")
+    n_windows = max(1, math.ceil(trace.duration_s / window_s))
+    if n_windows < n_phases:
+        raise WorkloadError(
+            f"trace has {n_windows} windows but {n_phases} phases requested"
+        )
+
+    demand = np.zeros(n_windows)
+    window_units: list[list] = [[] for _ in range(n_windows)]
+    for u in trace:
+        idx = min(int(u.release_s / window_s), n_windows - 1)
+        demand[idx] += u.work
+        window_units[idx].append(u)
+
+    centroids = _kmeans_1d(demand, n_phases)
+    assignment = np.abs(demand[:, None] - centroids[None, :]).argmin(axis=1)
+
+    phases: list[PhaseSpec] = []
+    counts = np.zeros((n_phases, n_phases))
+    for level in range(n_phases):
+        member_windows = [i for i in range(n_windows) if assignment[i] == level]
+        units = [u for i in member_windows for u in window_units[i]]
+        dwell = _mean_run_length(assignment, level) * window_s
+        if units:
+            works = np.array([u.work for u in units])
+            # Windows at phase boundaries mix units from two phases; a
+            # median plus a trim to the median's decade is robust to the
+            # stragglers where a plain mean is not.
+            median = float(np.median(works))
+            core = works[(works > median / 5) & (works < median * 5)]
+            if len(core) == 0:
+                core = works
+            work_mean = float(core.mean())
+            work_cv = float(core.std() / core.mean()) if core.mean() > 0 else 0.0
+            # Period: units per member window.
+            period = window_s * len(member_windows) / len(units)
+            slack = float(np.mean([u.slack_s for u in units]))
+            deadline_factor = max(slack / period, 0.1)
+            phases.append(
+                PhaseSpec(
+                    name=f"level{level}",
+                    period_s=period,
+                    work_mean=work_mean,
+                    work_cv=work_cv,
+                    deadline_factor=deadline_factor,
+                    dwell_mean_s=max(dwell, min_dwell_s),
+                    dwell_min_s=min_dwell_s,
+                )
+            )
+        else:
+            phases.append(
+                PhaseSpec(
+                    name=f"level{level}",
+                    period_s=0.0,
+                    work_mean=0.0,
+                    work_cv=0.0,
+                    deadline_factor=1.0,
+                    dwell_mean_s=max(dwell, min_dwell_s),
+                    dwell_min_s=min_dwell_s,
+                )
+            )
+    # Transition counts between *runs* (self-transitions excluded unless
+    # a phase never leaves).
+    for a, b in zip(assignment, assignment[1:]):
+        if a != b:
+            counts[a][b] += 1
+    matrix = []
+    for i in range(n_phases):
+        row = counts[i]
+        total = row.sum()
+        if total == 0:
+            # Never observed leaving: self-loop.
+            row = np.zeros(n_phases)
+            row[i] = 1.0
+        else:
+            row = row / total
+        matrix.append(list(row))
+
+    initial = int(assignment[0])
+    machine = PhaseMachine(phases, matrix, initial=initial)
+    return PhaseFit(
+        machine=machine,
+        levels=tuple(float(c) for c in centroids),
+        assignments=tuple(int(a) for a in assignment),
+    )
+
+
+def _mean_run_length(assignment: np.ndarray, level: int) -> float:
+    """Mean length (in windows) of maximal runs of ``level``."""
+    runs: list[int] = []
+    current = 0
+    for a in assignment:
+        if a == level:
+            current += 1
+        elif current:
+            runs.append(current)
+            current = 0
+    if current:
+        runs.append(current)
+    return float(np.mean(runs)) if runs else 1.0

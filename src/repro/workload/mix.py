@@ -1,0 +1,102 @@
+"""Composing scenarios into usage mixes.
+
+``mixed_daily`` is one hand-built mix; this module builds such mixes
+programmatically from any set of scenarios: each component contributes
+its phases, and a top-level Markov structure switches between
+components with dwell proportions you choose — "40% browsing, 40%
+video, 20% gaming" as one generative scenario.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workload.phases import PhaseMachine, PhaseSpec
+from repro.workload.scenarios import Scenario, get_scenario
+
+
+def mix_scenarios(
+    weights: dict[str, float],
+    name: str = "mix",
+    switch_stickiness: float = 0.7,
+) -> Scenario:
+    """Build a composite scenario from weighted components.
+
+    Phases of each component keep their internal transition structure;
+    on leaving a component (probability ``1 - switch_stickiness`` at
+    each phase exit) the next component is drawn by weight.
+
+    Args:
+        weights: ``{scenario_name: weight}``; weights must be positive
+            and there must be at least two components.
+        name: Name of the composite scenario.
+        switch_stickiness: Probability mass kept inside the current
+            component at each phase transition, in [0, 1).
+
+    Returns:
+        A new :class:`~repro.workload.scenarios.Scenario`.
+
+    Raises:
+        WorkloadError: On bad weights or unknown scenario names.
+    """
+    if len(weights) < 2:
+        raise WorkloadError("a mix needs at least two component scenarios")
+    if any(w <= 0 for w in weights.values()):
+        raise WorkloadError(f"mix weights must be positive: {weights}")
+    if not 0.0 <= switch_stickiness < 1.0:
+        raise WorkloadError(
+            f"switch_stickiness must be in [0, 1): {switch_stickiness}"
+        )
+    components = {n: get_scenario(n) for n in weights}  # validates names
+    total_weight = sum(weights.values())
+
+    def machine_factory() -> PhaseMachine:
+        # Collect phases, namespaced per component to avoid collisions.
+        phases: list[PhaseSpec] = []
+        spans: dict[str, tuple[int, int]] = {}
+        sub_machines: dict[str, PhaseMachine] = {}
+        for comp_name, scenario in components.items():
+            sub = scenario.machine()
+            sub_machines[comp_name] = sub
+            start = len(phases)
+            for p in sub.phases:
+                phases.append(
+                    PhaseSpec(
+                        name=f"{comp_name}/{p.name}",
+                        period_s=p.period_s,
+                        work_mean=p.work_mean,
+                        work_cv=p.work_cv,
+                        deadline_factor=p.deadline_factor,
+                        dwell_mean_s=p.dwell_mean_s,
+                        dwell_min_s=p.dwell_min_s,
+                        parallelism=p.parallelism,
+                    )
+                )
+            spans[comp_name] = (start, len(phases))
+
+        n = len(phases)
+        matrix = [[0.0] * n for _ in range(n)]
+        for comp_name, sub in sub_machines.items():
+            start, end = spans[comp_name]
+            for i in range(len(sub)):
+                row = matrix[start + i]
+                # Internal structure, scaled by stickiness.
+                for j in range(len(sub)):
+                    row[start + j] = switch_stickiness * sub.matrix[i][j]
+                # Escape mass distributed to other components' initial
+                # phases by weight.
+                escape = 1.0 - switch_stickiness
+                other_weight = total_weight - weights[comp_name]
+                for other, other_scenario in components.items():
+                    if other == comp_name:
+                        continue
+                    o_start, _ = spans[other]
+                    o_init = o_start + sub_machines[other].initial
+                    row[o_init] += escape * weights[other] / other_weight
+        first = next(iter(components))
+        initial = spans[first][0] + sub_machines[first].initial
+        return PhaseMachine(phases, matrix, initial=initial)
+
+    description = "mix of " + ", ".join(
+        f"{n} ({w / total_weight:.0%})" for n, w in weights.items()
+    )
+    return Scenario(name, description, machine_factory)

@@ -1,0 +1,93 @@
+"""Trace perturbation: controlled distribution shift for robustness tests.
+
+A policy trained on one demand level should survive the app updating to
+heavier assets, the user enabling a higher frame rate, or deadlines
+tightening.  These transforms produce shifted-but-valid traces from an
+existing one; experiment X5 uses them to test the trained policy off
+its training distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workload.task import WorkUnit
+from repro.workload.trace import Trace
+
+
+def scale_demand(trace: Trace, factor: float, name: str | None = None) -> Trace:
+    """Scale every unit's work by ``factor`` (releases/deadlines fixed).
+
+    Raises:
+        WorkloadError: For a non-positive factor.
+    """
+    if factor <= 0:
+        raise WorkloadError(f"demand factor must be positive: {factor}")
+    units = [
+        WorkUnit(
+            uid=u.uid,
+            release_s=u.release_s,
+            work=u.work * factor,
+            deadline_s=u.deadline_s,
+            kind=u.kind,
+            min_parallelism=u.min_parallelism,
+        )
+        for u in trace
+    ]
+    return Trace(units=units, name=name or f"{trace.name}-x{factor:g}",
+                 duration_s=trace.duration_s)
+
+
+def tighten_deadlines(trace: Trace, factor: float, name: str | None = None) -> Trace:
+    """Shrink every unit's slack by ``factor`` in (0, 1].
+
+    A factor of 0.5 halves each deadline's distance from its release.
+    """
+    if not 0 < factor <= 1:
+        raise WorkloadError(f"deadline factor must be in (0, 1]: {factor}")
+    units = [
+        WorkUnit(
+            uid=u.uid,
+            release_s=u.release_s,
+            work=u.work,
+            deadline_s=u.release_s + u.slack_s * factor,
+            kind=u.kind,
+            min_parallelism=u.min_parallelism,
+        )
+        for u in trace
+    ]
+    return Trace(units=units, name=name or f"{trace.name}-tight{factor:g}",
+                 duration_s=trace.duration_s)
+
+
+def jitter_releases(
+    trace: Trace, sigma_s: float, seed: int = 0, name: str | None = None
+) -> Trace:
+    """Add truncated-Gaussian jitter to release times (deadlines move
+    with their unit, ordering is re-sorted by the Trace constructor).
+
+    Release jitter is clipped so releases stay non-negative and strictly
+    before each unit's deadline.
+    """
+    if sigma_s < 0:
+        raise WorkloadError(f"jitter sigma must be non-negative: {sigma_s}")
+    rng = np.random.default_rng(seed)
+    units = []
+    for u in trace:
+        delta = float(rng.normal(0.0, sigma_s)) if sigma_s > 0 else 0.0
+        new_release = min(max(0.0, u.release_s + delta),
+                          u.deadline_s - 1e-9, trace.duration_s - 1e-9)
+        new_release = max(new_release, 0.0)
+        units.append(
+            WorkUnit(
+                uid=u.uid,
+                release_s=new_release,
+                work=u.work,
+                deadline_s=u.deadline_s,
+                kind=u.kind,
+                min_parallelism=u.min_parallelism,
+            )
+        )
+    return Trace(units=units, name=name or f"{trace.name}-jit{sigma_s:g}",
+                 duration_s=trace.duration_s)

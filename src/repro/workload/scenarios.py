@@ -1,0 +1,283 @@
+"""Mobile application scenarios.
+
+Each scenario reproduces the *statistical signature* of a class of mobile
+usage the paper evaluates over ("diverse scenarios ... on mobile
+devices"): its frame rates, per-frame demand levels and variability,
+burstiness, and phase-switching structure.  Demands are expressed in
+reference-core cycles and sized against the Exynos-5422-class preset
+(LITTLE core peak 1.4e9, big core peak 4.0e9 reference-cycles/s), so a
+60 fps gameplay frame of 3.0e7 cycles needs roughly a mid-to-high big
+OPP — leaving real room for DVFS decisions to matter.
+
+All generators are seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import WorkloadError
+from repro.workload.generator import TraceGenerator
+from repro.workload.phases import PhaseMachine, PhaseSpec
+from repro.workload.trace import Trace
+
+FPS60 = 1.0 / 60.0
+FPS30 = 1.0 / 30.0
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, reproducible mobile workload scenario.
+
+    Attributes:
+        name: Registry key, also stamped on generated traces.
+        description: One-line human description.
+        machine_factory: Builds a fresh phase machine for the scenario.
+    """
+
+    name: str
+    description: str
+    machine_factory: Callable[[], PhaseMachine]
+
+    def machine(self) -> PhaseMachine:
+        """A fresh phase machine for this scenario."""
+        return self.machine_factory()
+
+    def trace(self, duration_s: float = 60.0, seed: int = 0) -> Trace:
+        """Generate a concrete trace for this scenario.
+
+        Args:
+            duration_s: Trace length in seconds.
+            seed: Generation seed (same seed, same trace).
+        """
+        gen = TraceGenerator(self.machine(), seed=seed)
+        return gen.generate(duration_s, name=f"{self.name}-s{seed}")
+
+
+def _web_browsing() -> PhaseMachine:
+    phases = [
+        PhaseSpec("read", period_s=0.1, work_mean=2.0e6, work_cv=0.3,
+                  deadline_factor=2.0, dwell_mean_s=4.0, dwell_min_s=1.0),
+        PhaseSpec("scroll", period_s=FPS60, work_mean=9.0e6, work_cv=0.35,
+                  deadline_factor=1.0, dwell_mean_s=1.5, dwell_min_s=0.4),
+        PhaseSpec("page_load", period_s=0.05, work_mean=4.5e7, work_cv=0.4,
+                  deadline_factor=3.0, dwell_mean_s=1.2, dwell_min_s=0.5,
+                  parallelism=2),
+    ]
+    transitions = [
+        [0.00, 0.70, 0.30],
+        [0.60, 0.20, 0.20],
+        [0.55, 0.45, 0.00],
+    ]
+    return PhaseMachine(phases, transitions, initial=0)
+
+
+def _video_playback() -> PhaseMachine:
+    phases = [
+        PhaseSpec("decode", period_s=FPS30, work_mean=1.2e7, work_cv=0.25,
+                  deadline_factor=1.5, dwell_mean_s=12.0, dwell_min_s=4.0,
+                  parallelism=2),
+        PhaseSpec("seek", period_s=0.02, work_mean=5.0e7, work_cv=0.3,
+                  deadline_factor=4.0, dwell_mean_s=0.4, dwell_min_s=0.2,
+                  parallelism=2),
+    ]
+    transitions = [
+        [0.85, 0.15],
+        [1.00, 0.00],
+    ]
+    return PhaseMachine(phases, transitions, initial=0)
+
+
+def _gaming() -> PhaseMachine:
+    phases = [
+        PhaseSpec("menu", period_s=FPS30, work_mean=8.0e6, work_cv=0.2,
+                  deadline_factor=1.5, dwell_mean_s=3.0, dwell_min_s=1.0),
+        PhaseSpec("gameplay", period_s=FPS60, work_mean=3.0e7, work_cv=0.35,
+                  deadline_factor=1.0, dwell_mean_s=8.0, dwell_min_s=3.0),
+        PhaseSpec("level_load", period_s=0.05, work_mean=6.5e7, work_cv=0.3,
+                  deadline_factor=4.0, dwell_mean_s=1.0, dwell_min_s=0.5,
+                  parallelism=2),
+    ]
+    transitions = [
+        [0.00, 0.80, 0.20],
+        [0.30, 0.55, 0.15],
+        [0.10, 0.90, 0.00],
+    ]
+    return PhaseMachine(phases, transitions, initial=0)
+
+
+def _app_launch() -> PhaseMachine:
+    phases = [
+        PhaseSpec("home_idle", period_s=0.2, work_mean=1.5e6, work_cv=0.3,
+                  deadline_factor=3.0, dwell_mean_s=2.5, dwell_min_s=1.0),
+        PhaseSpec("cold_launch", period_s=0.02, work_mean=8.0e7, work_cv=0.35,
+                  deadline_factor=5.0, dwell_mean_s=0.8, dwell_min_s=0.4,
+                  parallelism=2),
+        PhaseSpec("app_settle", period_s=FPS60, work_mean=1.0e7, work_cv=0.3,
+                  deadline_factor=1.5, dwell_mean_s=2.0, dwell_min_s=0.8),
+    ]
+    transitions = [
+        [0.00, 1.00, 0.00],
+        [0.00, 0.00, 1.00],
+        [0.85, 0.15, 0.00],
+    ]
+    return PhaseMachine(phases, transitions, initial=0)
+
+
+def _audio_playback() -> PhaseMachine:
+    phases = [
+        PhaseSpec("audio_decode", period_s=0.02, work_mean=6.0e5, work_cv=0.15,
+                  deadline_factor=2.0, dwell_mean_s=20.0, dwell_min_s=8.0),
+        PhaseSpec("track_change", period_s=0.05, work_mean=1.5e7, work_cv=0.25,
+                  deadline_factor=4.0, dwell_mean_s=0.3, dwell_min_s=0.15),
+    ]
+    transitions = [
+        [0.90, 0.10],
+        [1.00, 0.00],
+    ]
+    return PhaseMachine(phases, transitions, initial=0)
+
+
+def _camera_preview() -> PhaseMachine:
+    phases = [
+        PhaseSpec("preview", period_s=FPS30, work_mean=1.6e7, work_cv=0.2,
+                  deadline_factor=1.2, dwell_mean_s=5.0, dwell_min_s=2.0,
+                  parallelism=2),
+        PhaseSpec("capture", period_s=0.03, work_mean=9.0e7, work_cv=0.25,
+                  deadline_factor=6.0, dwell_mean_s=0.5, dwell_min_s=0.25,
+                  parallelism=2),
+    ]
+    transitions = [
+        [0.80, 0.20],
+        [1.00, 0.00],
+    ]
+    return PhaseMachine(phases, transitions, initial=0)
+
+
+def _idle() -> PhaseMachine:
+    phases = [
+        PhaseSpec("background", period_s=1.0, work_mean=1.2e6, work_cv=0.4,
+                  deadline_factor=10.0, dwell_mean_s=15.0, dwell_min_s=5.0),
+        PhaseSpec("sync_burst", period_s=0.05, work_mean=2.0e7, work_cv=0.3,
+                  deadline_factor=8.0, dwell_mean_s=0.5, dwell_min_s=0.2),
+    ]
+    transitions = [
+        [0.85, 0.15],
+        [1.00, 0.00],
+    ]
+    return PhaseMachine(phases, transitions, initial=0)
+
+
+def _social_media() -> PhaseMachine:
+    """Doom-scrolling: flick-scrolls over a feed with auto-playing video
+    cards and occasional image-heavy refreshes."""
+    phases = [
+        PhaseSpec("feed_scroll", period_s=FPS60, work_mean=1.1e7, work_cv=0.3,
+                  deadline_factor=1.0, dwell_mean_s=2.0, dwell_min_s=0.6),
+        PhaseSpec("autoplay", period_s=FPS30, work_mean=1.4e7, work_cv=0.25,
+                  deadline_factor=1.5, dwell_mean_s=4.0, dwell_min_s=1.5,
+                  parallelism=2),
+        PhaseSpec("feed_refresh", period_s=0.04, work_mean=5.5e7, work_cv=0.35,
+                  deadline_factor=4.0, dwell_mean_s=0.7, dwell_min_s=0.3,
+                  parallelism=2),
+    ]
+    transitions = [
+        [0.30, 0.55, 0.15],
+        [0.65, 0.25, 0.10],
+        [0.60, 0.40, 0.00],
+    ]
+    return PhaseMachine(phases, transitions, initial=0)
+
+
+def _video_call() -> PhaseMachine:
+    """A video call: steady encode+decode with UI overlays and
+    screen-share bursts."""
+    phases = [
+        PhaseSpec("call_steady", period_s=FPS30, work_mean=2.2e7, work_cv=0.2,
+                  deadline_factor=1.2, dwell_mean_s=10.0, dwell_min_s=4.0,
+                  parallelism=2),
+        PhaseSpec("ui_overlay", period_s=FPS30, work_mean=2.8e7, work_cv=0.25,
+                  deadline_factor=1.2, dwell_mean_s=1.5, dwell_min_s=0.5,
+                  parallelism=2),
+        PhaseSpec("screen_share", period_s=0.05, work_mean=6.0e7, work_cv=0.3,
+                  deadline_factor=3.0, dwell_mean_s=2.0, dwell_min_s=0.8,
+                  parallelism=2),
+    ]
+    transitions = [
+        [0.75, 0.15, 0.10],
+        [0.85, 0.15, 0.00],
+        [0.80, 0.10, 0.10],
+    ]
+    return PhaseMachine(phases, transitions, initial=0)
+
+
+def _mixed_daily() -> PhaseMachine:
+    """A day-in-the-life mix cycling through all major behaviours."""
+    phases = [
+        PhaseSpec("read", period_s=0.1, work_mean=2.0e6, work_cv=0.3,
+                  deadline_factor=2.0, dwell_mean_s=3.0, dwell_min_s=1.0),
+        PhaseSpec("scroll", period_s=FPS60, work_mean=9.0e6, work_cv=0.35,
+                  deadline_factor=1.0, dwell_mean_s=1.5, dwell_min_s=0.4),
+        PhaseSpec("decode", period_s=FPS30, work_mean=1.2e7, work_cv=0.25,
+                  deadline_factor=1.5, dwell_mean_s=8.0, dwell_min_s=3.0,
+                  parallelism=2),
+        PhaseSpec("gameplay", period_s=FPS60, work_mean=3.0e7, work_cv=0.35,
+                  deadline_factor=1.0, dwell_mean_s=6.0, dwell_min_s=2.0),
+        PhaseSpec("cold_launch", period_s=0.02, work_mean=8.0e7, work_cv=0.35,
+                  deadline_factor=5.0, dwell_mean_s=0.8, dwell_min_s=0.4,
+                  parallelism=2),
+    ]
+    transitions = [
+        [0.00, 0.45, 0.20, 0.15, 0.20],
+        [0.50, 0.15, 0.15, 0.10, 0.10],
+        [0.40, 0.20, 0.30, 0.05, 0.05],
+        [0.25, 0.10, 0.05, 0.55, 0.05],
+        [0.30, 0.25, 0.20, 0.25, 0.00],
+    ]
+    return PhaseMachine(phases, transitions, initial=0)
+
+
+SCENARIOS: dict[str, Scenario] = {
+    s.name: s
+    for s in [
+        Scenario("web_browsing", "reading / scroll bursts / page loads", _web_browsing),
+        Scenario("video_playback", "30 fps decode with occasional seeks", _video_playback),
+        Scenario("gaming", "menu / 60 fps gameplay / level loads", _gaming),
+        Scenario("app_launch", "home idle / cold launches / settle", _app_launch),
+        Scenario("audio_playback", "light periodic decode, track changes", _audio_playback),
+        Scenario("camera_preview", "30 fps preview with capture bursts", _camera_preview),
+        Scenario("idle", "background ticks and sync bursts", _idle),
+        Scenario("social_media", "feed scrolling / autoplay / refresh bursts",
+                 _social_media),
+        Scenario("video_call", "steady encode+decode / overlays / screen share",
+                 _video_call),
+        Scenario("mixed_daily", "day-in-the-life phase mix", _mixed_daily),
+    ]
+}
+"""Registry of all built-in scenarios, keyed by name."""
+
+# The six-scenario evaluation set used by the E1/E2 benches (the mixed and
+# idle scenarios are held out for the adaptation experiment E6).
+EVALUATION_SET = [
+    "web_browsing",
+    "video_playback",
+    "gaming",
+    "app_launch",
+    "audio_playback",
+    "camera_preview",
+]
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by name.
+
+    Raises:
+        WorkloadError: For unknown names, listing the registry.
+    """
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None

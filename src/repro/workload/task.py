@@ -1,0 +1,111 @@
+"""Work units: the atoms of mobile workload.
+
+A :class:`WorkUnit` is one user-visible chunk of computation — a frame
+to render, a page-scroll response, a decode step — with a release time,
+a demand in *reference-core cycles* (capacity-weighted, so a big core
+drains it ``capacity`` times faster per clock), and a soft deadline that
+defines its QoS contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One deadline-bearing unit of work.
+
+    Attributes:
+        uid: Unique id within a trace (monotonically increasing).
+        release_s: Time the unit becomes runnable, seconds from trace start.
+        work: Demand in reference-core cycles.
+        deadline_s: Absolute soft deadline in seconds; must be after release.
+        kind: Free-form label for the emitting phase (e.g. ``"frame"``),
+            used in reports.
+        min_parallelism: Number of cores the unit can spread across
+            (mobile frames are mostly single-threaded; decode may use 2).
+    """
+
+    uid: int
+    release_s: float
+    work: float
+    deadline_s: float
+    kind: str = "work"
+    min_parallelism: int = 1
+
+    def __post_init__(self) -> None:
+        if self.work <= 0:
+            raise WorkloadError(f"work unit {self.uid}: work must be positive ({self.work})")
+        if self.release_s < 0:
+            raise WorkloadError(f"work unit {self.uid}: negative release time")
+        if self.deadline_s <= self.release_s:
+            raise WorkloadError(
+                f"work unit {self.uid}: deadline {self.deadline_s} not after "
+                f"release {self.release_s}"
+            )
+        if self.min_parallelism < 1:
+            raise WorkloadError(f"work unit {self.uid}: min_parallelism must be >= 1")
+
+    @property
+    def slack_s(self) -> float:
+        """Nominal deadline slack (deadline minus release)."""
+        return self.deadline_s - self.release_s
+
+
+@dataclass
+class Job:
+    """Runtime execution state of one :class:`WorkUnit`.
+
+    The simulator creates a job when the unit is released and drains its
+    remaining work each interval; when the work reaches zero the job is
+    complete and its lateness determines QoS.
+    """
+
+    unit: WorkUnit
+    remaining: float = field(default=-1.0)
+    completed_at_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.remaining < 0:
+            self.remaining = self.unit.work
+
+    @property
+    def done(self) -> bool:
+        return self.remaining <= 0
+
+    def execute(self, work_done: float, now_s: float) -> float:
+        """Consume up to ``work_done`` reference-cycles from the job.
+
+        Args:
+            work_done: Capacity-weighted cycles offered to this job.
+            now_s: Simulation time at the *end* of the executing interval,
+                recorded as the completion time if the job finishes.
+
+        Returns:
+            The work actually consumed (never more than remaining).
+
+        Raises:
+            WorkloadError: If called on a finished job or with negative work.
+        """
+        if self.done:
+            raise WorkloadError(f"job {self.unit.uid} is already complete")
+        if work_done < 0:
+            raise WorkloadError(f"work done must be non-negative: {work_done}")
+        consumed = min(work_done, self.remaining)
+        self.remaining -= consumed
+        if self.done:
+            self.completed_at_s = now_s
+        return consumed
+
+    def lateness_s(self) -> float:
+        """Completion time minus deadline; negative when the job was early.
+
+        Raises:
+            WorkloadError: If the job has not completed.
+        """
+        if self.completed_at_s is None:
+            raise WorkloadError(f"job {self.unit.uid} has not completed")
+        return self.completed_at_s - self.unit.deadline_s

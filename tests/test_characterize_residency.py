@@ -1,0 +1,123 @@
+"""Workload characterisation and frequency-residency statistics."""
+
+import pytest
+
+from repro.errors import SimulationError, WorkloadError
+from repro.governors.performance import PerformanceGovernor
+from repro.governors.conservative import ConservativeGovernor
+from repro.sim.engine import Simulator
+from repro.sim.residency import residency
+from repro.workload.characterize import compare_profiles, profile
+from repro.workload.scenarios import get_scenario
+from repro.workload.trace import Trace
+
+from conftest import unit
+
+
+class TestProfile:
+    def test_flat_trace_burstiness_one(self):
+        units = [
+            unit(uid=i, release=i * 0.1, work=1e6, deadline=i * 0.1 + 0.1)
+            for i in range(20)
+        ]
+        p = profile(Trace(units=units, duration_s=2.0), window_s=0.1)
+        assert p.burstiness == pytest.approx(1.0)
+        assert p.demand_cv == pytest.approx(0.0)
+
+    def test_bursty_trace_high_burstiness(self):
+        # All work in the first window of a long horizon.
+        units = [unit(uid=i, release=0.001 * i, work=1e6, deadline=0.5)
+                 for i in range(10)]
+        p = profile(Trace(units=units, duration_s=2.0), window_s=0.1)
+        assert p.burstiness == pytest.approx(20.0)
+
+    def test_mean_rate_matches_trace(self):
+        trace = get_scenario("gaming").trace(10.0, seed=0)
+        p = profile(trace)
+        assert p.mean_rate == pytest.approx(trace.mean_demand_rate)
+
+    def test_kind_shares_sum_to_one(self):
+        trace = get_scenario("web_browsing").trace(10.0, seed=0)
+        p = profile(trace)
+        assert sum(p.kind_shares.values()) == pytest.approx(1.0)
+        assert p.dominant_kind() in trace.kinds()
+
+    def test_tightness_reflects_deadline_pressure(self):
+        easy = Trace(units=[unit(work=1e6, deadline=1.0)], duration_s=1.0)
+        hard = Trace(units=[unit(work=3e7, deadline=0.02)], duration_s=1.0)
+        assert profile(hard).tightness > profile(easy).tightness
+        assert profile(hard).tightness > 1.0  # infeasible on a 1 GHz core
+
+    def test_gaming_is_burstier_than_video(self):
+        gaming = profile(get_scenario("gaming").trace(30.0, seed=0))
+        video = profile(get_scenario("video_playback").trace(30.0, seed=0))
+        assert gaming.demand_cv > video.demand_cv
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(WorkloadError):
+            profile(Trace(units=[], duration_s=1.0))
+
+    def test_bad_window_rejected(self):
+        trace = Trace(units=[unit()], duration_s=1.0)
+        with pytest.raises(WorkloadError):
+            profile(trace, window_s=0.0)
+
+    def test_summary_renders(self):
+        p = profile(get_scenario("gaming").trace(5.0, seed=0))
+        text = p.summary()
+        assert "demand" in text and "deadlines" in text
+
+    def test_compare_profiles_table(self):
+        ps = [profile(get_scenario(n).trace(5.0, seed=0))
+              for n in ("gaming", "audio_playback")]
+        table = compare_profiles(ps)
+        assert "burstiness" in table
+        with pytest.raises(WorkloadError):
+            compare_profiles([])
+
+
+class TestResidency:
+    def run_with_samples(self, chip, trace, factory):
+        return Simulator(chip, trace, factory, record_samples=True).run()
+
+    def test_performance_sits_at_top(self, tiny_chip, steady_trace):
+        result = self.run_with_samples(tiny_chip, steady_trace,
+                                       lambda c: PerformanceGovernor())
+        reports = residency(result, n_opps={"cpu": 3})
+        r = reports["cpu"]
+        # Samples record the OPP in effect *during* each interval, and the
+        # governor jumps to the top before the first drain.
+        assert r.counts[2] == r.total_intervals
+        assert r.mean_opp == pytest.approx(2.0)
+        assert r.switches == 0
+
+    def test_conservative_moves_gradually(self, tiny_chip, steady_trace):
+        result = self.run_with_samples(tiny_chip, steady_trace,
+                                       lambda c: ConservativeGovernor())
+        r = residency(result, n_opps={"cpu": 3})["cpu"]
+        assert 0.0 <= r.switch_rate <= 1.0
+        assert r.total_intervals == result.intervals
+
+    def test_fractions_sum_to_one(self, tiny_chip, steady_trace):
+        result = self.run_with_samples(tiny_chip, steady_trace,
+                                       lambda c: PerformanceGovernor())
+        r = residency(result)["cpu"]
+        assert sum(r.fractions) == pytest.approx(1.0)
+
+    def test_requires_samples(self, tiny_chip, steady_trace):
+        result = Simulator(tiny_chip, steady_trace,
+                           lambda c: PerformanceGovernor()).run()
+        with pytest.raises(SimulationError, match="record_samples"):
+            residency(result)
+
+    def test_n_opps_too_small_rejected(self, tiny_chip, steady_trace):
+        result = self.run_with_samples(tiny_chip, steady_trace,
+                                       lambda c: PerformanceGovernor())
+        with pytest.raises(SimulationError, match="smaller"):
+            residency(result, n_opps={"cpu": 1})
+
+    def test_render(self, tiny_chip, steady_trace):
+        result = self.run_with_samples(tiny_chip, steady_trace,
+                                       lambda c: PerformanceGovernor())
+        text = residency(result)["cpu"].render()
+        assert "opp" in text and "switch rate" in text

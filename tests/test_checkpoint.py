@@ -1,0 +1,103 @@
+"""Policy checkpointing: save, load, validate."""
+
+import json
+
+import pytest
+
+from repro.core.checkpoint import load_policies, save_policies
+from repro.core.config import PolicyConfig
+from repro.core.policy import RLPowerManagementPolicy
+from repro.core.trainer import evaluate_policy, train_policy
+from repro.errors import PolicyError
+from repro.sim.engine import Simulator
+from repro.soc.presets import exynos5422, tiny_test_chip
+
+from test_trainer import tiny_scenario
+
+
+@pytest.fixture()
+def trained(tmp_path):
+    chip = tiny_test_chip()
+    training = train_policy(chip, tiny_scenario(), episodes=3, episode_duration_s=3.0)
+    return chip, training.policies
+
+
+class TestSaveLoad:
+    def test_roundtrip_preserves_decisions(self, trained, tmp_path):
+        chip, policies = trained
+        trace = tiny_scenario().trace(3.0, seed=42)
+        original = evaluate_policy(chip, policies, trace)
+
+        save_policies(policies, tmp_path / "ckpt")
+        restored = load_policies(tmp_path / "ckpt", chip=chip)
+        reloaded = Simulator(chip, trace, restored).run()
+
+        assert reloaded.total_energy_j == pytest.approx(original.total_energy_j)
+        assert reloaded.qos == original.qos
+
+    def test_restored_policies_are_offline(self, trained, tmp_path):
+        _, policies = trained
+        save_policies(policies, tmp_path / "ckpt")
+        restored = load_policies(tmp_path / "ckpt")
+        assert all(not p.online for p in restored.values())
+
+    def test_episode_count_preserved(self, trained, tmp_path):
+        _, policies = trained
+        save_policies(policies, tmp_path / "ckpt")
+        restored = load_policies(tmp_path / "ckpt")
+        assert restored["cpu"].episodes == policies["cpu"].episodes
+
+    def test_restored_policy_can_resume_learning(self, trained, tmp_path):
+        chip, policies = trained
+        save_policies(policies, tmp_path / "ckpt")
+        restored = load_policies(tmp_path / "ckpt", chip=chip)
+        for p in restored.values():
+            p.online = True
+        Simulator(chip, tiny_scenario().trace(2.0, seed=9), restored).run()
+        assert restored["cpu"].agent.updates > 0
+
+    def test_config_roundtrip(self, tmp_path):
+        chip = tiny_test_chip()
+        config = PolicyConfig(util_bins=4, lambda_qos=2.5, seed=7)
+        training = train_policy(chip, tiny_scenario(), episodes=2,
+                                episode_duration_s=2.0, config=config)
+        save_policies(training.policies, tmp_path / "ckpt")
+        restored = load_policies(tmp_path / "ckpt")
+        assert restored["cpu"].config == config
+
+
+class TestValidation:
+    def test_untrained_policy_rejected(self, tmp_path):
+        with pytest.raises(PolicyError, match="trained"):
+            save_policies({"cpu": RLPowerManagementPolicy()}, tmp_path / "ckpt")
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(PolicyError, match="manifest"):
+            load_policies(tmp_path)
+
+    def test_corrupt_manifest(self, tmp_path):
+        (tmp_path / "policy.json").write_text("{broken")
+        with pytest.raises(PolicyError, match="corrupt"):
+            load_policies(tmp_path)
+
+    def test_wrong_version(self, tmp_path):
+        (tmp_path / "policy.json").write_text(json.dumps({"version": 99, "clusters": {}}))
+        with pytest.raises(PolicyError, match="version"):
+            load_policies(tmp_path)
+
+    def test_chip_mismatch_cluster_names(self, trained, tmp_path):
+        _, policies = trained
+        save_policies(policies, tmp_path / "ckpt")
+        with pytest.raises(PolicyError, match="lacks clusters"):
+            load_policies(tmp_path / "ckpt", chip=exynos5422())
+
+    def test_chip_mismatch_opp_count(self, tmp_path):
+        chip = exynos5422()
+        from repro.workload.scenarios import get_scenario
+
+        training = train_policy(chip, get_scenario("audio_playback"), episodes=1,
+                                episode_duration_s=2.0)
+        save_policies(training.policies, tmp_path / "ckpt")
+        # tiny chip has a cluster named "cpu" only -> missing clusters.
+        with pytest.raises(PolicyError):
+            load_policies(tmp_path / "ckpt", chip=tiny_test_chip())

@@ -1,0 +1,133 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.chip == "exynos5422"
+        assert args.governor == "ondemand"
+
+    def test_unknown_chip_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--chip", "snapdragon"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "exynos5422" in out
+        assert "ondemand" in out
+        assert "rl-policy" in out
+
+    def test_run_tiny(self, capsys):
+        code = main([
+            "run", "--chip", "tiny", "--scenario", "audio_playback",
+            "--governor", "ondemand", "--duration", "2.0",
+        ])
+        assert code == 0
+        assert "E/QoS" in capsys.readouterr().out
+
+    def test_run_unknown_governor_is_error(self, capsys):
+        code = main([
+            "run", "--chip", "tiny", "--scenario", "idle",
+            "--governor", "warp", "--duration", "1.0",
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_latency_table(self, capsys):
+        assert main(["latency", "--chip", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_compare_quick(self, capsys):
+        code = main([
+            "compare", "--chip", "tiny", "--scenario", "audio_playback",
+            "--governors", "performance,powersave",
+            "--duration", "2.0", "--episodes", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rl-policy" in out
+        assert "performance" in out
+
+    def test_train_and_run_checkpoint(self, capsys, tmp_path):
+        ckpt = tmp_path / "ck"
+        code = main([
+            "train", "--chip", "tiny", "--scenario", "audio_playback",
+            "--episodes", "2", "--duration", "2.0", "--out", str(ckpt),
+        ])
+        assert code == 0
+        assert "checkpoint saved" in capsys.readouterr().out
+        code = main([
+            "run", "--chip", "tiny", "--scenario", "audio_playback",
+            "--governor", f"checkpoint:{ckpt}", "--duration", "2.0",
+        ])
+        assert code == 0
+        assert "rl-policy" in capsys.readouterr().out
+
+    def test_profile_scenario(self, capsys):
+        code = main(["profile", "--scenario", "audio_playback", "--duration", "5.0"])
+        assert code == 0
+        assert "demand" in capsys.readouterr().out
+
+    def test_profile_trace_csv(self, capsys, tmp_path):
+        from repro.workload.scenarios import get_scenario
+
+        path = tmp_path / "t.csv"
+        get_scenario("audio_playback").trace(3.0, seed=0).to_csv(path)
+        code = main(["profile", "--trace", str(path)])
+        assert code == 0
+        assert "demand" in capsys.readouterr().out
+
+    def test_report(self, capsys, tmp_path):
+        out = tmp_path / "REPORT.md"
+        code = main(["report", "--experiments", "e4,a6", "--out", str(out)])
+        assert code == 0
+        assert out.is_file()
+        assert "## E4" in out.read_text()
+
+    def test_run_with_chip_file(self, capsys, tmp_path):
+        import json
+
+        from repro.soc.devicetree import chip_to_dict
+        from repro.soc.presets import tiny_test_chip
+
+        path = tmp_path / "soc.json"
+        path.write_text(json.dumps(chip_to_dict(tiny_test_chip())))
+        code = main([
+            "run", "--chip-file", str(path), "--scenario", "audio_playback",
+            "--governor", "ondemand", "--duration", "2.0",
+        ])
+        assert code == 0
+        assert "ondemand" in capsys.readouterr().out
+
+    def test_run_with_bad_chip_file(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{broken")
+        code = main([
+            "run", "--chip-file", str(path), "--scenario", "idle",
+            "--duration", "1.0",
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_report_unknown_id(self, capsys, tmp_path):
+        code = main([
+            "report", "--experiments", "e99", "--out", str(tmp_path / "r.md"),
+        ])
+        assert code == 1
+        assert "unknown experiment" in capsys.readouterr().err

@@ -1,0 +1,114 @@
+"""Clusters and chips: DVFS control, capacity, lookups."""
+
+import pytest
+
+from repro.errors import ConfigurationError, OPPError
+from repro.soc.chip import Chip
+from repro.soc.cluster import Cluster, ClusterSpec
+from repro.soc.core import CoreSpec
+from repro.soc.opp import make_table
+
+
+def spec(n_cores: int = 2) -> ClusterSpec:
+    core = CoreSpec("c", capacity=1.0, ceff_f=1e-10, leak_a_per_v=0.01)
+    return ClusterSpec(
+        "cpu", core, n_cores=n_cores, opp_table=make_table([500, 1000, 1500], [0.9, 1.0, 1.1])
+    )
+
+
+class TestCluster:
+    def test_starts_at_floor_opp(self):
+        cluster = Cluster(spec())
+        assert cluster.opp_index == 0
+        assert cluster.freq_hz == 500e6
+
+    def test_custom_initial_opp(self):
+        cluster = Cluster(spec(), initial_opp_index=2)
+        assert cluster.freq_hz == 1500e6
+
+    def test_bad_initial_opp(self):
+        with pytest.raises(OPPError):
+            Cluster(spec(), initial_opp_index=3)
+
+    def test_needs_at_least_one_core(self):
+        with pytest.raises(ConfigurationError):
+            spec(n_cores=0)
+
+    def test_set_opp_index(self):
+        cluster = Cluster(spec())
+        cluster.set_opp_index(1)
+        assert cluster.freq_hz == 1000e6
+        assert cluster.voltage_v == 1.0
+
+    def test_set_opp_out_of_range(self):
+        cluster = Cluster(spec())
+        with pytest.raises(OPPError):
+            cluster.set_opp_index(5)
+
+    @pytest.mark.parametrize("delta,expected", [(1, 1), (5, 2), (-1, 0), (-10, 0)])
+    def test_step_opp_clamps(self, delta, expected):
+        cluster = Cluster(spec())
+        assert cluster.step_opp(delta) == expected
+
+    def test_cycles_available_sums_cores(self):
+        cluster = Cluster(spec(n_cores=2))
+        assert cluster.cycles_available(0.01) == pytest.approx(2 * 500e6 * 0.01)
+
+    def test_work_available_uses_capacity(self):
+        core = CoreSpec("c", capacity=2.0, ceff_f=1e-10, leak_a_per_v=0.0)
+        cspec = ClusterSpec("x", core, 2, make_table([1000], [1.0]))
+        cluster = Cluster(cspec)
+        assert cluster.work_available(0.01) == pytest.approx(2 * 2.0 * 1e9 * 0.01)
+
+    def test_max_work_available_uses_top_opp(self):
+        cluster = Cluster(spec())
+        assert cluster.max_work_available(0.01) == pytest.approx(2 * 1500e6 * 0.01)
+
+    def test_utilization_aggregates(self):
+        cluster = Cluster(spec(n_cores=2))
+        cluster.cores[0].record_interval(5e6 * 0.5, 500e6, 0.01)  # util 0.5
+        cluster.cores[1].record_interval(0.0, 500e6, 0.01)
+        assert cluster.utilization == pytest.approx(0.25)
+        assert cluster.max_core_utilization == pytest.approx(0.5)
+
+    def test_reset_returns_to_floor(self):
+        cluster = Cluster(spec(), initial_opp_index=2)
+        cluster.cores[0].record_interval(1e6, 1500e6, 0.01)
+        cluster.reset()
+        assert cluster.opp_index == 0
+        assert cluster.cores[0].busy_cycles == 0.0
+
+
+class TestChip:
+    def test_requires_clusters(self):
+        with pytest.raises(ConfigurationError):
+            Chip("empty", [])
+
+    def test_duplicate_cluster_names_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            Chip("dup", [spec(), spec()])
+
+    def test_lookup_by_name(self):
+        chip = Chip("one", [spec()])
+        assert chip.cluster("cpu").spec.name == "cpu"
+
+    def test_lookup_unknown_name(self):
+        chip = Chip("one", [spec()])
+        with pytest.raises(ConfigurationError, match="available"):
+            chip.cluster("gpu")
+
+    def test_n_cores_totals(self, duo_chip):
+        assert duo_chip.n_cores == 4
+
+    def test_cluster_names_order(self, duo_chip):
+        assert duo_chip.cluster_names == ["big", "little"]
+
+    def test_total_work_available(self, duo_chip):
+        expected = sum(c.work_available(0.01) for c in duo_chip)
+        assert duo_chip.total_work_available(0.01) == pytest.approx(expected)
+
+    def test_reset_resets_all_clusters(self, duo_chip):
+        for cluster in duo_chip:
+            cluster.set_opp_index(1)
+        duo_chip.reset()
+        assert all(c.opp_index == 0 for c in duo_chip)

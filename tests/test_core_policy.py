@@ -1,0 +1,218 @@
+"""The proposed policy: config, predictor, featurisation, governor loop."""
+
+import pytest
+
+from repro.core.config import PolicyConfig
+from repro.core.policy import RLPowerManagementPolicy
+from repro.core.predictor import WorkloadPredictor
+from repro.core.state import StateFeaturizer
+from repro.errors import PolicyError
+from repro.governors.performance import PerformanceGovernor
+from repro.sim.engine import Simulator
+from repro.sim.telemetry import initial_observation
+from repro.soc.presets import symmetric_quad, tiny_test_chip
+from repro.workload.trace import Trace
+
+from conftest import unit
+
+
+class TestPolicyConfig:
+    def test_defaults_are_valid(self):
+        cfg = PolicyConfig()
+        assert cfg.n_actions == 5
+        assert cfg.n_states == 6 * 3 * 5 * 3
+
+    def test_hold_action_required(self):
+        with pytest.raises(PolicyError, match="hold"):
+            PolicyConfig(action_deltas=(-1, 1))
+
+    def test_duplicate_deltas_rejected(self):
+        with pytest.raises(PolicyError, match="duplicate"):
+            PolicyConfig(action_deltas=(0, 1, 1))
+
+    def test_minimum_bins(self):
+        with pytest.raises(PolicyError):
+            PolicyConfig(util_bins=0)
+        # One feature may be disabled (1 bin) for ablations...
+        assert PolicyConfig(util_bins=1).n_states > 1
+        # ...but not all of them at once.
+        with pytest.raises(PolicyError):
+            PolicyConfig(util_bins=1, trend_bins=1, opp_bins=1, slack_bins=1)
+
+
+class TestWorkloadPredictor:
+    def test_first_observation_snaps(self):
+        pred = WorkloadPredictor()
+        pred.observe(0.6)
+        assert pred.level == 0.6
+        assert pred.trend == 0.0
+
+    def test_ewma_tracks_gradually(self):
+        pred = WorkloadPredictor(alpha=0.5, phase_change_threshold=10.0)
+        pred.observe(0.0)
+        pred.observe(1.0)
+        assert pred.level == pytest.approx(0.5)
+        assert pred.trend == pytest.approx(0.5)
+
+    def test_phase_change_snaps(self):
+        pred = WorkloadPredictor(alpha=0.1, phase_change_threshold=0.3)
+        pred.observe(0.1)
+        pred.observe(0.9)  # jump of 0.8 > 0.3: snap, don't crawl
+        assert pred.level == 0.9
+        assert pred.phase_changes == 1
+
+    def test_trend_sign_follows_direction(self):
+        pred = WorkloadPredictor(alpha=0.5, phase_change_threshold=10.0)
+        pred.observe(0.5)
+        pred.observe(0.8)
+        assert pred.trend > 0
+        pred2 = WorkloadPredictor(alpha=0.5, phase_change_threshold=10.0)
+        pred2.observe(0.8)
+        pred2.observe(0.5)
+        assert pred2.trend < 0
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(PolicyError):
+            WorkloadPredictor().observe(-0.1)
+
+    def test_reset(self):
+        pred = WorkloadPredictor()
+        pred.observe(0.5)
+        pred.reset()
+        assert pred.level == 0.0
+
+
+class TestStateFeaturizer:
+    def obs(self, util=0.5, opp=2, slack=1.0):
+        base = initial_observation("c", opp, 10, (opp + 1) * 2e8, 2e9, 0.01)
+        return type(base)(
+            **{**base.__dict__, "utilization": util,
+               "max_core_utilization": util, "qos_slack": slack}
+        )
+
+    def test_encode_in_range(self):
+        feat = StateFeaturizer(PolicyConfig(), n_opps=10)
+        idx = feat.encode(self.obs())
+        assert 0 <= idx < feat.n_states
+
+    def test_distinct_loads_distinct_states(self):
+        feat = StateFeaturizer(PolicyConfig(), n_opps=10)
+        idle = feat.encode(self.obs(util=0.0, opp=9))
+        feat.reset()
+        busy = feat.encode(self.obs(util=1.0, opp=9))
+        assert idle != busy
+
+    def test_opp_bin_spreads_over_table(self):
+        cfg = PolicyConfig()
+        feat = StateFeaturizer(cfg, n_opps=10)
+        digits_low = feat.digits(self.obs(opp=0))
+        digits_high = feat.digits(self.obs(opp=9))
+        assert digits_low[2] == 0
+        assert digits_high[2] == cfg.opp_bins - 1
+
+    def test_slack_bin(self):
+        cfg = PolicyConfig(slack_bins=3)
+        feat = StateFeaturizer(cfg, n_opps=10)
+        critical = feat.digits(self.obs(slack=0.0))
+        relaxed = feat.digits(self.obs(slack=1.0))
+        assert critical[3] == 0
+        assert relaxed[3] == 2
+
+
+class TestRLPolicyGovernor:
+    def test_decide_before_reset_raises(self):
+        policy = RLPowerManagementPolicy()
+        with pytest.raises(PolicyError):
+            policy.decide(initial_observation("c", 0, 3, 5e8, 1.5e9, 0.01))
+
+    def test_runs_in_simulator(self, tiny_chip, steady_trace):
+        policy = RLPowerManagementPolicy()
+        result = Simulator(tiny_chip, steady_trace, {"cpu": policy}).run()
+        assert result.intervals > 0
+        assert policy.agent is not None
+        assert policy.agent.updates > 0
+
+    def test_learning_persists_across_runs(self, tiny_chip, steady_trace):
+        policy = RLPowerManagementPolicy()
+        Simulator(tiny_chip, steady_trace, {"cpu": policy}).run()
+        updates_after_first = policy.agent.updates
+        Simulator(tiny_chip, steady_trace, {"cpu": policy}).run()
+        assert policy.agent.updates > updates_after_first
+        assert policy.episodes == 2
+
+    def test_forget_clears_knowledge(self, tiny_chip, steady_trace):
+        policy = RLPowerManagementPolicy()
+        Simulator(tiny_chip, steady_trace, {"cpu": policy}).run()
+        policy.forget()
+        assert policy.agent is None
+        assert policy.episodes == 0
+
+    def test_offline_mode_does_not_learn(self, tiny_chip, steady_trace):
+        policy = RLPowerManagementPolicy(online=True)
+        Simulator(tiny_chip, steady_trace, {"cpu": policy}).run()
+        updates = policy.agent.updates
+        policy.online = False
+        Simulator(tiny_chip, steady_trace, {"cpu": policy}).run()
+        assert policy.agent.updates == updates
+
+    def test_offline_is_deterministic(self, tiny_chip, steady_trace):
+        policy = RLPowerManagementPolicy()
+        Simulator(tiny_chip, steady_trace, {"cpu": policy}).run()
+        policy.online = False
+        a = Simulator(tiny_chip, steady_trace, {"cpu": policy}).run()
+        b = Simulator(tiny_chip, steady_trace, {"cpu": policy}).run()
+        assert a.total_energy_j == b.total_energy_j
+        assert a.qos == b.qos
+
+    def test_rebind_to_different_table_rejected(self, tiny_chip):
+        policy = RLPowerManagementPolicy()
+        policy.reset(tiny_chip.cluster("cpu"))
+        other = symmetric_quad()
+        with pytest.raises(PolicyError, match="OPP"):
+            policy.reset(other.cluster("cpu"))
+
+    def test_decisions_stay_in_table(self, tiny_chip):
+        """Even while exploring, returned indices are valid for a tiny
+        3-OPP table with +-2 action deltas."""
+        trace = Trace(
+            units=[unit(uid=i, release=i * 0.02, work=2e6, deadline=i * 0.02 + 0.05)
+                   for i in range(40)],
+            duration_s=1.0,
+        )
+        policy = RLPowerManagementPolicy()
+        result = Simulator(tiny_chip, trace, {"cpu": policy},
+                           record_samples=True).run()
+        assert all(0 <= s.opp_indices["cpu"] <= 2 for s in result.samples)
+
+    def test_q_coverage_grows(self, tiny_chip, steady_trace):
+        policy = RLPowerManagementPolicy()
+        assert policy.q_coverage == 0.0
+        Simulator(tiny_chip, steady_trace, {"cpu": policy}).run()
+        assert policy.q_coverage > 0.0
+
+    def test_learns_to_back_off_an_idle_cluster(self):
+        """On a almost-idle workload the learned policy must not sit at
+        the top OPP — the energy term alone should push it down."""
+        chip = tiny_test_chip()
+        policy = RLPowerManagementPolicy()
+        trace = Trace(
+            units=[unit(uid=i, release=i * 0.5, work=1e5, deadline=i * 0.5 + 0.45)
+                   for i in range(8)],
+            duration_s=4.0,
+        )
+        for _ in range(6):
+            Simulator(chip, trace, {"cpu": policy}).run()
+        policy.online = False
+        result = Simulator(chip, trace, {"cpu": policy}, record_samples=True).run()
+        mean_opp = sum(s.opp_indices["cpu"] for s in result.samples) / len(result.samples)
+        assert mean_opp < 1.5
+        assert result.qos.mean_qos > 0.95
+
+    def test_beats_performance_governor_on_energy(self, tiny_chip, steady_trace):
+        perf = Simulator(tiny_chip, steady_trace, lambda c: PerformanceGovernor()).run()
+        policy = RLPowerManagementPolicy()
+        for _ in range(8):
+            Simulator(tiny_chip, steady_trace, {"cpu": policy}).run()
+        policy.online = False
+        rl = Simulator(tiny_chip, steady_trace, {"cpu": policy}).run()
+        assert rl.total_energy_j < perf.total_energy_j

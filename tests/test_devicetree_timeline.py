@@ -1,0 +1,147 @@
+"""Device-tree chip loading and timeline CSV export."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.governors.ondemand import OndemandGovernor
+from repro.sim.engine import Simulator
+from repro.sim.timeline import timeline_from_csv, timeline_to_csv
+from repro.soc.devicetree import chip_from_dict, chip_from_json, chip_to_dict
+from repro.soc.presets import exynos5422
+
+
+def sample_dict() -> dict:
+    return {
+        "name": "test-soc",
+        "clusters": [
+            {
+                "name": "big",
+                "cores": 2,
+                "core": {"name": "A72", "capacity": 2.2, "ceff_f": 5.5e-10,
+                         "leak_a_per_v": 0.10, "is_big": True},
+                "opps": [[500, 0.90], [1000, 1.00], [2000, 1.25]],
+            },
+            {
+                "name": "little",
+                "cores": 4,
+                "core": {"name": "A53", "capacity": 1.0, "ceff_f": 1.4e-10,
+                         "leak_a_per_v": 0.03},
+                "opps": [[400, 0.90], [800, 0.95], [1400, 1.10]],
+            },
+        ],
+    }
+
+
+class TestChipFromDict:
+    def test_builds_chip(self):
+        chip = chip_from_dict(sample_dict())
+        assert chip.name == "test-soc"
+        assert chip.cluster("big").n_cores == 2
+        assert chip.cluster("big").spec.core.is_big
+        assert chip.cluster("little").spec.opp_table.max_freq_hz == pytest.approx(1.4e9)
+
+    def test_roundtrip_through_dict(self):
+        chip = chip_from_dict(sample_dict())
+        again = chip_from_dict(chip_to_dict(chip))
+        assert again.cluster_names == chip.cluster_names
+        assert again.cluster("big").spec.opp_table == chip.cluster("big").spec.opp_table
+
+    def test_preset_roundtrips(self):
+        chip = exynos5422()
+        again = chip_from_dict(chip_to_dict(chip))
+        assert again.n_cores == chip.n_cores
+
+    def test_missing_top_level(self):
+        with pytest.raises(ConfigurationError, match="'name' and 'clusters'"):
+            chip_from_dict({"clusters": []})
+
+    def test_empty_clusters(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            chip_from_dict({"name": "x", "clusters": []})
+
+    def test_unknown_cluster_field(self):
+        data = sample_dict()
+        data["clusters"][0]["turbo"] = True
+        with pytest.raises(ConfigurationError, match="unknown fields"):
+            chip_from_dict(data)
+
+    def test_missing_cluster_field(self):
+        data = sample_dict()
+        del data["clusters"][0]["opps"]
+        with pytest.raises(ConfigurationError, match="missing fields"):
+            chip_from_dict(data)
+
+    def test_unknown_core_field(self):
+        data = sample_dict()
+        data["clusters"][0]["core"]["volts"] = 1.0
+        with pytest.raises(ConfigurationError, match="unknown core fields"):
+            chip_from_dict(data)
+
+    def test_bad_opp_entry(self):
+        data = sample_dict()
+        data["clusters"][0]["opps"] = [[500]]
+        with pytest.raises(ConfigurationError, match="freq_mhz, voltage_v"):
+            chip_from_dict(data)
+
+    def test_spec_validation_propagates(self):
+        data = sample_dict()
+        data["clusters"][0]["core"]["capacity"] = -1.0
+        with pytest.raises(ConfigurationError):
+            chip_from_dict(data)
+
+    def test_loaded_chip_simulates(self, single_unit_trace):
+        chip = chip_from_dict(sample_dict())
+        result = Simulator(chip, single_unit_trace,
+                           lambda c: OndemandGovernor()).run()
+        assert result.qos.mean_qos == 1.0
+
+
+class TestChipFromJson:
+    def test_loads_file(self, tmp_path):
+        path = tmp_path / "soc.json"
+        path.write_text(json.dumps(sample_dict()))
+        chip = chip_from_json(path)
+        assert chip.name == "test-soc"
+
+    def test_bad_json(self, tmp_path):
+        path = tmp_path / "soc.json"
+        path.write_text("{broken")
+        with pytest.raises(ConfigurationError, match="cannot load"):
+            chip_from_json(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            chip_from_json(tmp_path / "nope.json")
+
+
+class TestTimeline:
+    def test_roundtrip(self, tiny_chip, steady_trace, tmp_path):
+        result = Simulator(tiny_chip, steady_trace,
+                           lambda c: OndemandGovernor(),
+                           record_samples=True).run()
+        path = tmp_path / "timeline.csv"
+        timeline_to_csv(result, path)
+        samples = timeline_from_csv(path)
+        assert len(samples) == len(result.samples)
+        assert samples[0] == result.samples[0]
+        assert samples[-1] == result.samples[-1]
+
+    def test_requires_samples(self, tiny_chip, steady_trace, tmp_path):
+        result = Simulator(tiny_chip, steady_trace,
+                           lambda c: OndemandGovernor()).run()
+        with pytest.raises(SimulationError, match="record_samples"):
+            timeline_to_csv(result, tmp_path / "x.csv")
+
+    def test_bad_csv(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(SimulationError, match="not a timeline"):
+            timeline_from_csv(path)
+
+    def test_bad_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time_s,power_w,queue_jobs,opp_cpu,util_cpu\nx,1,2,0,0.5\n")
+        with pytest.raises(SimulationError, match="bad timeline row"):
+            timeline_from_csv(path)

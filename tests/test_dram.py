@@ -1,0 +1,90 @@
+"""The LPDDR DRAM power model and its engine integration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.governors.performance import PerformanceGovernor
+from repro.mem.dram import DRAMModel
+from repro.sim.engine import Simulator
+from repro.workload.trace import Trace
+
+from conftest import unit
+
+
+class TestDRAMModel:
+    def test_access_energy_scales_with_traffic(self):
+        dram = DRAMModel(bytes_per_cycle=0.1, energy_per_byte_j=40e-12,
+                         active_background_w=0.0, standby_w=0.0, self_refresh_w=0.0)
+        p1 = dram.interval_power_w(1e7, 0.01)
+        p2 = dram.interval_power_w(2e7, 0.01)
+        assert p2 == pytest.approx(2 * p1)
+        # 1e7 cycles * 0.1 B/cy = 1e6 B over 10 ms = 1e8 B/s * 40 pJ/B.
+        assert p1 == pytest.approx(1e8 * 40e-12)
+
+    def test_bandwidth_clamped_at_peak(self):
+        dram = DRAMModel(peak_bandwidth_bps=1e9, active_background_w=0.0,
+                         standby_w=0.0, self_refresh_w=0.0)
+        unclamped = dram.interval_power_w(1e8, 0.01)  # 1.2e9 B/s demanded
+        assert unclamped == pytest.approx(1e9 * dram.energy_per_byte_j)
+        assert dram.saturated_intervals == 1
+
+    def test_state_progression_to_self_refresh(self):
+        dram = DRAMModel(self_refresh_after_s=0.05)
+        dram.interval_power_w(1e6, 0.01)
+        assert dram.state == "active"
+        for _ in range(4):
+            dram.interval_power_w(0.0, 0.01)
+        assert dram.state == "standby"
+        dram.interval_power_w(0.0, 0.01)
+        assert dram.state == "self-refresh"
+
+    def test_self_refresh_saves_power(self):
+        dram = DRAMModel()
+        active = dram.interval_power_w(1e7, 0.01)
+        for _ in range(100):
+            idle = dram.interval_power_w(0.0, 0.01)
+        assert idle < active
+        assert idle == pytest.approx(dram.self_refresh_w)
+
+    def test_traffic_exits_self_refresh(self):
+        dram = DRAMModel(self_refresh_after_s=0.01)
+        dram.interval_power_w(0.0, 0.01)
+        assert dram.state == "self-refresh"
+        dram.interval_power_w(1e6, 0.01)
+        assert dram.state == "active"
+
+    def test_reset(self):
+        dram = DRAMModel(self_refresh_after_s=0.01)
+        dram.interval_power_w(0.0, 0.01)
+        dram.reset()
+        assert dram.state == "active"
+        assert dram.saturated_intervals == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DRAMModel(bytes_per_cycle=-1.0)
+        with pytest.raises(ConfigurationError):
+            DRAMModel(standby_w=0.5, active_background_w=0.1)
+        with pytest.raises(ConfigurationError):
+            DRAMModel().interval_power_w(-1.0, 0.01)
+
+
+class TestEngineIntegration:
+    def test_memory_adds_energy(self, tiny_chip, steady_trace):
+        base = Simulator(tiny_chip, steady_trace, lambda c: PerformanceGovernor()).run()
+        tiny_chip.reset()
+        with_mem = Simulator(
+            tiny_chip, steady_trace, lambda c: PerformanceGovernor(),
+            memory=DRAMModel(),
+        ).run()
+        assert with_mem.total_energy_j > base.total_energy_j
+        assert with_mem.uncore_energy_j > base.uncore_energy_j
+        # Compute-side energy is untouched.
+        assert with_mem.dynamic_energy_j == pytest.approx(base.dynamic_energy_j)
+
+    def test_idle_trace_lands_in_self_refresh(self, tiny_chip):
+        trace = Trace(units=[unit(work=1e6, deadline=0.05)], duration_s=2.0)
+        memory = DRAMModel(self_refresh_after_s=0.05)
+        Simulator(tiny_chip, trace, lambda c: PerformanceGovernor(),
+                  memory=memory).run()
+        assert memory.state == "self-refresh"

@@ -1,0 +1,154 @@
+"""Engine edge cases and cross-subsystem composition."""
+
+import pytest
+
+from repro.governors.performance import PerformanceGovernor
+from repro.governors.powersave import PowersaveGovernor
+from repro.idle.governor import MenuIdleGovernor
+from repro.mem.dram import DRAMModel
+from repro.qos.classes import default_mobile_classes
+from repro.sim.engine import Simulator
+from repro.soc.transition import DVFSTransitionModel
+from repro.thermal.rc import default_thermal_model
+from repro.thermal.throttle import ThermalThrottle
+from repro.workload.trace import Trace
+
+from conftest import unit
+
+
+class TestEmptyAndBoundary:
+    def test_empty_trace_runs(self, tiny_chip):
+        trace = Trace(units=[], name="empty", duration_s=0.5)
+        result = Simulator(tiny_chip, trace, lambda c: PerformanceGovernor()).run()
+        assert result.qos.n_units == 0
+        assert result.qos.mean_qos == 1.0
+        assert result.total_energy_j > 0  # idle power still flows
+
+    def test_unit_released_in_final_interval(self, tiny_chip):
+        # Release at 0.495 in a 0.5 s trace: one interval to run.
+        trace = Trace(units=[unit(release=0.495, work=1e6, deadline=0.6)],
+                      duration_s=0.5)
+        result = Simulator(tiny_chip, trace, lambda c: PerformanceGovernor()).run()
+        assert result.qos.n_completed == 1
+
+    def test_release_exactly_at_duration_boundary(self, tiny_chip):
+        # A unit releasing exactly at the horizon edge must be handled
+        # gracefully (float rounding decides whether the final interval
+        # picks it up) and is accounted either as completed or dropped.
+        trace = Trace(units=[unit(release=0.5, work=1e6, deadline=0.7)],
+                      duration_s=0.5)
+        result = Simulator(tiny_chip, trace, lambda c: PerformanceGovernor()).run()
+        assert result.qos.n_units == 1
+        assert result.qos.n_completed + result.qos.n_dropped == 1
+
+    def test_many_jobs_same_deadline(self, tiny_chip):
+        units = [unit(uid=i, release=0.0, work=1e6, deadline=0.1)
+                 for i in range(10)]
+        trace = Trace(units=units, duration_s=0.3)
+        result = Simulator(tiny_chip, trace, lambda c: PerformanceGovernor()).run()
+        assert result.qos.n_completed == 10
+
+    def test_parallelism_above_core_count_clamps(self, tiny_chip):
+        trace = Trace(units=[unit(work=1e6, deadline=0.1, parallelism=16)],
+                      duration_s=0.2)
+        result = Simulator(tiny_chip, trace, lambda c: PerformanceGovernor()).run()
+        assert result.qos.n_completed == 1
+
+    def test_sub_interval_trace(self, tiny_chip):
+        trace = Trace(units=[unit(work=1e5, deadline=0.004)], duration_s=0.004)
+        result = Simulator(tiny_chip, trace, lambda c: PerformanceGovernor()).run()
+        assert result.intervals == 1
+
+
+class TestAllSubsystemsComposed:
+    def test_everything_on(self, big_little_chip):
+        units = [
+            unit(uid=i, release=i * 0.02, work=8e6, deadline=i * 0.02 + 0.03)
+            for i in range(50)
+        ]
+        trace = Trace(units=units, duration_s=1.2)
+        result = Simulator(
+            big_little_chip,
+            trace,
+            lambda c: PerformanceGovernor(),
+            thermal=default_thermal_model(big_little_chip.cluster_names),
+            throttle=ThermalThrottle(trip_c=85.0),
+            idle_governor=MenuIdleGovernor(),
+            transition=DVFSTransitionModel(),
+            memory=DRAMModel(),
+            qos_classes=default_mobile_classes(),
+            record_samples=True,
+            record_observations=True,
+        ).run()
+        assert result.qos.n_units == 50
+        assert result.qos.mean_qos > 0.9
+        assert len(result.samples) == result.intervals
+        assert result.observations["big"][0].temp_c is not None
+
+    def test_qos_classes_change_score(self, tiny_chip):
+        """A late interactive unit weighs more than a late background
+        unit under the class map."""
+        late_interactive = Trace(
+            units=[
+                unit(uid=0, work=4e7, deadline=0.02, kind="gameplay"),
+                unit(uid=1, release=0.1, work=1e5, deadline=0.2, kind="background"),
+            ],
+            duration_s=0.4,
+        )
+        late_background = Trace(
+            units=[
+                unit(uid=0, work=1e5, deadline=0.02, kind="gameplay"),
+                unit(uid=1, release=0.1, work=4e7, deadline=0.12, kind="background"),
+            ],
+            duration_s=0.4,
+        )
+        classes = default_mobile_classes()
+        r_int = Simulator(tiny_chip, late_interactive,
+                          lambda c: PowersaveGovernor(),
+                          qos_classes=classes).run()
+        r_bg = Simulator(tiny_chip, late_background,
+                         lambda c: PowersaveGovernor(),
+                         qos_classes=classes).run()
+        assert r_int.qos.mean_qos < r_bg.qos.mean_qos
+
+    def test_weighted_vs_unweighted_differ(self, tiny_chip):
+        trace = Trace(
+            units=[
+                unit(uid=0, work=4e7, deadline=0.02, kind="gameplay"),
+                unit(uid=1, release=0.1, work=1e5, deadline=0.2, kind="background"),
+            ],
+            duration_s=0.4,
+        )
+        weighted = Simulator(tiny_chip, trace, lambda c: PowersaveGovernor(),
+                             qos_classes=default_mobile_classes()).run()
+        tiny_chip.reset()
+        plain = Simulator(tiny_chip, trace, lambda c: PowersaveGovernor()).run()
+        assert weighted.qos.mean_qos != plain.qos.mean_qos
+
+
+class TestGovernorMisbehaviour:
+    def test_non_integer_decision_raises(self, tiny_chip, single_unit_trace):
+        from repro.errors import GovernorError
+        from repro.governors.base import Governor
+
+        class BadGovernor(Governor):
+            name = "bad"
+
+            def decide(self, obs):
+                return "fast"
+
+        with pytest.raises(GovernorError, match="non-integer"):
+            Simulator(tiny_chip, single_unit_trace, lambda c: BadGovernor()).run()
+
+    def test_float_decision_is_coerced(self, tiny_chip, single_unit_trace):
+        from repro.governors.base import Governor
+
+        class FloatGovernor(Governor):
+            name = "floaty"
+
+            def decide(self, obs):
+                return 2.0  # numpy-style float index
+
+        result = Simulator(tiny_chip, single_unit_trace,
+                           lambda c: FloatGovernor()).run()
+        assert result.qos.mean_qos == 1.0

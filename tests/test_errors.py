@@ -1,0 +1,32 @@
+"""The exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in (
+        "ConfigurationError",
+        "OPPError",
+        "WorkloadError",
+        "SimulationError",
+        "GovernorError",
+        "PolicyError",
+        "HardwareModelError",
+        "FixedPointError",
+    ):
+        assert issubclass(getattr(errors, name), errors.ReproError)
+
+
+def test_opp_error_is_configuration_error():
+    assert issubclass(errors.OPPError, errors.ConfigurationError)
+
+
+def test_fixed_point_error_is_hardware_error():
+    assert issubclass(errors.FixedPointError, errors.HardwareModelError)
+
+
+def test_catching_base_class_catches_subclass():
+    with pytest.raises(errors.ReproError):
+        raise errors.OPPError("boom")

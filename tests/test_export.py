@@ -1,0 +1,75 @@
+"""Result export: sweep CSV round-trip and run JSON serialisation."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import result_to_json, sweep_from_csv, sweep_to_csv
+from repro.analysis.sweep import SweepResult, SweepRow
+from repro.errors import ReproError
+from repro.governors.ondemand import OndemandGovernor
+from repro.sim.engine import Simulator
+
+
+def sample_sweep() -> SweepResult:
+    return SweepResult(
+        rows=[
+            SweepRow("gaming", "ondemand", 17.5, 0.99, 0.13, 0.0354),
+            SweepRow("gaming", "rl-policy", 15.0, 0.995, 0.05, 0.0301),
+            SweepRow("idle", "ondemand", 2.0, 1.0, 0.0, 0.004),
+            SweepRow("idle", "rl-policy", 1.8, 1.0, 0.0, 0.0036),
+        ]
+    )
+
+
+class TestSweepCsv:
+    def test_roundtrip(self, tmp_path):
+        sweep = sample_sweep()
+        path = tmp_path / "sweep.csv"
+        sweep_to_csv(sweep, path)
+        back = sweep_from_csv(path)
+        assert back.rows == sweep.rows
+        assert back.governors() == sweep.governors()
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            sweep_to_csv(SweepResult(), tmp_path / "x.csv")
+
+    def test_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("scenario,governor\na,b\n")
+        with pytest.raises(ReproError, match="missing columns"):
+            sweep_from_csv(path)
+
+    def test_bad_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "scenario,governor,energy_j,mean_qos,deadline_miss_rate,"
+            "energy_per_qos_j\na,b,x,1,0,1\n"
+        )
+        with pytest.raises(ReproError, match="bad sweep row"):
+            sweep_from_csv(path)
+
+    def test_loaded_sweep_supports_analysis(self, tmp_path):
+        path = tmp_path / "sweep.csv"
+        sweep_to_csv(sample_sweep(), path)
+        back = sweep_from_csv(path)
+        assert back.improvement_over("ondemand", "rl-policy") > 0
+
+
+class TestResultJson:
+    def test_serialises_run(self, tiny_chip, steady_trace, tmp_path):
+        result = Simulator(tiny_chip, steady_trace,
+                           lambda c: OndemandGovernor()).run()
+        path = tmp_path / "run.json"
+        payload = result_to_json(result, path)
+        assert payload["governor"] == "ondemand"
+        assert payload["qos"]["n_units"] == len(steady_trace)
+        loaded = json.loads(path.read_text())
+        assert loaded == payload
+
+    def test_no_path_returns_dict_only(self, tiny_chip, steady_trace):
+        result = Simulator(tiny_chip, steady_trace,
+                           lambda c: OndemandGovernor()).run()
+        payload = result_to_json(result)
+        assert payload["total_energy_j"] == pytest.approx(result.total_energy_j)

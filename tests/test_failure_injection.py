@@ -1,0 +1,111 @@
+"""Failure injection: the engine and tooling fail loudly, not silently."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import load_policies, save_policies
+from repro.core.trainer import train_policy
+from repro.errors import PolicyError, SimulationError
+from repro.governors.base import Governor
+from repro.governors.performance import PerformanceGovernor
+from repro.sim.engine import Simulator
+from repro.sim.scheduler import Scheduler
+from repro.soc.presets import tiny_test_chip
+
+from conftest import unit
+from test_trainer import tiny_scenario
+
+
+class ExplodingGovernor(Governor):
+    """Raises midway through a run."""
+
+    name = "exploding"
+
+    def __init__(self):
+        super().__init__()
+        self.calls = 0
+
+    def decide(self, obs):
+        self.calls += 1
+        if self.calls > 5:
+            raise RuntimeError("governor crashed")
+        return 0
+
+
+class LostScheduler(Scheduler):
+    """Routes work to a cluster that does not exist."""
+
+    def assign(self, unit, chip, backlog_work, now_s):
+        return "gpu"
+
+
+class TestEngineFailures:
+    def test_governor_exception_propagates(self, tiny_chip, steady_trace):
+        gov = ExplodingGovernor()
+        with pytest.raises(RuntimeError, match="governor crashed"):
+            Simulator(tiny_chip, steady_trace, {"cpu": gov}).run()
+        assert gov.calls == 6  # failed fast, not swallowed
+
+    def test_scheduler_unknown_cluster_rejected(self, tiny_chip, single_unit_trace):
+        sim = Simulator(
+            tiny_chip, single_unit_trace, lambda c: PerformanceGovernor(),
+            scheduler=LostScheduler(),
+        )
+        with pytest.raises(SimulationError, match="unknown cluster"):
+            sim.run()
+
+    def test_chip_state_reusable_after_crash(self, tiny_chip, steady_trace):
+        """A crashed run must not poison the chip for the next one."""
+        with pytest.raises(RuntimeError):
+            Simulator(tiny_chip, steady_trace,
+                      {"cpu": ExplodingGovernor()}).run()
+        result = Simulator(tiny_chip, steady_trace,
+                           lambda c: PerformanceGovernor()).run()
+        assert result.qos.mean_qos == 1.0
+
+
+class TestCheckpointCorruption:
+    def test_truncated_table_file(self, tmp_path):
+        chip = tiny_test_chip()
+        training = train_policy(chip, tiny_scenario(), episodes=1,
+                                episode_duration_s=2.0)
+        ckpt = save_policies(training.policies, tmp_path / "ck")
+        table_file = next(ckpt.glob("qtable_*.npz"))
+        table_file.write_bytes(b"not a zip")
+        with pytest.raises(Exception):  # zipfile/numpy error surfaces
+            load_policies(ckpt)
+
+    def test_table_shape_tampering(self, tmp_path):
+        chip = tiny_test_chip()
+        training = train_policy(chip, tiny_scenario(), episodes=1,
+                                episode_duration_s=2.0)
+        ckpt = save_policies(training.policies, tmp_path / "ck")
+        table_file = next(ckpt.glob("qtable_*.npz"))
+        np.savez_compressed(table_file, values=np.zeros((2, 2)))
+        with pytest.raises(PolicyError, match="shape"):
+            load_policies(ckpt)
+
+    def test_missing_table_file(self, tmp_path):
+        chip = tiny_test_chip()
+        training = train_policy(chip, tiny_scenario(), episodes=1,
+                                episode_duration_s=2.0)
+        ckpt = save_policies(training.policies, tmp_path / "ck")
+        next(ckpt.glob("qtable_*.npz")).unlink()
+        with pytest.raises(Exception):
+            load_policies(ckpt)
+
+
+class TestTraceEdgeAbuse:
+    def test_duplicate_jobs_not_double_counted(self, tiny_chip):
+        """Each WorkUnit becomes exactly one job even when deadlines tie
+        and releases coincide."""
+        from repro.workload.trace import Trace
+
+        units = [unit(uid=i, release=0.0, work=1e5, deadline=0.1)
+                 for i in range(5)]
+        result = Simulator(
+            tiny_chip, Trace(units=units, duration_s=0.2),
+            lambda c: PerformanceGovernor(),
+        ).run()
+        assert result.qos.n_units == 5
+        assert result.qos.n_completed == 5

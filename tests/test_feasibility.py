@@ -1,0 +1,103 @@
+"""Trace feasibility analysis."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.soc.presets import exynos5422, tiny_test_chip
+from repro.workload.feasibility import check_feasibility
+from repro.workload.scenarios import SCENARIOS, get_scenario
+from repro.workload.trace import Trace
+
+from conftest import unit
+
+
+class TestUnitFeasibility:
+    def test_easy_unit_feasible(self, tiny_chip):
+        trace = Trace(units=[unit(work=1e6, deadline=0.1)], duration_s=0.2)
+        report = check_feasibility(trace, tiny_chip)
+        assert report.feasible
+        assert report.infeasible_units == ()
+
+    def test_impossible_unit_flagged(self, tiny_chip):
+        # 1e9 cycles in 10 ms needs 1e11/s; tiny chip peaks at 1.5e9/s.
+        trace = Trace(units=[unit(uid=7, work=1e9, deadline=0.01)], duration_s=0.2)
+        report = check_feasibility(trace, tiny_chip)
+        assert not report.feasible
+        assert report.infeasible_units == (7,)
+
+    def test_parallelism_helps_on_multicore(self):
+        chip = exynos5422()
+        # 9e7 cycles in 12 ms: one big core at 4e9/s takes 22.5 ms (no),
+        # two take 11.25 ms (yes).
+        serial = Trace(units=[unit(work=9e7, deadline=0.012)], duration_s=0.1)
+        parallel = Trace(
+            units=[unit(work=9e7, deadline=0.012, parallelism=2)], duration_s=0.1
+        )
+        assert not check_feasibility(serial, chip).feasible
+        assert check_feasibility(parallel, chip).feasible
+
+
+class TestAggregateBounds:
+    def test_sustained_overload_detected(self, tiny_chip):
+        # 2e7 cycles every 10 ms = 2e9/s sustained vs 1.5e9/s peak.
+        units = [
+            unit(uid=i, release=i * 0.01, work=2e7, deadline=i * 0.01 + 1.0)
+            for i in range(100)
+        ]
+        report = check_feasibility(Trace(units=units, duration_s=1.0), tiny_chip)
+        assert report.utilization_bound > 1.0
+        assert not report.feasible
+
+    def test_transient_burst_detected_by_window_bound(self, tiny_chip):
+        # One 0.1 s window of overload in an otherwise idle second; generous
+        # individual deadlines keep per-unit checks green.
+        units = [
+            unit(uid=i, release=0.001 * i, work=3e7, deadline=2.0)
+            for i in range(10)
+        ]
+        report = check_feasibility(
+            Trace(units=units, duration_s=2.0), tiny_chip, window_s=0.1
+        )
+        assert report.peak_window_bound > 1.0
+        assert report.utilization_bound < 1.0
+
+    def test_builtin_scenarios_feasible_on_exynos(self):
+        """Aggregate demand always fits; the lognormal demand tail may
+        make a sub-percent fraction of frames individually unmeetable —
+        real-world jank the soft-QoS grace absorbs."""
+        chip = exynos5422()
+        for name in SCENARIOS:
+            trace = get_scenario(name).trace(10.0, seed=0)
+            report = check_feasibility(trace, chip, window_s=0.5)
+            assert len(report.infeasible_units) <= 0.01 * report.n_units, name
+            assert report.utilization_bound < 1.0, name
+            assert report.peak_window_bound < 1.0, name
+
+    def test_summary(self, tiny_chip):
+        trace = Trace(units=[unit()], duration_s=0.2)
+        assert "feasible" in check_feasibility(trace, tiny_chip).summary()
+
+    def test_validation(self, tiny_chip):
+        with pytest.raises(WorkloadError):
+            check_feasibility(Trace(units=[], duration_s=1.0), tiny_chip)
+        with pytest.raises(WorkloadError):
+            check_feasibility(
+                Trace(units=[unit()], duration_s=0.2), tiny_chip, window_s=0.0
+            )
+
+
+class TestNewScenarios:
+    def test_video_call_is_steady(self):
+        trace = get_scenario("video_call").trace(20.0, seed=0)
+        from repro.workload.characterize import profile
+
+        p = profile(trace)
+        assert p.burstiness < 4.0  # steadier than app_launch-class bursts
+        assert p.dominant_kind() == "call_steady"
+
+    def test_social_media_is_bursty(self):
+        from repro.workload.characterize import profile
+
+        social = profile(get_scenario("social_media").trace(20.0, seed=0))
+        call = profile(get_scenario("video_call").trace(20.0, seed=0))
+        assert social.demand_cv > call.demand_cv

@@ -1,0 +1,101 @@
+"""Fitting phase machines to observed traces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.fit import fit_phase_machine
+from repro.workload.generator import TraceGenerator
+from repro.workload.phases import PhaseMachine, PhaseSpec
+from repro.workload.trace import Trace
+
+from conftest import unit
+
+
+def two_level_machine() -> PhaseMachine:
+    """A known ground truth: light 1e6 @ 10 Hz vs heavy 2e7 @ 50 Hz."""
+    phases = [
+        PhaseSpec("light", period_s=0.1, work_mean=1e6, work_cv=0.1,
+                  deadline_factor=1.5, dwell_mean_s=2.0, dwell_min_s=1.0),
+        PhaseSpec("heavy", period_s=0.02, work_mean=2e7, work_cv=0.1,
+                  deadline_factor=1.5, dwell_mean_s=2.0, dwell_min_s=1.0),
+    ]
+    return PhaseMachine(phases, [[0.0, 1.0], [1.0, 0.0]])
+
+
+class TestFitPhaseMachine:
+    def test_recovers_two_levels(self):
+        trace = TraceGenerator(two_level_machine(), seed=3).generate(40.0)
+        fit = fit_phase_machine(trace, n_phases=2, window_s=0.25)
+        assert len(fit.levels) == 2
+        # The two demand levels are far apart: light ~1e6*2.5 per window,
+        # heavy ~2e7*12.5 per window.
+        assert fit.levels[1] > 10 * fit.levels[0]
+
+    def test_fitted_machine_regenerates_similar_demand(self):
+        trace = TraceGenerator(two_level_machine(), seed=3).generate(40.0)
+        fit = fit_phase_machine(trace, n_phases=2, window_s=0.25)
+        regen = TraceGenerator(fit.machine, seed=99).generate(40.0)
+        assert regen.mean_demand_rate == pytest.approx(
+            trace.mean_demand_rate, rel=0.35
+        )
+
+    def test_fitted_work_means_match_ground_truth(self):
+        trace = TraceGenerator(two_level_machine(), seed=3).generate(40.0)
+        fit = fit_phase_machine(trace, n_phases=2, window_s=0.25)
+        means = sorted(p.work_mean for p in fit.machine.phases if p.emits)
+        assert means[0] == pytest.approx(1e6, rel=0.2)
+        assert means[-1] == pytest.approx(2e7, rel=0.2)
+
+    def test_transitions_alternate_for_alternating_truth(self):
+        trace = TraceGenerator(two_level_machine(), seed=3).generate(40.0)
+        fit = fit_phase_machine(trace, n_phases=2, window_s=0.25)
+        # Ground truth strictly alternates, so fitted cross-transitions
+        # dominate.
+        assert fit.machine.matrix[0][1] > 0.8
+        assert fit.machine.matrix[1][0] > 0.8
+
+    def test_assignment_covers_all_windows(self):
+        trace = TraceGenerator(two_level_machine(), seed=3).generate(20.0)
+        fit = fit_phase_machine(trace, n_phases=2, window_s=0.25)
+        assert len(fit.assignments) == int(np.ceil(20.0 / 0.25))
+        assert set(fit.assignments) <= {0, 1}
+
+    def test_single_phase_fit(self):
+        units = [unit(uid=i, release=i * 0.05, work=1e6, deadline=i * 0.05 + 0.05)
+                 for i in range(100)]
+        trace = Trace(units=units, duration_s=5.0)
+        fit = fit_phase_machine(trace, n_phases=1, window_s=0.5)
+        phase = fit.machine.phases[0]
+        assert phase.work_mean == pytest.approx(1e6)
+        assert phase.period_s == pytest.approx(0.05, rel=0.05)
+        assert fit.machine.matrix[0][0] == 1.0  # never observed leaving
+
+    def test_fit_is_deterministic(self):
+        trace = TraceGenerator(two_level_machine(), seed=3).generate(20.0)
+        a = fit_phase_machine(trace, n_phases=2)
+        b = fit_phase_machine(trace, n_phases=2)
+        assert a.levels == b.levels
+        assert a.assignments == b.assignments
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            fit_phase_machine(Trace(units=[], duration_s=1.0))
+        trace = Trace(units=[unit()], duration_s=0.3)
+        with pytest.raises(WorkloadError, match="windows"):
+            fit_phase_machine(trace, n_phases=5, window_s=0.25)
+        with pytest.raises(WorkloadError):
+            fit_phase_machine(trace, n_phases=0)
+
+    def test_fitted_machine_is_simulable(self, tiny_chip):
+        """End to end: fit a machine, generate from it, and simulate."""
+        from repro.governors.ondemand import OndemandGovernor
+        from repro.sim.engine import Simulator
+
+        units = [unit(uid=i, release=i * 0.05, work=2e6, deadline=i * 0.05 + 0.05)
+                 for i in range(60)]
+        trace = Trace(units=units, duration_s=3.0)
+        fit = fit_phase_machine(trace, n_phases=1, window_s=0.5)
+        regen = TraceGenerator(fit.machine, seed=1).generate(3.0)
+        result = Simulator(tiny_chip, regen, lambda c: OndemandGovernor()).run()
+        assert result.qos.n_units > 0

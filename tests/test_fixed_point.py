@@ -1,0 +1,117 @@
+"""Q-format fixed-point arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FixedPointError
+from repro.hw.fixed_point import DEFAULT_QFORMAT, QFormat
+
+
+class TestQFormat:
+    def test_widths(self):
+        fmt = QFormat(7, 8)
+        assert fmt.width == 16
+        assert fmt.scale == 256
+        assert str(fmt) == "Q7.8"
+
+    def test_ranges(self):
+        fmt = QFormat(3, 4)
+        assert fmt.max_value == pytest.approx(127 / 16)
+        assert fmt.min_value == pytest.approx(-8.0)
+        assert fmt.resolution == pytest.approx(1 / 16)
+
+    def test_validation(self):
+        with pytest.raises(FixedPointError):
+            QFormat(-1, 4)
+        with pytest.raises(FixedPointError):
+            QFormat(0, 0)
+
+
+class TestQuantize:
+    fmt = QFormat(3, 4)
+
+    def test_exact_values(self):
+        assert self.fmt.quantize(1.0) == 16
+        assert self.fmt.quantize(-2.5) == -40
+
+    def test_rounds_to_nearest(self):
+        assert self.fmt.quantize(0.03) == 0  # 0.48 LSB -> 0
+        assert self.fmt.quantize(0.04) == 1  # 0.64 LSB -> 1
+
+    def test_saturates_by_default(self):
+        assert self.fmt.quantize(100.0) == self.fmt.raw_max
+        assert self.fmt.quantize(-100.0) == self.fmt.raw_min
+
+    def test_strict_raises_on_overflow(self):
+        with pytest.raises(FixedPointError):
+            self.fmt.quantize(100.0, strict=True)
+
+    def test_nan_rejected(self):
+        with pytest.raises(FixedPointError):
+            self.fmt.quantize(float("nan"))
+
+    def test_dequantize_roundtrip_exact(self):
+        for raw in range(self.fmt.raw_min, self.fmt.raw_max + 1):
+            assert self.fmt.quantize(self.fmt.dequantize(raw)) == raw
+
+    def test_dequantize_range_checked(self):
+        with pytest.raises(FixedPointError):
+            self.fmt.dequantize(self.fmt.raw_max + 1)
+
+    @given(value=st.floats(min_value=-7.9, max_value=7.9))
+    def test_quantization_error_bounded_by_half_lsb(self, value):
+        raw = self.fmt.quantize(value)
+        assert abs(self.fmt.dequantize(raw) - value) <= self.fmt.resolution / 2 + 1e-12
+
+
+class TestArithmetic:
+    fmt = QFormat(3, 4)
+
+    def test_add(self):
+        a, b = self.fmt.quantize(1.5), self.fmt.quantize(2.25)
+        assert self.fmt.dequantize(self.fmt.add(a, b)) == pytest.approx(3.75)
+
+    def test_add_saturates(self):
+        top = self.fmt.raw_max
+        assert self.fmt.add(top, top) == top
+
+    def test_sub_saturates(self):
+        bottom = self.fmt.raw_min
+        assert self.fmt.sub(bottom, self.fmt.raw_max) == bottom
+
+    def test_mul(self):
+        a, b = self.fmt.quantize(1.5), self.fmt.quantize(2.0)
+        assert self.fmt.dequantize(self.fmt.mul(a, b)) == pytest.approx(3.0)
+
+    def test_mul_negative(self):
+        a, b = self.fmt.quantize(-1.5), self.fmt.quantize(2.0)
+        assert self.fmt.dequantize(self.fmt.mul(a, b)) == pytest.approx(-3.0)
+
+    def test_mul_saturates(self):
+        big = self.fmt.quantize(7.0)
+        assert self.fmt.mul(big, big) == self.fmt.raw_max
+
+    def test_shift_right_rounds(self):
+        assert self.fmt.shift_right(5, 1) == 3  # 2.5 -> 3 (round half up)
+        assert self.fmt.shift_right(-5, 1) == -3
+        assert self.fmt.shift_right(4, 2) == 1
+
+    def test_shift_zero_is_identity(self):
+        assert self.fmt.shift_right(7, 0) == 7
+
+    def test_shift_negative_rejected(self):
+        with pytest.raises(FixedPointError):
+            self.fmt.shift_right(1, -1)
+
+    @given(
+        a=st.floats(min_value=-3.0, max_value=3.0),
+        b=st.floats(min_value=-2.0, max_value=2.0),
+    )
+    def test_mul_matches_float_within_tolerance(self, a, b):
+        fmt = DEFAULT_QFORMAT
+        raw = fmt.mul(fmt.quantize(a), fmt.quantize(b))
+        # Two quantisations plus a product rescale: error bounded by a few
+        # LSBs of the inputs' magnitudes.
+        tolerance = fmt.resolution * (abs(a) + abs(b) + 1)
+        assert abs(fmt.dequantize(raw) - a * b) <= tolerance

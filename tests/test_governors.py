@@ -1,0 +1,252 @@
+"""Baseline DVFS governors: kernel semantics, registry, behaviour."""
+
+import pytest
+
+from repro.errors import GovernorError
+from repro.governors import BASELINE_SIX, available, create
+from repro.governors.base import Governor, register
+from repro.governors.conservative import ConservativeGovernor
+from repro.governors.interactive import InteractiveGovernor
+from repro.governors.ondemand import OndemandGovernor
+from repro.governors.performance import PerformanceGovernor
+from repro.governors.powersave import PowersaveGovernor
+from repro.governors.schedutil import SchedutilGovernor
+from repro.governors.userspace import UserspaceGovernor
+from repro.sim.telemetry import initial_observation
+from repro.soc.cluster import Cluster, ClusterSpec
+from repro.soc.core import CoreSpec
+from repro.soc.opp import make_table
+
+
+def make_cluster(n_opps: int = 10) -> Cluster:
+    freqs = [200 * (i + 1) for i in range(n_opps)]
+    volts = [0.9 + 0.05 * i for i in range(n_opps)]
+    core = CoreSpec("c", 1.0, 1e-10, 0.01)
+    return Cluster(ClusterSpec("cpu", core, 2, make_table(freqs, volts)))
+
+
+def obs_with(cluster: Cluster, load: float, opp_index: int, time_s: float = 1.0):
+    """An observation with a given busiest-core load at a given OPP."""
+    table = cluster.spec.opp_table
+    base = initial_observation(
+        "cpu", opp_index, len(table), table[opp_index].freq_hz,
+        table.max_freq_hz, 0.01,
+    )
+    return type(base)(
+        **{
+            **base.__dict__,
+            "time_s": time_s,
+            "utilization": load,
+            "max_core_utilization": load,
+        }
+    )
+
+
+class TestRegistry:
+    def test_baseline_six_all_registered(self):
+        for name in BASELINE_SIX:
+            assert isinstance(create(name), Governor)
+
+    def test_seventh_governor_schedutil(self):
+        assert "schedutil" in available()
+
+    def test_unknown_name(self):
+        with pytest.raises(GovernorError, match="available"):
+            create("turbo")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(GovernorError, match="already"):
+            register("performance", PerformanceGovernor)
+
+    def test_unbound_governor_raises(self):
+        gov = OndemandGovernor()
+        with pytest.raises(GovernorError, match="not bound"):
+            _ = gov.cluster
+
+
+class TestTrivialGovernors:
+    def test_performance_always_max(self):
+        cluster = make_cluster()
+        gov = PerformanceGovernor()
+        gov.reset(cluster)
+        assert gov.decide(obs_with(cluster, 0.0, 0)) == 9
+        assert gov.decide(obs_with(cluster, 1.0, 9)) == 9
+
+    def test_powersave_always_min(self):
+        cluster = make_cluster()
+        gov = PowersaveGovernor()
+        gov.reset(cluster)
+        assert gov.decide(obs_with(cluster, 1.0, 9)) == 0
+
+    def test_userspace_holds_requested(self):
+        cluster = make_cluster()
+        gov = UserspaceGovernor(opp_index=3)
+        gov.reset(cluster)
+        assert gov.decide(obs_with(cluster, 0.9, 0)) == 3
+
+    def test_userspace_defaults_to_middle(self):
+        cluster = make_cluster(n_opps=10)
+        gov = UserspaceGovernor()
+        gov.reset(cluster)
+        assert gov.decide(obs_with(cluster, 0.5, 0)) == 4
+
+    def test_userspace_clamps_request(self):
+        cluster = make_cluster(n_opps=4)
+        gov = UserspaceGovernor(opp_index=99)
+        gov.reset(cluster)
+        assert gov.decide(obs_with(cluster, 0.5, 0)) == 3
+
+    def test_userspace_rejects_negative(self):
+        with pytest.raises(GovernorError):
+            UserspaceGovernor(opp_index=-1)
+
+
+class TestOndemand:
+    def test_jumps_to_max_above_threshold(self):
+        cluster = make_cluster()
+        gov = OndemandGovernor(up_threshold=0.8)
+        gov.reset(cluster)
+        assert gov.decide(obs_with(cluster, 0.85, 2)) == 9
+
+    def test_proportional_below_threshold(self):
+        cluster = make_cluster()
+        gov = OndemandGovernor(up_threshold=0.8)
+        gov.reset(cluster)
+        # At OPP 4 (1000 MHz) with load 0.4: target = 0.4*1000/0.8 = 500 MHz
+        # -> ceil to 600 MHz = index 2.
+        assert gov.decide(obs_with(cluster, 0.4, 4)) == 2
+
+    def test_idle_drops_to_floor(self):
+        cluster = make_cluster()
+        gov = OndemandGovernor()
+        gov.reset(cluster)
+        assert gov.decide(obs_with(cluster, 0.0, 9)) == 0
+
+    def test_sampling_down_factor_holds_max(self):
+        cluster = make_cluster()
+        gov = OndemandGovernor(up_threshold=0.8, sampling_down_factor=3)
+        gov.reset(cluster)
+        assert gov.decide(obs_with(cluster, 0.9, 2)) == 9
+        # Load collapses but the hold keeps max for 3 further samples.
+        assert gov.decide(obs_with(cluster, 0.1, 9)) == 9
+        assert gov.decide(obs_with(cluster, 0.1, 9)) == 9
+        assert gov.decide(obs_with(cluster, 0.1, 9)) == 9
+        assert gov.decide(obs_with(cluster, 0.1, 9)) < 9
+
+    def test_parameter_validation(self):
+        with pytest.raises(GovernorError):
+            OndemandGovernor(up_threshold=0.0)
+        with pytest.raises(GovernorError):
+            OndemandGovernor(sampling_down_factor=0)
+
+    def test_reset_clears_hold(self):
+        cluster = make_cluster()
+        gov = OndemandGovernor(sampling_down_factor=5)
+        gov.reset(cluster)
+        gov.decide(obs_with(cluster, 0.9, 2))
+        gov.reset(cluster)
+        assert gov.decide(obs_with(cluster, 0.0, 9)) == 0
+
+
+class TestConservative:
+    def test_steps_up_gradually(self):
+        cluster = make_cluster()
+        gov = ConservativeGovernor(freq_step=0.05)
+        gov.reset(cluster)
+        # One step is 5% of 2000 MHz = 100 MHz above the current 200 MHz
+        # -> ceil(300) = index 1. Never a jump to max.
+        assert gov.decide(obs_with(cluster, 0.95, 0)) == 1
+
+    def test_steps_down_below_down_threshold(self):
+        cluster = make_cluster()
+        gov = ConservativeGovernor()
+        gov.reset(cluster)
+        assert gov.decide(obs_with(cluster, 0.1, 5)) < 5
+
+    def test_holds_between_thresholds(self):
+        cluster = make_cluster()
+        gov = ConservativeGovernor()
+        gov.reset(cluster)
+        assert gov.decide(obs_with(cluster, 0.5, 5)) == 5
+
+    def test_never_leaves_table(self):
+        cluster = make_cluster()
+        gov = ConservativeGovernor()
+        gov.reset(cluster)
+        assert gov.decide(obs_with(cluster, 0.1, 0)) == 0
+        assert gov.decide(obs_with(cluster, 0.99, 9)) == 9
+
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(GovernorError):
+            ConservativeGovernor(up_threshold=0.2, down_threshold=0.8)
+
+
+class TestInteractive:
+    def test_spike_jumps_to_hispeed(self):
+        cluster = make_cluster()
+        gov = InteractiveGovernor(go_hispeed_load=0.85, hispeed_fraction=0.7)
+        gov.reset(cluster)
+        # hispeed = 0.7 * 2000 = 1400 MHz = index 6.
+        assert gov.decide(obs_with(cluster, 0.9, 0)) == 6
+
+    def test_sustained_load_reaches_max_after_delay(self):
+        cluster = make_cluster()
+        gov = InteractiveGovernor(above_hispeed_delay_s=0.02)
+        gov.reset(cluster)
+        first = gov.decide(obs_with(cluster, 0.95, 0, time_s=0.00))
+        assert first == 6
+        held = gov.decide(obs_with(cluster, 0.95, first, time_s=0.01))
+        assert held == 6  # still inside the hispeed dwell
+        final = gov.decide(obs_with(cluster, 0.95, held, time_s=0.03))
+        assert final == 9
+
+    def test_descent_damped_by_min_sample_time(self):
+        cluster = make_cluster()
+        gov = InteractiveGovernor(min_sample_time_s=0.08)
+        gov.reset(cluster)
+        high = gov.decide(obs_with(cluster, 0.95, 0, time_s=0.0))
+        # Load vanishes immediately, but the floor holds for 80 ms.
+        assert gov.decide(obs_with(cluster, 0.05, high, time_s=0.01)) == high
+        assert gov.decide(obs_with(cluster, 0.05, high, time_s=0.2)) < high
+
+    def test_moderate_load_targets_target_load(self):
+        cluster = make_cluster()
+        gov = InteractiveGovernor(target_load=0.9)
+        gov.reset(cluster)
+        # Load 0.45 at 1000 MHz -> target 0.45*1000/0.9 = 500 -> index 2.
+        assert gov.decide(obs_with(cluster, 0.45, 4)) == 2
+
+    def test_parameter_validation(self):
+        with pytest.raises(GovernorError):
+            InteractiveGovernor(go_hispeed_load=1.5)
+        with pytest.raises(GovernorError):
+            InteractiveGovernor(above_hispeed_delay_s=-1.0)
+
+
+class TestSchedutil:
+    def test_frequency_invariant_target(self):
+        cluster = make_cluster()
+        gov = SchedutilGovernor(headroom=1.25)
+        gov.reset(cluster)
+        # Load 0.8 at 1000 MHz -> util@max = 0.8*1000/2000 = 0.4;
+        # target = 1.25*0.4*2000 = 1000 MHz -> index 4.
+        assert gov.decide(obs_with(cluster, 0.8, 4)) == 4
+
+    def test_saturation_at_low_freq_does_not_jump_to_max(self):
+        """schedutil's blind spot: full load at the floor OPP reads as
+        modest absolute utilisation."""
+        cluster = make_cluster()
+        gov = SchedutilGovernor()
+        gov.reset(cluster)
+        decision = gov.decide(obs_with(cluster, 1.0, 0))
+        assert decision < 9
+
+    def test_idle_goes_to_floor(self):
+        cluster = make_cluster()
+        gov = SchedutilGovernor()
+        gov.reset(cluster)
+        assert gov.decide(obs_with(cluster, 0.0, 5)) == 0
+
+    def test_headroom_validation(self):
+        with pytest.raises(GovernorError):
+            SchedutilGovernor(headroom=0.9)

@@ -1,0 +1,131 @@
+"""The fixed-point Q-learning datapath versus the float reference."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw.datapath import QLearningDatapath
+from repro.hw.fixed_point import QFormat
+from repro.rl.qlearning import QLearningAgent
+from repro.rl.qtable import QTable
+
+
+class TestDatapathBasics:
+    def test_fresh_table_is_zero(self):
+        dp = QLearningDatapath(4, 3)
+        assert dp.read_row(0) == [0, 0, 0]
+
+    def test_argmax_priority_low_index(self):
+        dp = QLearningDatapath(1, 4)
+        assert dp.argmax(0) == 0
+        dp.table[0, 1] = 5
+        dp.table[0, 3] = 5
+        assert dp.argmax(0) == 1
+
+    def test_alpha_is_power_of_two(self):
+        dp = QLearningDatapath(2, 2, alpha_shift=3)
+        assert dp.alpha == pytest.approx(0.125)
+
+    def test_bounds_checked(self):
+        dp = QLearningDatapath(2, 2)
+        with pytest.raises(HardwareModelError):
+            dp.read_row(2)
+        with pytest.raises(HardwareModelError):
+            dp.update(0, 2, 0.0, 1)
+
+    def test_bram_bits(self):
+        dp = QLearningDatapath(270, 5, qformat=QFormat(7, 8))
+        assert dp.bram_bits() == 270 * 5 * 16
+
+    def test_validation(self):
+        with pytest.raises(HardwareModelError):
+            QLearningDatapath(0, 2)
+        with pytest.raises(HardwareModelError):
+            QLearningDatapath(2, 2, gamma=1.0)
+        with pytest.raises(HardwareModelError):
+            QLearningDatapath(2, 2, alpha_shift=-1)
+
+
+class TestUpdateSemantics:
+    def test_simple_update(self):
+        # alpha = 0.5, gamma = 0: Q(0,0) <- 0 + 0.5 * (-2 - 0) = -1.
+        dp = QLearningDatapath(2, 2, alpha_shift=1, gamma=0.0)
+        dp.update(0, 0, reward=-2.0, next_state=1)
+        assert dp.fmt.dequantize(int(dp.table[0, 0])) == pytest.approx(-1.0)
+
+    def test_bootstrap_uses_next_state_max(self):
+        dp = QLearningDatapath(2, 2, alpha_shift=0, gamma=0.5)
+        dp.table[1, 0] = dp.fmt.quantize(4.0)
+        dp.update(0, 0, reward=0.0, next_state=1)
+        assert dp.fmt.dequantize(int(dp.table[0, 0])) == pytest.approx(2.0)
+
+    def test_values_saturate_not_wrap(self):
+        fmt = QFormat(3, 4)  # max ~7.94
+        dp = QLearningDatapath(1, 1, qformat=fmt, alpha_shift=0, gamma=0.9)
+        for _ in range(100):
+            dp.update(0, 0, reward=7.9, next_state=0)
+        assert int(dp.table[0, 0]) == fmt.raw_max
+
+    def test_update_counter(self):
+        dp = QLearningDatapath(2, 2)
+        dp.update(0, 0, 0.0, 1)
+        assert dp.updates == 1
+
+
+class TestFloatInterchange:
+    def test_load_and_dump_roundtrip(self):
+        soft = QTable(3, 2)
+        soft.set(0, 1, 1.25)
+        soft.set(2, 0, -3.5)
+        dp = QLearningDatapath(3, 2, qformat=QFormat(7, 8))
+        dp.load_float_table(soft)
+        back = dp.to_float_table()
+        assert back.get(0, 1) == pytest.approx(1.25)
+        assert back.get(2, 0) == pytest.approx(-3.5)
+
+    def test_shape_mismatch_rejected(self):
+        dp = QLearningDatapath(3, 2)
+        with pytest.raises(HardwareModelError):
+            dp.load_float_table(QTable(2, 2))
+
+    def test_greedy_decisions_match_float_after_quantisation(self):
+        """For a table with well-separated action values, the quantised
+        datapath must pick the same greedy actions as the float agent."""
+        soft = QTable(20, 5)
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        for s in range(20):
+            vals = rng.uniform(-10, 10, size=5)
+            # Enforce separation of at least 4 LSBs of Q7.8.
+            vals = np.round(vals * 16) / 16
+            for a in range(5):
+                soft.set(s, a, float(vals[a]))
+        dp = QLearningDatapath(20, 5, qformat=QFormat(7, 8))
+        dp.load_float_table(soft)
+        for s in range(20):
+            assert dp.argmax(s) == soft.argmax(s)
+
+
+class TestFixedVsFloatLearning:
+    def test_td_trajectory_stays_close_to_float(self):
+        """Running the identical experience through the fixed-point
+        datapath and the float agent keeps Q-values within quantisation
+        tolerance for a short horizon."""
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        dp = QLearningDatapath(8, 3, qformat=QFormat(7, 8), alpha_shift=2, gamma=0.75)
+        agent = QLearningAgent(8, 3, alpha=0.25, gamma=0.75)
+        for _ in range(300):
+            s = int(rng.integers(8))
+            a = int(rng.integers(3))
+            r = float(rng.uniform(-2.0, 0.0))
+            s2 = int(rng.integers(8))
+            dp.update(s, a, r, s2)
+            agent.update(s, a, r, s2)
+        hard = dp.to_float_table()
+        for s in range(8):
+            for a in range(3):
+                assert hard.get(s, a) == pytest.approx(
+                    agent.table.get(s, a), abs=0.15
+                )

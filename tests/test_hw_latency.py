@@ -1,0 +1,126 @@
+"""Pipeline, interface, and latency models — including the paper's bands."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw.interface import CpuHwInterface, InterfaceSpec
+from repro.hw.latency import (
+    HardwareLatencyModel,
+    SoftwareLatencyModel,
+    compare_latency,
+)
+from repro.hw.pipeline import AcceleratorPipeline, PipelineSpec
+
+
+class TestPipeline:
+    def test_compare_tree_depth(self):
+        assert AcceleratorPipeline(n_actions=5).compare_cycles == 3
+        assert AcceleratorPipeline(n_actions=2).compare_cycles == 1
+        assert AcceleratorPipeline(n_actions=1).compare_cycles == 1
+        assert AcceleratorPipeline(n_actions=8).compare_cycles == 3
+        assert AcceleratorPipeline(n_actions=9).compare_cycles == 4
+
+    def test_decision_cycles(self):
+        pipe = AcceleratorPipeline(PipelineSpec(), n_actions=5)
+        assert pipe.decision_cycles() == 1 + 2 + 3
+
+    def test_update_cycles(self):
+        pipe = AcceleratorPipeline(PipelineSpec(), n_actions=5)
+        assert pipe.update_cycles() == 2 + 3 + 1 + 1 + 1
+
+    def test_step_latency(self):
+        pipe = AcceleratorPipeline(PipelineSpec(clock_hz=100e6), n_actions=5)
+        assert pipe.decision_latency_s() == pytest.approx(14 / 100e6)
+
+    def test_process_accumulates(self):
+        pipe = AcceleratorPipeline(n_actions=5)
+        pipe.process()
+        pipe.process(with_update=False)
+        assert pipe.decisions == 2
+        assert pipe.total_cycles == 14 + 6
+
+    def test_validation(self):
+        with pytest.raises(HardwareModelError):
+            PipelineSpec(clock_hz=0.0)
+        with pytest.raises(HardwareModelError):
+            PipelineSpec(bram_read_cycles=0)
+        with pytest.raises(HardwareModelError):
+            AcceleratorPipeline(n_actions=0)
+
+
+class TestInterface:
+    def test_round_trip_single(self):
+        iface = CpuHwInterface(InterfaceSpec(bus_hz=100e6, sync_cycles=2))
+        # submit: 2 + 2*3 = 8; read: 2 + 1*5 = 7 -> 15 cycles.
+        assert iface.round_trip_s(1) == pytest.approx(15 / 100e6)
+        assert iface.transactions == 2
+
+    def test_batching_amortises(self):
+        iface = CpuHwInterface(InterfaceSpec(sync_cycles=2))
+        single = iface.round_trip_s(1)
+        batched = CpuHwInterface(InterfaceSpec(sync_cycles=2)).round_trip_s(4)
+        assert batched < 4 * single
+
+    def test_validation(self):
+        with pytest.raises(HardwareModelError):
+            InterfaceSpec(bus_hz=0)
+        with pytest.raises(HardwareModelError):
+            CpuHwInterface().round_trip_s(0)
+
+
+class TestSoftwareLatency:
+    def test_scales_inverse_with_clock(self):
+        model = SoftwareLatencyModel(cache_misses_warm=0, dram_latency_s=0.0)
+        slow = model.decision_latency_s(2e8)
+        fast = model.decision_latency_s(2e9)
+        assert slow / fast == pytest.approx(10.0)
+
+    def test_dram_component_does_not_scale(self):
+        model = SoftwareLatencyModel()
+        fixed = model.cache_misses_warm * model.dram_latency_s
+        assert model.decision_latency_s(1e12) == pytest.approx(fixed, rel=0.05)
+
+    def test_cold_is_slower(self):
+        model = SoftwareLatencyModel()
+        assert model.decision_latency_s(1e9, cold=True) > model.decision_latency_s(1e9)
+
+    def test_validation(self):
+        with pytest.raises(HardwareModelError):
+            SoftwareLatencyModel(ipc=0.0)
+        with pytest.raises(HardwareModelError):
+            SoftwareLatencyModel(cold_factor=0.5)
+        with pytest.raises(HardwareModelError):
+            SoftwareLatencyModel().decision_latency_s(0.0)
+
+
+class TestPaperBands:
+    """The E4 claims: ~3.92x at the typical operating point, tens of x in
+    the best case (batched decisions vs. a slow cold CPU)."""
+
+    def test_typical_speedup_near_3_92(self):
+        cmp = compare_latency(cpu_freq_hz=1.4e9)
+        assert cmp.speedup == pytest.approx(3.92, rel=0.05)
+
+    def test_speedup_grows_as_cpu_slows(self):
+        fast = compare_latency(cpu_freq_hz=2.0e9)
+        slow = compare_latency(cpu_freq_hz=0.2e9)
+        assert slow.speedup > fast.speedup > 1.0
+
+    def test_best_case_is_tens_of_x(self):
+        cmp = compare_latency(cpu_freq_hz=0.2e9, cold=True, n_clusters=2)
+        assert 25.0 < cmp.speedup < 60.0
+
+    def test_hardware_latency_sub_microsecond(self):
+        hw = HardwareLatencyModel()
+        assert hw.decision_latency_s(1) < 1e-6
+
+    def test_per_decision_batching_monotone(self):
+        hw = HardwareLatencyModel()
+        per1 = hw.per_decision_latency_s(1)
+        per2 = hw.per_decision_latency_s(2)
+        per4 = hw.per_decision_latency_s(4)
+        assert per1 > per2 > per4
+
+    def test_comparison_label(self):
+        cmp = compare_latency(cpu_freq_hz=1e9, cold=True)
+        assert "cold" in cmp.label

@@ -1,0 +1,93 @@
+"""The hardware-backed RL governor."""
+
+import pytest
+
+from repro.core.config import PolicyConfig
+from repro.core.policy import RLPowerManagementPolicy
+from repro.errors import PolicyError
+from repro.hw.hwpolicy import HardwareRLPolicy
+from repro.sim.engine import Simulator
+
+
+class TestHardwareRLPolicy:
+    def test_runs_in_simulator(self, tiny_chip, steady_trace):
+        policy = HardwareRLPolicy()
+        result = Simulator(tiny_chip, steady_trace, {"cpu": policy}).run()
+        assert result.intervals > 0
+        assert policy.datapath is not None
+        assert policy.datapath.updates > 0
+
+    def test_latency_accounted_per_decision(self, tiny_chip, steady_trace):
+        policy = HardwareRLPolicy()
+        result = Simulator(tiny_chip, steady_trace, {"cpu": policy}).run()
+        assert policy.decisions == result.intervals
+        assert policy.total_latency_s > 0
+        assert policy.mean_decision_latency_s < 1e-6
+
+    def test_decide_before_reset_raises(self, tiny_chip):
+        from repro.sim.telemetry import initial_observation
+
+        policy = HardwareRLPolicy()
+        with pytest.raises(PolicyError):
+            policy.decide(initial_observation("cpu", 0, 3, 5e8, 1.5e9, 0.01))
+
+    def test_offline_mode_freezes_bram(self, tiny_chip, steady_trace):
+        policy = HardwareRLPolicy()
+        Simulator(tiny_chip, steady_trace, {"cpu": policy}).run()
+        updates = policy.datapath.updates
+        policy.online = False
+        Simulator(tiny_chip, steady_trace, {"cpu": policy}).run()
+        assert policy.datapath.updates == updates
+
+    def test_learning_persists_across_runs(self, tiny_chip, steady_trace):
+        policy = HardwareRLPolicy()
+        Simulator(tiny_chip, steady_trace, {"cpu": policy}).run()
+        first = policy.datapath.updates
+        Simulator(tiny_chip, steady_trace, {"cpu": policy}).run()
+        assert policy.datapath.updates > first
+
+    def test_load_from_trained_software_policy(self, tiny_chip, steady_trace):
+        soft = RLPowerManagementPolicy()
+        for _ in range(3):
+            Simulator(tiny_chip, steady_trace, {"cpu": soft}).run()
+        hard = HardwareRLPolicy(online=False)
+        hard.load_from_software(soft)
+        # Greedy decisions from the quantised table must be valid and the
+        # policy must run.
+        result = Simulator(tiny_chip, steady_trace, {"cpu": hard}).run()
+        assert result.qos.n_units == len(steady_trace)
+
+    def test_load_from_untrained_policy_rejected(self):
+        with pytest.raises(PolicyError):
+            HardwareRLPolicy().load_from_software(RLPowerManagementPolicy())
+
+    def test_hw_and_sw_agree_greedily_after_transfer(self, tiny_chip, steady_trace):
+        """E7's core check: after quantising a trained table, the hardware
+        policy's greedy run matches the software policy's greedy run in
+        QoS terms (same decisions up to quantisation ties)."""
+        soft = RLPowerManagementPolicy()
+        for _ in range(5):
+            Simulator(tiny_chip, steady_trace, {"cpu": soft}).run()
+        soft.online = False
+        sw_result = Simulator(tiny_chip, steady_trace, {"cpu": soft}).run()
+
+        hard = HardwareRLPolicy(online=False)
+        hard.load_from_software(soft)
+        hw_result = Simulator(tiny_chip, steady_trace, {"cpu": hard}).run()
+
+        assert hw_result.qos.mean_qos == pytest.approx(sw_result.qos.mean_qos, abs=0.05)
+        assert hw_result.total_energy_j == pytest.approx(
+            sw_result.total_energy_j, rel=0.15
+        )
+
+    def test_rebind_mismatch_rejected(self, tiny_chip, big_little_chip):
+        policy = HardwareRLPolicy()
+        policy.reset(tiny_chip.cluster("cpu"))  # 3-OPP table
+        with pytest.raises(PolicyError):
+            policy.reset(big_little_chip.cluster("big"))  # 10-OPP table
+
+    def test_custom_config_action_count(self, tiny_chip, steady_trace):
+        cfg = PolicyConfig(action_deltas=(-1, 0, 1))
+        policy = HardwareRLPolicy(cfg)
+        Simulator(tiny_chip, steady_trace, {"cpu": policy}).run()
+        assert policy.datapath.n_actions == 3

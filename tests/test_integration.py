@@ -1,0 +1,117 @@
+"""Cross-module integration: the paper's claims at miniature scale."""
+
+import pytest
+
+from repro import (
+    BASELINE_SIX,
+    Simulator,
+    create,
+    evaluate_policy,
+    exynos5422,
+    get_scenario,
+    train_policy,
+)
+from repro.core.config import PolicyConfig
+from repro.hw.hwpolicy import HardwareRLPolicy
+from repro.qos.energy_per_qos import improvement_percent
+from repro.thermal.rc import default_thermal_model
+from repro.thermal.throttle import ThermalThrottle
+
+
+@pytest.fixture(scope="module")
+def trained_gaming():
+    """A gaming-trained policy set on the Exynos chip, shared across the
+    module's tests (training dominates test time)."""
+    chip = exynos5422()
+    scenario = get_scenario("gaming")
+    training = train_policy(chip, scenario, episodes=10, episode_duration_s=15.0)
+    return chip, scenario, training
+
+
+class TestHeadlineClaim:
+    """Miniature E1: the RL policy beats the reactive governors on
+    energy-per-QoS for the gaming scenario."""
+
+    def test_rl_beats_mean_of_six(self, trained_gaming):
+        chip, scenario, training = trained_gaming
+        trace = scenario.trace(10.0, seed=77)
+        rl = evaluate_policy(chip, training.policies, trace)
+        baselines = []
+        for name in BASELINE_SIX:
+            run = Simulator(chip, trace, lambda c: create(name)).run()
+            baselines.append(run.energy_per_qos_j)
+        mean_six = sum(baselines) / len(baselines)
+        gain = improvement_percent(mean_six, rl.energy_per_qos_j)
+        assert gain > 15.0, f"only {gain:.1f}% better than the six-governor mean"
+
+    def test_rl_preserves_qos(self, trained_gaming):
+        chip, scenario, training = trained_gaming
+        trace = scenario.trace(10.0, seed=77)
+        rl = evaluate_policy(chip, training.policies, trace)
+        assert rl.qos.mean_qos > 0.95
+
+    def test_rl_beats_performance_governor_energy(self, trained_gaming):
+        chip, scenario, training = trained_gaming
+        trace = scenario.trace(10.0, seed=77)
+        rl = evaluate_policy(chip, training.policies, trace)
+        perf = Simulator(chip, trace, lambda c: create("performance")).run()
+        assert rl.total_energy_j < perf.total_energy_j
+
+
+class TestHardwareSoftwareEquivalence:
+    """Miniature E7: the fixed-point hardware policy behaves like the
+    software policy after table transfer."""
+
+    def test_transfer_and_run(self, trained_gaming):
+        chip, scenario, training = trained_gaming
+        trace = scenario.trace(8.0, seed=88)
+        sw = evaluate_policy(chip, training.policies, trace)
+
+        hw_policies = {}
+        for name, soft in training.policies.items():
+            hard = HardwareRLPolicy(soft.config, online=False)
+            hard.load_from_software(soft)
+            hw_policies[name] = hard
+        hw = Simulator(chip, trace, hw_policies).run()
+
+        assert hw.qos.mean_qos == pytest.approx(sw.qos.mean_qos, abs=0.05)
+        assert hw.total_energy_j == pytest.approx(sw.total_energy_j, rel=0.2)
+        assert all(p.mean_decision_latency_s < 1e-6 for p in hw_policies.values())
+
+
+class TestFullStackWithThermals:
+    def test_thermal_throttling_composes_with_rl(self):
+        chip = exynos5422()
+        scenario = get_scenario("gaming")
+        thermal = default_thermal_model(chip.cluster_names)
+        policies = {
+            name: HardwareRLPolicy(PolicyConfig(seed=i))
+            for i, name in enumerate(chip.cluster_names)
+        }
+        sim = Simulator(
+            chip,
+            scenario.trace(5.0, seed=5),
+            policies,
+            thermal=thermal,
+            throttle=ThermalThrottle(trip_c=80.0),
+        )
+        result = sim.run()
+        assert result.intervals == 500
+        assert thermal.max_temperature_c > 25.0
+
+
+class TestCrossScenarioAdaptation:
+    """Miniature E6: a policy trained on one scenario still adapts online
+    when run (learning enabled) on a different one."""
+
+    def test_online_adaptation_after_scenario_switch(self, trained_gaming):
+        chip, _, training = trained_gaming
+        video = get_scenario("video_playback")
+        trace = video.trace(10.0, seed=5)
+        # Frozen on the wrong scenario vs. allowed to keep learning.
+        frozen = evaluate_policy(chip, training.policies, trace)
+        adapted = Simulator(chip, trace, training.policies).run()
+        # Online adaptation must not be dramatically worse than frozen
+        # greedy, and both must deliver reasonable QoS on the new scenario.
+        assert adapted.qos.mean_qos > 0.85
+        assert frozen.qos.mean_qos > 0.85

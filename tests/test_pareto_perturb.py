@@ -1,0 +1,121 @@
+"""Pareto-frontier analysis and trace perturbation."""
+
+import pytest
+
+from repro.analysis.pareto import (
+    FrontierPoint,
+    frontier_table,
+    on_frontier,
+    pareto_frontier,
+)
+from repro.errors import ReproError, WorkloadError
+from repro.workload.perturb import jitter_releases, scale_demand, tighten_deadlines
+from repro.workload.scenarios import get_scenario
+
+
+class TestDominance:
+    def test_strict_domination(self):
+        better = FrontierPoint("a", energy_j=10.0, qos=0.9)
+        worse = FrontierPoint("b", energy_j=12.0, qos=0.8)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+
+    def test_tradeoff_points_do_not_dominate(self):
+        cheap = FrontierPoint("a", energy_j=10.0, qos=0.8)
+        good = FrontierPoint("b", energy_j=12.0, qos=0.95)
+        assert not cheap.dominates(good)
+        assert not good.dominates(cheap)
+
+    def test_equal_points_do_not_dominate(self):
+        a = FrontierPoint("a", 10.0, 0.9)
+        b = FrontierPoint("b", 10.0, 0.9)
+        assert not a.dominates(b)
+
+    def test_tolerance_absorbs_noise(self):
+        a = FrontierPoint("a", 10.0, 0.9)
+        b = FrontierPoint("b", 10.005, 0.899)
+        assert a.dominates(b, tolerance=0.0)
+        assert not a.dominates(b, tolerance=0.01)
+
+
+class TestFrontier:
+    def points(self):
+        return [
+            FrontierPoint("powersave", 5.0, 0.4),
+            FrontierPoint("mid", 10.0, 0.9),
+            FrontierPoint("dominated", 12.0, 0.85),
+            FrontierPoint("performance", 20.0, 1.0),
+        ]
+
+    def test_frontier_members(self):
+        frontier = pareto_frontier(self.points())
+        assert [p.label for p in frontier] == ["powersave", "mid", "performance"]
+
+    def test_on_frontier(self):
+        assert on_frontier("mid", self.points())
+        assert not on_frontier("dominated", self.points())
+
+    def test_unknown_label(self):
+        with pytest.raises(ReproError):
+            on_frontier("nope", self.points())
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            pareto_frontier([])
+
+    def test_table_marks_members(self):
+        table = frontier_table(self.points())
+        lines = {line.split()[0]: line for line in table.splitlines()[3:]}
+        assert lines["mid"].rstrip().endswith("*")
+        assert not lines["dominated"].rstrip().endswith("*")
+
+
+class TestPerturb:
+    @pytest.fixture()
+    def trace(self):
+        return get_scenario("gaming").trace(5.0, seed=0)
+
+    def test_scale_demand(self, trace):
+        heavier = scale_demand(trace, 1.5)
+        assert heavier.total_work == pytest.approx(1.5 * trace.total_work)
+        assert len(heavier) == len(trace)
+        assert all(a.release_s == b.release_s for a, b in zip(trace, heavier))
+
+    def test_scale_validation(self, trace):
+        with pytest.raises(WorkloadError):
+            scale_demand(trace, 0.0)
+
+    def test_tighten_deadlines(self, trace):
+        tight = tighten_deadlines(trace, 0.5)
+        for a, b in zip(trace, tight):
+            assert b.slack_s == pytest.approx(0.5 * a.slack_s)
+            assert b.work == a.work
+
+    def test_tighten_validation(self, trace):
+        with pytest.raises(WorkloadError):
+            tighten_deadlines(trace, 1.5)
+
+    def test_jitter_preserves_validity(self, trace):
+        jittered = jitter_releases(trace, sigma_s=0.005, seed=3)
+        assert len(jittered) == len(trace)
+        for u in jittered:
+            assert 0.0 <= u.release_s < u.deadline_s
+            assert u.release_s < jittered.duration_s
+
+    def test_jitter_zero_is_identity(self, trace):
+        same = jitter_releases(trace, sigma_s=0.0)
+        assert [u.release_s for u in same] == [u.release_s for u in trace]
+
+    def test_jitter_deterministic(self, trace):
+        a = jitter_releases(trace, 0.01, seed=5)
+        b = jitter_releases(trace, 0.01, seed=5)
+        assert [u.release_s for u in a] == [u.release_s for u in b]
+
+    def test_perturbed_trace_simulates(self, trace, big_little_chip):
+        from repro.governors.ondemand import OndemandGovernor
+        from repro.sim.engine import Simulator
+
+        shifted = tighten_deadlines(scale_demand(trace, 1.2), 0.8)
+        result = Simulator(big_little_chip, shifted,
+                           lambda c: OndemandGovernor()).run()
+        assert result.qos.n_units == len(trace)

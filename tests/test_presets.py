@@ -1,0 +1,61 @@
+"""Chip presets: structure and published ratios."""
+
+import pytest
+
+from repro.soc.presets import PRESETS, exynos5422, symmetric_quad, tiny_test_chip
+
+
+class TestExynos5422:
+    def test_is_4_plus_4(self):
+        chip = exynos5422()
+        assert chip.cluster("big").n_cores == 4
+        assert chip.cluster("little").n_cores == 4
+
+    def test_big_tops_at_2ghz(self):
+        chip = exynos5422()
+        assert chip.cluster("big").spec.opp_table.max_freq_hz == pytest.approx(2.0e9)
+
+    def test_little_tops_at_1p4ghz(self):
+        chip = exynos5422()
+        assert chip.cluster("little").spec.opp_table.max_freq_hz == pytest.approx(1.4e9)
+
+    def test_big_little_iso_frequency_power_ratio(self):
+        """At the same frequency and full load, the big core should burn
+        roughly 4-6x the LITTLE core — the published Exynos ratio."""
+        chip = exynos5422()
+        big = chip.cluster("big").spec
+        little = chip.cluster("little").spec
+        f = 1.0e9
+        vb = big.opp_table[big.opp_table.ceil_index(f)].voltage_v
+        vl = little.opp_table[little.opp_table.ceil_index(f)].voltage_v
+        p_big = big.core.ceff_f * vb * vb * f
+        p_little = little.core.ceff_f * vl * vl * f
+        assert 3.0 < p_big / p_little < 7.0
+
+    def test_big_capacity_is_double(self):
+        chip = exynos5422()
+        assert chip.cluster("big").spec.core.capacity == pytest.approx(
+            2.0 * chip.cluster("little").spec.core.capacity
+        )
+
+    def test_fresh_instances_are_independent(self):
+        a, b = exynos5422(), exynos5422()
+        a.cluster("big").set_opp_index(5)
+        assert b.cluster("big").opp_index == 0
+
+
+class TestOtherPresets:
+    def test_symmetric_quad_is_one_cluster(self):
+        chip = symmetric_quad()
+        assert len(chip) == 1
+        assert chip.n_cores == 4
+
+    def test_tiny_chip_is_minimal(self):
+        chip = tiny_test_chip()
+        assert chip.n_cores == 1
+        assert len(chip.clusters[0].spec.opp_table) == 3
+
+    def test_registry_builds_every_preset(self):
+        for name, factory in PRESETS.items():
+            chip = factory()
+            assert chip.n_cores >= 1, name

@@ -1,0 +1,165 @@
+"""Cross-module property-based tests: invariants that must hold for any
+workload, any governor, any seed."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.governors import available, create
+from repro.governors.base import Governor
+from repro.sim.engine import Simulator
+from repro.sim.telemetry import ClusterObservation
+from repro.soc.presets import tiny_test_chip
+from repro.workload.generator import TraceGenerator
+from repro.workload.phases import PhaseMachine, PhaseSpec
+from repro.workload.trace import Trace
+
+from conftest import unit
+
+
+def random_trace(seed: int, duration_s: float = 2.0) -> Trace:
+    """A seeded two-phase workload with bursty structure."""
+    machine = PhaseMachine(
+        [
+            PhaseSpec("lo", period_s=0.05, work_mean=1.5e6, work_cv=0.4,
+                      deadline_factor=1.5, dwell_mean_s=0.5, dwell_min_s=0.2),
+            PhaseSpec("hi", period_s=0.02, work_mean=7e6, work_cv=0.4,
+                      deadline_factor=1.5, dwell_mean_s=0.5, dwell_min_s=0.2),
+        ],
+        [[0.4, 0.6], [0.6, 0.4]],
+    )
+    return TraceGenerator(machine, seed=seed).generate(duration_s)
+
+
+ALL_GOVERNORS = sorted(available())
+
+
+class TestUniversalInvariants:
+    """Hold for every governor on every seeded workload."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        governor=st.sampled_from(ALL_GOVERNORS),
+    )
+    def test_energy_positive_qos_bounded(self, seed, governor):
+        chip = tiny_test_chip()
+        result = Simulator(chip, random_trace(seed), lambda c: create(governor)).run()
+        assert result.total_energy_j > 0
+        assert 0.0 <= result.qos.mean_qos <= 1.0
+        assert 0.0 <= result.qos.deadline_miss_rate <= 1.0
+        assert result.qos.n_completed + (result.qos.n_units - result.qos.n_completed) \
+            == result.qos.n_units
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        governor=st.sampled_from(ALL_GOVERNORS),
+    )
+    def test_energy_breakdown_sums(self, seed, governor):
+        chip = tiny_test_chip()
+        result = Simulator(chip, random_trace(seed), lambda c: create(governor)).run()
+        assert result.total_energy_j == pytest.approx(
+            result.dynamic_energy_j + result.leakage_energy_j
+            + result.uncore_energy_j
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_performance_dominates_powersave_qos(self, seed):
+        """The top OPP can never deliver less QoS than the floor OPP."""
+        chip = tiny_test_chip()
+        trace = random_trace(seed)
+        fast = Simulator(chip, trace, lambda c: create("performance")).run()
+        slow = Simulator(chip, trace, lambda c: create("powersave")).run()
+        assert fast.qos.mean_qos >= slow.qos.mean_qos - 1e-9
+        assert fast.total_energy_j >= slow.total_energy_j
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        governor=st.sampled_from(ALL_GOVERNORS),
+    )
+    def test_determinism(self, seed, governor):
+        chip = tiny_test_chip()
+        trace = random_trace(seed)
+        a = Simulator(chip, trace, lambda c: create(governor)).run()
+        b = Simulator(chip, trace, lambda c: create(governor)).run()
+        assert a.total_energy_j == b.total_energy_j
+        assert a.qos == b.qos
+        assert a.opp_switches == b.opp_switches
+
+
+class RecordingGovernor(Governor):
+    """Holds the floor OPP and records every observation."""
+
+    name = "recording"
+
+    def __init__(self):
+        super().__init__()
+        self.observations: list[ClusterObservation] = []
+
+    def decide(self, obs: ClusterObservation) -> int:
+        self.observations.append(obs)
+        return 0
+
+
+class TestObservationInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_observation_fields_in_range(self, seed):
+        chip = tiny_test_chip()
+        gov = RecordingGovernor()
+        Simulator(chip, random_trace(seed), {"cpu": gov}).run()
+        for obs in gov.observations:
+            assert 0.0 <= obs.utilization <= 1.0
+            assert 0.0 <= obs.max_core_utilization <= 1.0
+            assert obs.utilization <= obs.max_core_utilization + 1e-12
+            assert 0.0 <= obs.qos_slack <= 1.0
+            assert obs.queue_work >= 0.0
+            assert obs.queue_jobs >= 0
+            assert obs.energy_j >= 0.0
+            assert obs.arrived_work >= 0.0
+            assert obs.completed_work >= 0.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_work_conservation(self, seed):
+        """Completed work never exceeds released work, and the sum of
+        per-interval completed work accounts for every finished job."""
+        chip = tiny_test_chip()
+        trace = random_trace(seed)
+        gov = RecordingGovernor()
+        result = Simulator(chip, trace, {"cpu": gov}).run()
+        completed = sum(o.completed_work for o in gov.observations)
+        arrived = sum(o.arrived_work for o in gov.observations)
+        # Observations lag one interval, so allow the final interval's
+        # work to be unaccounted in either sum.
+        assert completed <= trace.total_work * (1 + 1e-9)
+        assert arrived <= trace.total_work * (1 + 1e-9)
+        assert result.qos.n_units == len(trace)
+
+
+class TestTraceProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_csv_roundtrip_any_trace(self, seed, tmp_path_factory):
+        trace = random_trace(seed, duration_s=1.0)
+        path = tmp_path_factory.mktemp("traces") / "t.csv"
+        trace.to_csv(path)
+        back = Trace.from_csv(path)
+        assert list(back) == list(trace)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        works=st.lists(
+            st.floats(min_value=1e3, max_value=1e8), min_size=1, max_size=30
+        )
+    )
+    def test_total_work_additive(self, works):
+        units = [
+            unit(uid=i, release=0.01 * i, work=w, deadline=0.01 * i + 0.1)
+            for i, w in enumerate(works)
+        ]
+        trace = Trace(units=units, duration_s=10.0)
+        assert trace.total_work == pytest.approx(sum(works))

@@ -1,0 +1,136 @@
+"""QoS scoring and the energy-per-QoS metric."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.qos.energy_per_qos import energy_per_qos, improvement_percent
+from repro.qos.metrics import QoSReport, evaluate_jobs, soft_qos
+from repro.workload.task import Job
+
+from conftest import unit
+
+
+class TestSoftQoS:
+    def test_on_time_is_perfect(self):
+        assert soft_qos(-0.5, grace_s=1.0) == 1.0
+        assert soft_qos(0.0, grace_s=1.0) == 1.0
+
+    def test_linear_degradation(self):
+        assert soft_qos(0.5, grace_s=1.0) == pytest.approx(0.5)
+
+    def test_beyond_grace_is_zero(self):
+        assert soft_qos(1.5, grace_s=1.0) == 0.0
+
+    def test_bad_grace(self):
+        with pytest.raises(ConfigurationError):
+            soft_qos(0.0, grace_s=0.0)
+
+    @given(
+        late_a=st.floats(min_value=-1.0, max_value=5.0),
+        late_b=st.floats(min_value=-1.0, max_value=5.0),
+    )
+    def test_monotone_nonincreasing_in_lateness(self, late_a, late_b):
+        lo, hi = sorted([late_a, late_b])
+        assert soft_qos(lo, 1.0) >= soft_qos(hi, 1.0)
+
+
+def completed_job(lateness_s: float, slack: float = 0.1) -> Job:
+    u = unit(uid=completed_job.uid, deadline=slack)
+    completed_job.uid += 1
+    job = Job(u)
+    job.execute(u.work, now_s=u.deadline_s + lateness_s)
+    return job
+
+
+completed_job.uid = 0
+
+
+class TestEvaluateJobs:
+    def setup_method(self):
+        completed_job.uid = 0
+
+    def test_all_on_time(self):
+        jobs = [completed_job(-0.01) for _ in range(5)]
+        report = evaluate_jobs(jobs)
+        assert report.mean_qos == 1.0
+        assert report.deadline_miss_rate == 0.0
+        assert report.n_on_time == 5
+        assert report.n_dropped == 0
+
+    def test_unfinished_jobs_are_dropped(self):
+        jobs = [completed_job(-0.01), Job(unit(uid=99))]
+        report = evaluate_jobs(jobs)
+        assert report.n_units == 2
+        assert report.n_completed == 1
+        assert report.n_dropped == 1
+        assert report.mean_qos == pytest.approx(0.5)
+
+    def test_late_jobs_degrade_qos(self):
+        # grace = 2.0 * slack = 0.2 s; lateness 0.1 -> qos 0.5.
+        report = evaluate_jobs([completed_job(0.1)], grace_factor=2.0)
+        assert report.mean_qos == pytest.approx(0.5)
+        assert report.deadline_miss_rate == 1.0
+        assert report.mean_lateness_s == pytest.approx(0.1)
+
+    def test_very_late_job_counts_dropped(self):
+        report = evaluate_jobs([completed_job(10.0)], grace_factor=2.0)
+        assert report.mean_qos == 0.0
+        assert report.n_dropped == 1
+
+    def test_empty_jobs_perfect_vacuous(self):
+        report = evaluate_jobs([])
+        assert report.n_units == 0
+        assert report.mean_qos == 1.0
+
+    def test_bad_grace_factor(self):
+        with pytest.raises(ConfigurationError):
+            evaluate_jobs([], grace_factor=0.0)
+
+    def test_mean_lateness_only_over_late(self):
+        report = evaluate_jobs([completed_job(-0.05), completed_job(0.1)])
+        assert report.mean_lateness_s == pytest.approx(0.1)
+
+
+class TestEnergyPerQoS:
+    def report(self, qos: float, n: int = 10) -> QoSReport:
+        return QoSReport(
+            n_units=n, n_completed=n, n_on_time=n, n_dropped=0,
+            mean_qos=qos, deadline_miss_rate=0.0, mean_lateness_s=0.0,
+        )
+
+    def test_basic(self):
+        assert energy_per_qos(10.0, self.report(1.0, n=10)) == pytest.approx(1.0)
+
+    def test_lower_qos_costs_more(self):
+        full = energy_per_qos(10.0, self.report(1.0))
+        half = energy_per_qos(10.0, self.report(0.5))
+        assert half == pytest.approx(2 * full)
+
+    def test_zero_qos_is_infinite(self):
+        assert energy_per_qos(10.0, self.report(0.0)) == float("inf")
+
+    def test_zero_units_rejected(self):
+        with pytest.raises(ConfigurationError):
+            energy_per_qos(1.0, self.report(1.0, n=0))
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            energy_per_qos(-1.0, self.report(1.0))
+
+    def test_improvement_percent(self):
+        assert improvement_percent(100.0, 68.34) == pytest.approx(31.66)
+
+    def test_improvement_negative_when_worse(self):
+        assert improvement_percent(100.0, 120.0) == pytest.approx(-20.0)
+
+    def test_improvement_bad_baseline(self):
+        with pytest.raises(ConfigurationError):
+            improvement_percent(0.0, 1.0)
+
+
+class TestQoSReportValidation:
+    def test_rejects_out_of_range_mean(self):
+        with pytest.raises(ConfigurationError):
+            QoSReport(1, 1, 1, 0, 1.5, 0.0, 0.0)

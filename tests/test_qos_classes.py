@@ -1,0 +1,92 @@
+"""QoS classes and weighted evaluation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.qos.classes import (
+    BACKGROUND,
+    BEST_EFFORT,
+    INTERACTIVE,
+    QoSClass,
+    QoSClassMap,
+    default_mobile_classes,
+    evaluate_jobs_weighted,
+)
+from repro.workload.task import Job, WorkUnit
+
+
+def job(kind: str, lateness: float, uid: int, slack: float = 0.1) -> Job:
+    u = WorkUnit(uid=uid, release_s=0.0, work=1e6, deadline_s=slack, kind=kind)
+    j = Job(u)
+    j.execute(1e6, now_s=slack + lateness)
+    return j
+
+
+class TestQoSClass:
+    def test_weights_ordered(self):
+        assert INTERACTIVE.weight > BEST_EFFORT.weight > BACKGROUND.weight
+
+    def test_positive_weight_required(self):
+        with pytest.raises(ConfigurationError):
+            QoSClass("zero", weight=0.0)
+
+
+class TestQoSClassMap:
+    def test_default_class(self):
+        m = QoSClassMap()
+        assert m.class_of("anything") is BEST_EFFORT
+
+    def test_explicit_assignment(self):
+        m = QoSClassMap(kind_to_class={"gameplay": INTERACTIVE})
+        assert m.weight_of("gameplay") == INTERACTIVE.weight
+        assert m.weight_of("other") == BEST_EFFORT.weight
+
+    def test_default_mobile_map_covers_scenarios(self):
+        m = default_mobile_classes()
+        assert m.class_of("gameplay") is INTERACTIVE
+        assert m.class_of("background") is BACKGROUND
+        assert m.class_of("page_load") is BEST_EFFORT  # default
+
+
+class TestWeightedEvaluation:
+    def test_all_on_time_is_one(self):
+        jobs = [job("gameplay", -0.01, 0), job("background", -0.01, 1)]
+        report = evaluate_jobs_weighted(jobs, default_mobile_classes())
+        assert report.mean_qos == pytest.approx(1.0)
+
+    def test_interactive_miss_hurts_more_than_background_miss(self):
+        classes = default_mobile_classes()
+        # Same lateness (half-grace): one interactive miss vs one
+        # background miss, each paired with an on-time unit of the other
+        # class.
+        interactive_miss = [job("gameplay", 0.1, 0), job("background", -0.01, 1)]
+        background_miss = [job("gameplay", -0.01, 2), job("background", 0.1, 3)]
+        r_int = evaluate_jobs_weighted(interactive_miss, classes)
+        r_bg = evaluate_jobs_weighted(background_miss, classes)
+        assert r_int.mean_qos < r_bg.mean_qos
+
+    def test_matches_unweighted_when_weights_equal(self):
+        from repro.qos.metrics import evaluate_jobs
+
+        jobs = [job("a", -0.01, 0), job("b", 0.05, 1), job("c", 0.25, 2)]
+        flat = QoSClassMap(default=BEST_EFFORT)
+        weighted = evaluate_jobs_weighted(jobs, flat)
+        plain = evaluate_jobs(jobs)
+        assert weighted.mean_qos == pytest.approx(plain.mean_qos)
+        assert weighted.deadline_miss_rate == plain.deadline_miss_rate
+
+    def test_unfinished_jobs_counted_dropped(self):
+        unfinished = Job(WorkUnit(uid=9, release_s=0.0, work=1e6,
+                                  deadline_s=0.1, kind="gameplay"))
+        report = evaluate_jobs_weighted([unfinished], default_mobile_classes())
+        assert report.n_dropped == 1
+        assert report.mean_qos == 0.0
+
+    def test_empty(self):
+        report = evaluate_jobs_weighted([], default_mobile_classes())
+        assert report.n_units == 0
+        assert report.mean_qos == 1.0
+
+    def test_bad_grace(self):
+        with pytest.raises(ConfigurationError):
+            evaluate_jobs_weighted([], default_mobile_classes(), grace_factor=0.0)

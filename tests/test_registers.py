@@ -1,0 +1,130 @@
+"""The MMIO register map: packing, unpacking, mailbox semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import HardwareModelError
+from repro.hw.fixed_point import DEFAULT_QFORMAT, QFormat
+from repro.hw.registers import (
+    RegisterFile,
+    pack_decision,
+    pack_obs0,
+    pack_obs1,
+    unpack_decision,
+    unpack_obs0,
+    unpack_obs1,
+)
+
+
+class TestObs0:
+    def test_roundtrip(self):
+        digits = (3, 1, 4, 2)
+        assert unpack_obs0(pack_obs0(digits)) == digits
+
+    def test_layout(self):
+        word = pack_obs0((0x11, 0x22, 0x33, 0x44))
+        assert word == 0x44332211
+
+    def test_arity_checked(self):
+        with pytest.raises(HardwareModelError):
+            pack_obs0((1, 2, 3))
+
+    def test_byte_range_checked(self):
+        with pytest.raises(HardwareModelError):
+            pack_obs0((256, 0, 0, 0))
+
+    @given(st.tuples(*[st.integers(0, 255)] * 4))
+    def test_roundtrip_property(self, digits):
+        assert unpack_obs0(pack_obs0(digits)) == digits
+
+
+class TestObs1:
+    fmt = DEFAULT_QFORMAT  # Q7.8, 16 bits
+
+    def test_positive_reward_roundtrip(self):
+        word = pack_obs1(1.5, self.fmt, learn=True)
+        reward, learn = unpack_obs1(word, self.fmt)
+        assert reward == pytest.approx(1.5)
+        assert learn
+
+    def test_negative_reward_two_complement(self):
+        word = pack_obs1(-2.25, self.fmt, learn=False)
+        reward, learn = unpack_obs1(word, self.fmt)
+        assert reward == pytest.approx(-2.25)
+        assert not learn
+
+    def test_saturates_at_format_limits(self):
+        word = pack_obs1(-1e9, self.fmt)
+        reward, _ = unpack_obs1(word, self.fmt)
+        assert reward == self.fmt.min_value
+
+    def test_wide_format_rejected(self):
+        with pytest.raises(HardwareModelError, match="16 bits"):
+            pack_obs1(0.0, QFormat(11, 12))
+
+    def test_reserved_bits_rejected(self):
+        with pytest.raises(HardwareModelError, match="reserved"):
+            unpack_obs1(1 << 20, self.fmt)
+
+    @given(reward=st.floats(min_value=-120.0, max_value=120.0),
+           learn=st.booleans())
+    def test_roundtrip_within_half_lsb(self, reward, learn):
+        word = pack_obs1(reward, self.fmt, learn)
+        back, back_learn = unpack_obs1(word, self.fmt)
+        assert abs(back - reward) <= self.fmt.resolution / 2 + 1e-12
+        assert back_learn == learn
+
+
+class TestDecision:
+    def test_roundtrip(self):
+        word = pack_decision(action=3, seq=100, valid=True)
+        assert unpack_decision(word) == (3, 100, True)
+
+    def test_seq_wraps_at_15_bits(self):
+        word = pack_decision(0, seq=0x8001)
+        assert unpack_decision(word)[1] == 1
+
+    def test_action_range_checked(self):
+        with pytest.raises(HardwareModelError):
+            pack_decision(300, 0)
+
+
+class TestRegisterFile:
+    def make(self) -> RegisterFile:
+        return RegisterFile(qformat=DEFAULT_QFORMAT)
+
+    def test_observation_path(self):
+        rf = self.make()
+        rf.write_observation((1, 2, 3, 0), reward=-0.5, learn=True)
+        digits, reward, learn = rf.consume_observation()
+        assert digits == (1, 2, 3, 0)
+        assert reward == pytest.approx(-0.5)
+        assert learn
+        assert rf.writes == 1
+
+    def test_decision_mailbox(self):
+        rf = self.make()
+        rf.publish_decision(2)
+        action, seq = rf.read_decision()
+        assert action == 2
+        assert seq == 1
+
+    def test_double_read_raises(self):
+        rf = self.make()
+        rf.publish_decision(1)
+        rf.read_decision()
+        with pytest.raises(HardwareModelError, match="empty"):
+            rf.read_decision()
+
+    def test_sequence_increments_per_publish(self):
+        rf = self.make()
+        seqs = []
+        for action in (0, 1, 2):
+            rf.publish_decision(action)
+            seqs.append(rf.read_decision()[1])
+        assert seqs == [1, 2, 3]
+
+    def test_empty_mailbox_at_start(self):
+        with pytest.raises(HardwareModelError):
+            self.make().read_decision()

@@ -1,0 +1,306 @@
+"""RL substrate: binning, state encoding, Q-table, learners, exploration."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PolicyError
+from repro.rl.discretize import Binner, StateSpace
+from repro.rl.exploration import EpsilonGreedy, EpsilonSchedule
+from repro.rl.qlearning import QLearningAgent
+from repro.rl.qtable import QTable
+from repro.rl.reward import RewardConfig, default_energy_scale
+from repro.rl.sarsa import SarsaAgent
+from repro.sim.telemetry import initial_observation
+
+
+class TestBinner:
+    def test_edges_define_bins(self):
+        binner = Binner(edges=(0.25, 0.5, 0.75))
+        assert binner.n_bins == 4
+        assert binner.bin(0.0) == 0
+        assert binner.bin(0.25) == 1
+        assert binner.bin(0.6) == 2
+        assert binner.bin(0.75) == 3
+        assert binner.bin(99.0) == 3
+
+    def test_uniform(self):
+        binner = Binner.uniform(0.0, 1.0, 4)
+        assert binner.edges == (0.25, 0.5, 0.75)
+
+    def test_uniform_validation(self):
+        with pytest.raises(PolicyError):
+            Binner.uniform(0.0, 1.0, 1)
+        with pytest.raises(PolicyError):
+            Binner.uniform(1.0, 0.0, 4)
+
+    def test_non_increasing_edges_rejected(self):
+        with pytest.raises(PolicyError):
+            Binner(edges=(0.5, 0.5))
+
+    def test_nan_rejected(self):
+        with pytest.raises(PolicyError):
+            Binner(edges=(0.5,)).bin(float("nan"))
+
+    @given(value=st.floats(min_value=-10, max_value=10))
+    def test_bin_always_in_range(self, value):
+        binner = Binner.uniform(0.0, 1.0, 5)
+        assert 0 <= binner.bin(value) < 5
+
+
+class TestStateSpace:
+    def space(self) -> StateSpace:
+        return StateSpace([("a", 3), ("b", 4), ("c", 2)])
+
+    def test_n_states(self):
+        assert self.space().n_states == 24
+
+    def test_encode_decode_roundtrip_all(self):
+        space = self.space()
+        seen = set()
+        for a in range(3):
+            for b in range(4):
+                for c in range(2):
+                    idx = space.encode((a, b, c))
+                    assert space.decode(idx) == (a, b, c)
+                    seen.add(idx)
+        assert seen == set(range(24))
+
+    def test_encode_wrong_arity(self):
+        with pytest.raises(PolicyError):
+            self.space().encode((1, 2))
+
+    def test_encode_out_of_range_digit(self):
+        with pytest.raises(PolicyError):
+            self.space().encode((3, 0, 0))
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(PolicyError):
+            self.space().decode(24)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(PolicyError):
+            StateSpace([("a", 2), ("a", 2)])
+
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=4),
+        data=st.data(),
+    )
+    def test_roundtrip_property(self, sizes, data):
+        space = StateSpace([(f"d{i}", s) for i, s in enumerate(sizes)])
+        digits = tuple(
+            data.draw(st.integers(min_value=0, max_value=s - 1)) for s in sizes
+        )
+        assert space.decode(space.encode(digits)) == digits
+
+
+class TestQTable:
+    def test_initial_fill(self):
+        table = QTable(4, 3, initial_value=1.5)
+        assert table.get(0, 0) == 1.5
+        assert table.visited_fraction() == 0.0
+
+    def test_set_get(self):
+        table = QTable(4, 3)
+        table.set(2, 1, -0.5)
+        assert table.get(2, 1) == -0.5
+        assert table.visited_fraction() == pytest.approx(1 / 12)
+
+    def test_argmax_ties_break_low(self):
+        table = QTable(1, 4)
+        assert table.argmax(0) == 0
+        table.set(0, 2, 1.0)
+        table.set(0, 3, 1.0)
+        assert table.argmax(0) == 2
+
+    def test_max(self):
+        table = QTable(2, 3)
+        table.set(1, 2, 7.0)
+        assert table.max(1) == 7.0
+
+    def test_bounds_checked(self):
+        table = QTable(2, 2)
+        with pytest.raises(PolicyError):
+            table.get(2, 0)
+        with pytest.raises(PolicyError):
+            table.set(0, 2, 1.0)
+
+    def test_row_is_a_copy(self):
+        table = QTable(1, 2)
+        row = table.row(0)
+        row[0] = 99.0
+        assert table.get(0, 0) == 0.0
+
+    def test_save_load_roundtrip(self, tmp_path):
+        table = QTable(3, 2)
+        table.set(1, 1, 3.25)
+        path = tmp_path / "q.npz"
+        table.save(path)
+        back = QTable.load(path)
+        assert back.n_states == 3
+        assert back.get(1, 1) == 3.25
+
+    def test_load_garbage(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, other=np.zeros(3))
+        with pytest.raises(PolicyError):
+            QTable.load(path)
+
+
+class TestEpsilonSchedule:
+    def test_decay(self):
+        sched = EpsilonSchedule(start=1.0, decay=0.5, floor=0.1)
+        assert sched.value(0) == 1.0
+        assert sched.value(1) == 0.5
+        assert sched.value(2) == 0.25
+        assert sched.value(10) == 0.1  # floored
+
+    def test_constant(self):
+        sched = EpsilonSchedule(start=0.3, decay=1.0, floor=0.0)
+        assert sched.value(10_000) == 0.3
+
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            EpsilonSchedule(start=1.5)
+        with pytest.raises(PolicyError):
+            EpsilonSchedule(start=0.1, floor=0.5)
+        with pytest.raises(PolicyError):
+            EpsilonSchedule(decay=0.0)
+
+
+class TestEpsilonGreedy:
+    def test_greedy_when_epsilon_zero(self):
+        explorer = EpsilonGreedy(EpsilonSchedule(start=0.0, floor=0.0), 3, seed=0)
+        row = np.array([0.0, 5.0, 1.0])
+        assert all(explorer.select(row) == 1 for _ in range(50))
+
+    def test_explores_when_epsilon_one(self):
+        explorer = EpsilonGreedy(
+            EpsilonSchedule(start=1.0, decay=1.0, floor=1.0), 3, seed=0
+        )
+        row = np.array([0.0, 5.0, 1.0])
+        picks = {explorer.select(row) for _ in range(200)}
+        assert picks == {0, 1, 2}
+
+    def test_row_length_checked(self):
+        explorer = EpsilonGreedy(EpsilonSchedule(), 3, seed=0)
+        with pytest.raises(PolicyError):
+            explorer.select(np.zeros(4))
+
+    def test_deterministic_for_seed(self):
+        row = np.array([0.0, 1.0, 2.0])
+        a = EpsilonGreedy(EpsilonSchedule(start=0.5), 3, seed=42)
+        b = EpsilonGreedy(EpsilonSchedule(start=0.5), 3, seed=42)
+        assert [a.select(row) for _ in range(100)] == [b.select(row) for _ in range(100)]
+
+
+class TestQLearning:
+    def test_update_moves_toward_target(self):
+        agent = QLearningAgent(4, 2, alpha=0.5, gamma=0.0)
+        td = agent.update(0, 1, reward=-2.0, next_state=1)
+        assert td == pytest.approx(-2.0)
+        assert agent.table.get(0, 1) == pytest.approx(-1.0)
+
+    def test_bootstrap_uses_max(self):
+        agent = QLearningAgent(2, 2, alpha=1.0, gamma=0.5)
+        agent.table.set(1, 0, 10.0)
+        agent.table.set(1, 1, 2.0)
+        agent.update(0, 0, reward=0.0, next_state=1)
+        assert agent.table.get(0, 0) == pytest.approx(5.0)
+
+    def test_converges_on_two_state_chain(self):
+        """A two-state MDP where action 1 is worth +1 and action 0 is 0:
+        Q-learning must rank action 1 above action 0 in both states."""
+        agent = QLearningAgent(2, 2, alpha=0.2, gamma=0.9,
+                               epsilon=EpsilonSchedule(start=1.0, decay=1.0, floor=1.0),
+                               seed=0)
+        state = 0
+        for _ in range(3000):
+            action = agent.act(state)
+            reward = 1.0 if action == 1 else 0.0
+            next_state = 1 - state
+            agent.update(state, action, reward, next_state)
+            state = next_state
+        assert agent.act_greedy(0) == 1
+        assert agent.act_greedy(1) == 1
+        # Optimal value: 1/(1-gamma) = 10.
+        assert agent.table.get(0, 1) == pytest.approx(10.0, rel=0.05)
+
+    def test_parameter_validation(self):
+        with pytest.raises(PolicyError):
+            QLearningAgent(2, 2, alpha=0.0)
+        with pytest.raises(PolicyError):
+            QLearningAgent(2, 2, gamma=1.0)
+
+    def test_update_counter(self):
+        agent = QLearningAgent(2, 2)
+        agent.update(0, 0, 0.0, 1)
+        assert agent.updates == 1
+
+
+class TestSarsa:
+    def test_update_uses_next_action_not_max(self):
+        agent = SarsaAgent(2, 2, alpha=1.0, gamma=0.5)
+        agent.table.set(1, 0, 10.0)
+        agent.table.set(1, 1, 2.0)
+        agent.update(0, 0, reward=0.0, next_state=1, next_action=1)
+        assert agent.table.get(0, 0) == pytest.approx(1.0)  # 0.5*2, not 0.5*10
+
+    def test_learns_the_chain(self):
+        agent = SarsaAgent(2, 2, alpha=0.2, gamma=0.9,
+                           epsilon=EpsilonSchedule(start=1.0, decay=1.0, floor=1.0),
+                           seed=0)
+        state = 0
+        action = agent.act(state)
+        for _ in range(3000):
+            reward = 1.0 if action == 1 else 0.0
+            next_state = 1 - state
+            next_action = agent.act(next_state)
+            agent.update(state, action, reward, next_state, next_action)
+            state, action = next_state, next_action
+        assert agent.act_greedy(0) == 1
+        assert agent.act_greedy(1) == 1
+
+
+class TestReward:
+    def obs(self, energy_j=0.05, misses=0, slack=1.0):
+        base = initial_observation("c", 0, 10, 1e9, 2e9, 0.01)
+        return type(base)(
+            **{**base.__dict__, "energy_j": energy_j,
+               "deadline_misses": misses, "qos_slack": slack}
+        )
+
+    def test_energy_only(self):
+        cfg = RewardConfig(energy_scale_j=0.1, lambda_qos=1.0, slack_threshold=0.5)
+        assert cfg.compute(self.obs(energy_j=0.05)) == pytest.approx(-0.5)
+
+    def test_miss_penalty(self):
+        cfg = RewardConfig(energy_scale_j=0.1, lambda_qos=2.0, miss_penalty=1.0)
+        r_miss = cfg.compute(self.obs(misses=1))
+        r_clean = cfg.compute(self.obs(misses=0))
+        assert r_clean - r_miss == pytest.approx(2.0)
+
+    def test_urgency_kicks_in_below_threshold(self):
+        cfg = RewardConfig(energy_scale_j=0.1, lambda_qos=1.0, slack_threshold=0.5)
+        relaxed = cfg.compute(self.obs(slack=0.9))
+        urgent = cfg.compute(self.obs(slack=0.25))
+        assert urgent < relaxed
+        critical = cfg.compute(self.obs(slack=0.0))
+        assert critical < urgent
+
+    def test_reward_never_positive(self):
+        cfg = RewardConfig(energy_scale_j=0.1)
+        assert cfg.compute(self.obs(energy_j=0.0, slack=1.0)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            RewardConfig(energy_scale_j=0.0)
+        with pytest.raises(PolicyError):
+            RewardConfig(energy_scale_j=1.0, lambda_qos=-1.0)
+
+    def test_default_energy_scale(self):
+        scale = default_energy_scale(1e-9, 1.0, 1e9, 4, 0.01)
+        assert scale == pytest.approx(4e-2)
+        with pytest.raises(PolicyError):
+            default_energy_scale(0.0, 1.0, 1e9, 4, 0.01)

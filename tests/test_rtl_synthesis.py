@@ -1,0 +1,126 @@
+"""The RTL-level accelerator model and FPGA resource estimation."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw.fixed_point import QFormat
+from repro.hw.pipeline import AcceleratorPipeline, PipelineSpec
+from repro.hw.rtl import Request, RTLAccelerator
+from repro.hw.synthesis import (
+    ZYNQ7010_BUDGET,
+    estimate_resources,
+    fits_zynq7010,
+)
+
+
+class TestRTLAccelerator:
+    def test_single_decision_latency(self):
+        rtl = RTLAccelerator(n_actions=5)
+        rtl.submit(Request(req_id=0, state=3, with_update=False))
+        completions = rtl.run_until_idle()
+        assert len(completions) == 1
+        # encode(1) + read(2) + cmp(3) = 6 cycles, counted inclusively
+        # from the acceptance cycle.
+        assert completions[0].latency_cycles == rtl.step_cycles(False) - 1
+
+    def test_step_with_update_latency(self):
+        rtl = RTLAccelerator(n_actions=5)
+        rtl.submit(Request(req_id=0, state=3, with_update=True))
+        completions = rtl.run_until_idle()
+        assert completions[0].latency_cycles == rtl.step_cycles(True) - 1
+
+    def test_matches_analytical_pipeline_model(self):
+        """The clocked model and the closed-form model agree on per-step
+        cycles for several action-set sizes."""
+        for n_actions in (2, 3, 5, 8, 9):
+            rtl = RTLAccelerator(n_actions=n_actions)
+            analytical = AcceleratorPipeline(PipelineSpec(), n_actions=n_actions)
+            assert rtl.step_cycles(True) == analytical.step_cycles()
+            assert rtl.step_cycles(False) == analytical.decision_cycles()
+
+    def test_back_to_back_throughput(self):
+        """N queued requests drain in ~N * step_cycles (serial FSM)."""
+        rtl = RTLAccelerator(n_actions=5, queue_depth=16)
+        n = 10
+        for i in range(n):
+            assert rtl.submit(Request(req_id=i, state=i))
+        completions = rtl.run_until_idle()
+        assert len(completions) == n
+        assert [c.req_id for c in completions] == list(range(n))
+        assert rtl.cycle == pytest.approx(n * rtl.step_cycles(True), abs=n)
+
+    def test_queue_overflow_rejects(self):
+        rtl = RTLAccelerator(queue_depth=2)
+        assert rtl.submit(Request(0, 0))
+        assert rtl.submit(Request(1, 0))
+        assert not rtl.submit(Request(2, 0))
+        assert rtl.rejected == 1
+
+    def test_utilization_full_when_saturated(self):
+        rtl = RTLAccelerator()
+        for i in range(5):
+            rtl.submit(Request(i, 0))
+        rtl.run_until_idle()
+        assert rtl.utilization > 0.95
+
+    def test_idle_ticks_do_nothing(self):
+        rtl = RTLAccelerator()
+        for _ in range(10):
+            assert rtl.tick() == []
+        assert rtl.utilization == 0.0
+
+    def test_validation(self):
+        with pytest.raises(HardwareModelError):
+            RTLAccelerator(n_actions=0)
+        with pytest.raises(HardwareModelError):
+            RTLAccelerator(queue_depth=0)
+
+    def test_completions_in_fifo_order(self):
+        rtl = RTLAccelerator()
+        rtl.submit(Request(7, 0, with_update=True))
+        rtl.submit(Request(8, 0, with_update=False))
+        completions = rtl.run_until_idle()
+        assert [c.req_id for c in completions] == [7, 8]
+        # The second (no-update) request is faster once accepted.
+        assert completions[1].latency_cycles < completions[0].latency_cycles
+
+
+class TestSynthesisEstimates:
+    def test_reference_design_fits_small_zynq(self):
+        # The paper-scale design: 270 states x 5 actions in Q7.8.
+        est = estimate_resources(270, 5, QFormat(7, 8))
+        assert fits_zynq7010(est)
+
+    def test_bram_scales_with_table(self):
+        small = estimate_resources(64, 4, QFormat(7, 8))
+        large = estimate_resources(4096, 8, QFormat(7, 8))
+        assert large.bram_18k > small.bram_18k
+
+    def test_bram_count_exact(self):
+        # 1024 * 4 * 16 bits = 65536 bits = 3.56 -> 4 half-BRAMs.
+        est = estimate_resources(1024, 4, QFormat(7, 8))
+        assert est.bram_18k == 4
+
+    def test_luts_scale_with_width(self):
+        narrow = estimate_resources(256, 5, QFormat(3, 4))
+        wide = estimate_resources(256, 5, QFormat(11, 12))
+        assert wide.luts > narrow.luts
+
+    def test_wide_words_lose_the_dsp(self):
+        assert estimate_resources(64, 4, QFormat(7, 8)).dsps == 1
+        huge = estimate_resources(64, 4, QFormat(15, 16))
+        assert huge.dsps == 0
+        assert huge.luts > estimate_resources(64, 4, QFormat(7, 8)).luts
+
+    def test_fits_is_conjunctive(self):
+        est = estimate_resources(270, 5, QFormat(7, 8))
+        assert not est.fits(luts=est.luts - 1, ffs=10**6, bram_18k=10**3, dsps=10**2)
+
+    def test_validation(self):
+        with pytest.raises(HardwareModelError):
+            estimate_resources(0, 5, QFormat(7, 8))
+
+    def test_str_and_budget(self):
+        est = estimate_resources(270, 5, QFormat(7, 8))
+        assert "LUTs" in str(est)
+        assert set(ZYNQ7010_BUDGET) == {"luts", "ffs", "bram_18k", "dsps"}

@@ -1,0 +1,87 @@
+"""The scenario-aware 'just enough' governor (companion-paper baseline)."""
+
+import pytest
+
+from repro.errors import GovernorError
+from repro.governors import create
+from repro.governors.scenario_aware import ScenarioAwareGovernor
+from repro.sim.engine import Simulator
+from repro.sim.telemetry import initial_observation
+from repro.workload.trace import Trace
+
+from conftest import unit
+from test_governors import make_cluster
+
+
+def obs_with_demand(cluster, arrived_work, queue_work=0.0, slack=1.0, opp=0):
+    table = cluster.spec.opp_table
+    base = initial_observation(
+        "cpu", opp, len(table), table[opp].freq_hz, table.max_freq_hz, 0.01
+    )
+    return type(base)(
+        **{**base.__dict__, "arrived_work": arrived_work,
+           "queue_work": queue_work, "qos_slack": slack}
+    )
+
+
+class TestScenarioAware:
+    def test_registered(self):
+        assert isinstance(create("scenario-aware"), ScenarioAwareGovernor)
+
+    def test_idle_system_stays_at_floor(self):
+        cluster = make_cluster()
+        gov = ScenarioAwareGovernor()
+        gov.reset(cluster)
+        assert gov.decide(obs_with_demand(cluster, 0.0)) == 0
+
+    def test_provisions_just_enough(self):
+        cluster = make_cluster()  # 2 cores, capacity 1.0, OPPs 200..2000 MHz
+        gov = ScenarioAwareGovernor(target_util=0.8, ewma_alpha=1.0)
+        gov.reset(cluster)
+        # 8e6 work per 10 ms = 8e8 work/s; with 2 cores at util 0.8 the
+        # required frequency is 8e8 / (2*0.8) = 5e8 -> ceil to 600 MHz.
+        assert gov.decide(obs_with_demand(cluster, 8e6)) == 2
+
+    def test_backlog_raises_frequency(self):
+        cluster = make_cluster()
+        gov = ScenarioAwareGovernor(ewma_alpha=1.0)
+        gov.reset(cluster)
+        light = gov.decide(obs_with_demand(cluster, 4e6))
+        gov.reset(cluster)
+        loaded = gov.decide(obs_with_demand(cluster, 4e6, queue_work=2e7))
+        assert loaded > light
+
+    def test_urgency_boost(self):
+        cluster = make_cluster()
+        gov = ScenarioAwareGovernor(ewma_alpha=1.0, urgency_boost=2.0)
+        gov.reset(cluster)
+        relaxed = gov.decide(obs_with_demand(cluster, 6e6, slack=1.0))
+        gov.reset(cluster)
+        urgent = gov.decide(obs_with_demand(cluster, 6e6, slack=0.0))
+        assert urgent > relaxed
+
+    def test_huge_demand_clamps_to_top(self):
+        cluster = make_cluster()
+        gov = ScenarioAwareGovernor(ewma_alpha=1.0)
+        gov.reset(cluster)
+        assert gov.decide(obs_with_demand(cluster, 1e12)) == 9
+
+    def test_validation(self):
+        with pytest.raises(GovernorError):
+            ScenarioAwareGovernor(target_util=0.0)
+        with pytest.raises(GovernorError):
+            ScenarioAwareGovernor(urgency_boost=0.5)
+
+    def test_no_saturation_blind_spot(self, tiny_chip):
+        """Unlike utilisation-driven governors, demand provisioning sees
+        through saturation: a backlog at the floor OPP drives the
+        frequency up immediately."""
+        units = [unit(uid=i, release=0.0, work=8e6, deadline=0.2) for i in range(5)]
+        trace = Trace(units=units, duration_s=0.5)
+        result = Simulator(
+            tiny_chip, trace, lambda c: ScenarioAwareGovernor(),
+            record_samples=True,
+        ).run()
+        # By the second interval the governor is at the top OPP.
+        assert result.samples[1].opp_indices["cpu"] == 2
+        assert result.qos.mean_qos > 0.9

@@ -1,0 +1,95 @@
+"""Built-in mobile scenarios: registry, statistics, determinism."""
+
+import statistics
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.scenarios import EVALUATION_SET, SCENARIOS, get_scenario
+
+
+class TestRegistry:
+    def test_ten_scenarios_registered(self):
+        assert len(SCENARIOS) == 10
+
+    def test_evaluation_set_has_six(self):
+        assert len(EVALUATION_SET) == 6
+        assert all(name in SCENARIOS for name in EVALUATION_SET)
+
+    def test_get_scenario(self):
+        assert get_scenario("gaming").name == "gaming"
+
+    def test_get_unknown_scenario(self):
+        with pytest.raises(WorkloadError, match="available"):
+            get_scenario("doom-scrolling")
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_every_scenario_generates(self, name):
+        trace = get_scenario(name).trace(5.0, seed=0)
+        assert len(trace) > 0
+        assert trace.duration_s == pytest.approx(5.0)
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_determinism(self, name):
+        scenario = get_scenario(name)
+        a = scenario.trace(5.0, seed=3)
+        b = scenario.trace(5.0, seed=3)
+        assert list(a) == list(b)
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_machine_is_fresh_each_call(self, name):
+        scenario = get_scenario(name)
+        assert scenario.machine() is not scenario.machine()
+
+
+class TestScenarioStatistics:
+    def test_gaming_is_heavier_than_audio(self):
+        gaming = get_scenario("gaming").trace(20.0, seed=0)
+        audio = get_scenario("audio_playback").trace(20.0, seed=0)
+        assert gaming.mean_demand_rate > 5 * audio.mean_demand_rate
+
+    def test_idle_is_lightest(self):
+        idle = get_scenario("idle").trace(20.0, seed=0)
+        for name in ("gaming", "web_browsing", "camera_preview"):
+            other = get_scenario(name).trace(20.0, seed=0)
+            assert idle.mean_demand_rate < other.mean_demand_rate
+
+    def test_gaming_has_60fps_phase(self):
+        trace = get_scenario("gaming").trace(30.0, seed=0)
+        gameplay = [u for u in trace if u.kind == "gameplay"]
+        assert gameplay, "gameplay phase never sampled in 30 s"
+        # The dominant inter-frame gap within the phase is the 60 fps
+        # period (segment boundaries can produce shorter one-off gaps).
+        gaps = [b.release_s - a.release_s for a, b in zip(gameplay, gameplay[1:])]
+        assert statistics.median(gaps) == pytest.approx(1 / 60, rel=0.01)
+
+    def test_video_is_30fps(self):
+        trace = get_scenario("video_playback").trace(10.0, seed=0)
+        decode = [u for u in trace if u.kind == "decode"]
+        gaps = [b.release_s - a.release_s for a, b in zip(decode, decode[1:])]
+        assert statistics.median(gaps) == pytest.approx(1 / 30, rel=0.01)
+
+    def test_demand_fits_on_exynos_chip(self):
+        """Every scenario must be feasible at the top OPPs, otherwise even
+        the performance governor could not deliver QoS."""
+        from repro.soc.presets import exynos5422
+
+        chip = exynos5422()
+        peak_rate = sum(
+            c.spec.core.capacity * c.spec.opp_table.max_freq_hz * c.n_cores
+            for c in chip
+        )
+        for name in SCENARIOS:
+            trace = get_scenario(name).trace(20.0, seed=0)
+            assert trace.mean_demand_rate < 0.8 * peak_rate, name
+
+    def test_scenarios_have_distinct_signatures(self):
+        rates = {
+            name: get_scenario(name).trace(20.0, seed=0).mean_demand_rate
+            for name in EVALUATION_SET
+        }
+        values = sorted(rates.values())
+        # No two scenarios within 1% of each other: they are genuinely
+        # different workloads, not renames.
+        for a, b in zip(values, values[1:]):
+            assert b / a > 1.01

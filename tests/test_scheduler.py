@@ -1,0 +1,72 @@
+"""Task placement: HMP deadline-aware assignment."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.scheduler import HMPScheduler, PinnedScheduler
+
+from conftest import unit
+
+
+class TestHMPScheduler:
+    def test_light_work_goes_little(self, duo_chip):
+        # 1e6 cycles due in 100 ms: trivially fits the LITTLE cluster.
+        sched = HMPScheduler()
+        u = unit(work=1e6, deadline=0.1)
+        assert sched.assign(u, duo_chip, {}, now_s=0.0) == "little"
+
+    def test_heavy_single_thread_goes_big(self, duo_chip):
+        # LITTLE peak 1-thread rate = 1.2e9 * 0.8 margin; 3e7 cycles due in
+        # 16 ms needs 1.875e9/s -> must go big.
+        sched = HMPScheduler()
+        u = unit(work=3e7, deadline=0.016)
+        assert sched.assign(u, duo_chip, {}, now_s=0.0) == "big"
+
+    def test_backlog_pushes_work_up(self, duo_chip):
+        sched = HMPScheduler()
+        u = unit(work=1e7, deadline=0.02)
+        # Without backlog LITTLE would do: 1e7/(1.2e9*0.8) = 10.4 ms < 20 ms.
+        assert sched.assign(u, duo_chip, {"little": 0.0}, 0.0) == "little"
+        # A large LITTLE backlog makes the deadline impossible there.
+        assert sched.assign(u, duo_chip, {"little": 5e8}, 0.0) == "big"
+
+    def test_impossible_deadline_falls_to_biggest(self, duo_chip):
+        sched = HMPScheduler()
+        u = unit(work=1e9, deadline=0.001)
+        assert sched.assign(u, duo_chip, {}, 0.0) == "big"
+
+    def test_past_deadline_still_assigns(self, duo_chip):
+        sched = HMPScheduler()
+        u = unit(work=1e6, deadline=0.1)
+        assert sched.assign(u, duo_chip, {}, now_s=5.0) == "big"
+
+    def test_single_cluster_chip_takes_everything(self, tiny_chip):
+        sched = HMPScheduler()
+        u = unit(work=1e6, deadline=0.1)
+        assert sched.assign(u, tiny_chip, {}, 0.0) == "cpu"
+
+    def test_margin_validation(self):
+        with pytest.raises(ConfigurationError):
+            HMPScheduler(margin=0.0)
+        with pytest.raises(ConfigurationError):
+            HMPScheduler(margin=1.5)
+
+    def test_parallel_unit_uses_more_cores(self, duo_chip):
+        """A 2-thread unit can stay on LITTLE where the 1-thread version
+        would have to migrate to big."""
+        sched = HMPScheduler()
+        serial = unit(work=2.2e7, deadline=0.016, parallelism=1)
+        parallel = unit(uid=1, work=2.2e7, deadline=0.016, parallelism=2)
+        assert sched.assign(serial, duo_chip, {}, 0.0) == "big"
+        assert sched.assign(parallel, duo_chip, {}, 0.0) == "little"
+
+
+class TestPinnedScheduler:
+    def test_pins(self, duo_chip):
+        sched = PinnedScheduler("big")
+        assert sched.assign(unit(), duo_chip, {}, 0.0) == "big"
+
+    def test_unknown_cluster_rejected(self, duo_chip):
+        sched = PinnedScheduler("gpu")
+        with pytest.raises(ConfigurationError):
+            sched.assign(unit(), duo_chip, {}, 0.0)

@@ -1,0 +1,97 @@
+"""DVFS transition costs and their engine integration."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.governors.base import Governor
+from repro.governors.performance import PerformanceGovernor
+from repro.sim.engine import Simulator
+from repro.sim.telemetry import ClusterObservation
+from repro.soc.transition import DVFSTransitionModel
+from repro.workload.trace import Trace
+
+from conftest import unit
+
+
+class TestTransitionModel:
+    def test_energy_components(self):
+        model = DVFSTransitionModel(rail_capacitance_f=10e-6, pll_energy_j=1e-6)
+        e = model.energy_j(0.9, 1.2)
+        rail = 0.5 * 10e-6 * abs(1.2**2 - 0.9**2)
+        assert e == pytest.approx(rail + 1e-6)
+
+    def test_energy_symmetric(self):
+        model = DVFSTransitionModel()
+        assert model.energy_j(0.9, 1.2) == pytest.approx(model.energy_j(1.2, 0.9))
+
+    def test_same_voltage_costs_pll_only(self):
+        model = DVFSTransitionModel(pll_energy_j=2e-6)
+        assert model.energy_j(1.0, 1.0) == pytest.approx(2e-6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DVFSTransitionModel(latency_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            DVFSTransitionModel().energy_j(-1.0, 1.0)
+
+
+class PingPongGovernor(Governor):
+    """Worst case: flips between floor and ceiling every interval."""
+
+    name = "pingpong"
+
+    def decide(self, obs: ClusterObservation) -> int:
+        return 0 if obs.opp_index != 0 else obs.n_opps - 1
+
+
+class TestEngineIntegration:
+    def trace(self) -> Trace:
+        return Trace(
+            units=[unit(uid=i, release=i * 0.05, work=2e6, deadline=i * 0.05 + 0.04)
+                   for i in range(10)],
+            duration_s=0.6,
+        )
+
+    def test_transition_energy_charged(self, tiny_chip):
+        base = Simulator(tiny_chip, self.trace(), lambda c: PingPongGovernor()).run()
+        tiny_chip.reset()
+        costed = Simulator(
+            tiny_chip, self.trace(), lambda c: PingPongGovernor(),
+            transition=DVFSTransitionModel(latency_s=100e-6, pll_energy_j=5e-5),
+        ).run()
+        assert costed.total_energy_j > base.total_energy_j
+        assert base.opp_switches == costed.opp_switches
+
+    def test_stable_governor_pays_almost_nothing(self, tiny_chip):
+        base = Simulator(tiny_chip, self.trace(), lambda c: PerformanceGovernor()).run()
+        tiny_chip.reset()
+        costed = Simulator(
+            tiny_chip, self.trace(), lambda c: PerformanceGovernor(),
+            transition=DVFSTransitionModel(latency_s=100e-6, pll_energy_j=5e-5),
+        ).run()
+        # Performance switches exactly once (floor -> top at t=0).
+        assert costed.total_energy_j - base.total_energy_j < 1e-3
+
+    def test_stall_can_cost_a_deadline(self, tiny_chip):
+        """A unit that barely fits the interval misses once a large
+        transition stall eats execution time."""
+        # At the top OPP (1.5 GHz), 1.45e7 cycles take ~9.67 ms of a
+        # 10 ms deadline -- feasible without stall, infeasible with an
+        # 8 ms stall in the first interval.
+        trace = Trace(units=[unit(work=1.45e7, deadline=0.010)], duration_s=0.1)
+        clean = Simulator(tiny_chip, trace, lambda c: PerformanceGovernor()).run()
+        tiny_chip.reset()
+        stalled = Simulator(
+            tiny_chip, trace, lambda c: PerformanceGovernor(),
+            transition=DVFSTransitionModel(latency_s=8e-3),
+        ).run()
+        assert clean.qos.deadline_miss_rate == 0.0
+        assert stalled.qos.deadline_miss_rate > 0.0
+
+    def test_transition_longer_than_interval_rejected(self, tiny_chip):
+        with pytest.raises(SimulationError, match="shorter"):
+            Simulator(
+                tiny_chip, self.trace(), lambda c: PerformanceGovernor(),
+                interval_s=0.01,
+                transition=DVFSTransitionModel(latency_s=0.02),
+            )

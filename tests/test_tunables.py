@@ -1,0 +1,77 @@
+"""Config-driven governor construction."""
+
+import pytest
+
+from repro.errors import GovernorError
+from repro.governors.ondemand import OndemandGovernor
+from repro.governors.tunables import create_many, create_tuned, tunables_of
+
+
+class TestTunablesOf:
+    def test_ondemand_knobs(self):
+        knobs = tunables_of("ondemand")
+        assert knobs == {"up_threshold": 0.80, "sampling_down_factor": 1}
+
+    def test_performance_has_no_knobs(self):
+        assert tunables_of("performance") == {}
+
+    def test_interactive_knob_names(self):
+        knobs = tunables_of("interactive")
+        assert "go_hispeed_load" in knobs
+        assert "min_sample_time_s" in knobs
+
+    def test_unknown_governor(self):
+        with pytest.raises(GovernorError, match="available"):
+            tunables_of("warp-speed")
+
+
+class TestCreateTuned:
+    def test_builds_with_custom_knob(self):
+        gov = create_tuned("ondemand", {"up_threshold": 0.6})
+        assert isinstance(gov, OndemandGovernor)
+        assert gov.up_threshold == 0.6
+
+    def test_defaults_when_no_tunables(self):
+        gov = create_tuned("ondemand")
+        assert gov.up_threshold == 0.80
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(GovernorError, match="no tunables"):
+            create_tuned("ondemand", {"turbo": True})
+
+    def test_bad_value_propagates(self):
+        with pytest.raises(GovernorError):
+            create_tuned("ondemand", {"up_threshold": 2.0})
+
+
+class TestCreateMany:
+    def test_builds_per_cluster(self):
+        govs = create_many(
+            {
+                "big": {"governor": "ondemand", "up_threshold": 0.7},
+                "little": {"governor": "powersave"},
+            }
+        )
+        assert govs["big"].up_threshold == 0.7
+        assert govs["little"].name == "powersave"
+
+    def test_missing_governor_key(self):
+        with pytest.raises(GovernorError, match="'governor' key"):
+            create_many({"big": {"up_threshold": 0.7}})
+
+    def test_spec_not_mutated(self):
+        spec = {"big": {"governor": "performance"}}
+        create_many(spec)
+        assert spec == {"big": {"governor": "performance"}}
+
+    def test_runs_in_simulator(self, duo_chip, single_unit_trace):
+        from repro.sim.engine import Simulator
+
+        govs = create_many(
+            {
+                "big": {"governor": "conservative", "freq_step": 0.1},
+                "little": {"governor": "schedutil", "headroom": 1.5},
+            }
+        )
+        result = Simulator(duo_chip, single_unit_trace, govs).run()
+        assert result.qos.mean_qos >= 0.0

@@ -1,0 +1,75 @@
+"""Hardware equivalence verification and the report generator."""
+
+import pytest
+
+from repro.analysis.report import ReportConfig, generate_report
+from repro.errors import HardwareModelError, ReproError
+from repro.hw.fixed_point import QFormat
+from repro.hw.verification import sweep_formats, verify_equivalence
+
+
+class TestVerifyEquivalence:
+    def test_q78_is_tight(self):
+        report = verify_equivalence(qformat=QFormat(7, 8), steps=1500, seed=1)
+        fmt = QFormat(7, 8)
+        # Accumulated rounding stays within a handful of LSBs and the
+        # decision mismatch rate is low.
+        assert report.acceptable(error_lsb=32, resolution=fmt.resolution)
+        assert report.decision_mismatch_rate < 0.05
+
+    def test_narrow_format_diverges_more(self):
+        wide = verify_equivalence(qformat=QFormat(7, 8), steps=1000, seed=2)
+        narrow = verify_equivalence(qformat=QFormat(3, 2), steps=1000, seed=2)
+        assert narrow.max_abs_error > wide.max_abs_error
+
+    def test_deterministic_for_seed(self):
+        a = verify_equivalence(steps=500, seed=7)
+        b = verify_equivalence(steps=500, seed=7)
+        assert a == b
+
+    def test_reward_range_checked(self):
+        with pytest.raises(HardwareModelError, match="exceeds"):
+            verify_equivalence(qformat=QFormat(2, 2), reward_range=(-100.0, 0.0))
+        with pytest.raises(HardwareModelError, match="bad reward range"):
+            verify_equivalence(reward_range=(1.0, -1.0))
+
+    def test_summary_renders(self):
+        report = verify_equivalence(steps=200)
+        assert "greedy mismatch" in report.summary()
+
+    def test_sweep_formats(self):
+        out = sweep_formats([QFormat(3, 4), QFormat(7, 8)], steps=300, seed=0)
+        assert set(out) == {"Q3.4", "Q7.8"}
+        with pytest.raises(HardwareModelError):
+            sweep_formats([])
+
+
+class TestGenerateReport:
+    def test_small_report(self, tmp_path):
+        config = ReportConfig(
+            experiments=["e4", "a6"],  # the two cheap, deterministic ones
+            title="smoke report",
+        )
+        path = tmp_path / "report.md"
+        text = generate_report(config, path=path)
+        assert text.startswith("# smoke report")
+        assert "## E4" in text
+        assert "## A6" in text
+        assert path.read_text() == text
+
+    def test_order_is_canonical(self):
+        config = ReportConfig(experiments=["a6", "e4"])
+        text = generate_report(config)
+        assert text.index("## E4") < text.index("## A6")
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ReproError, match="unknown experiment"):
+            generate_report(ReportConfig(experiments=["e99"]))
+
+    def test_sweep_shared_between_headline_views(self):
+        """e1+e3 together run the sweep once (smoke-scale)."""
+        config = ReportConfig(
+            experiments=["e1", "e3"], duration_s=3.0, train_episodes=1
+        )
+        text = generate_report(config)
+        assert "## E1" in text and "## E3" in text
