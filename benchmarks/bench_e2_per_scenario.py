@@ -12,16 +12,25 @@ from __future__ import annotations
 
 from repro.experiments import e2_per_scenario
 
-from conftest import write_result
+from conftest import fleet_footer, write_result
 
 DYNAMIC_GOVERNORS = ("performance", "powersave", "ondemand", "interactive")
 
 
-def test_e2_per_scenario(benchmark, full_sweep):
+def test_e2_per_scenario(benchmark, full_sweep, headline_fleet):
     result = benchmark.pedantic(
         e2_per_scenario, args=(full_sweep,), rounds=1, iterations=1
     )
-    write_result("e2_per_scenario", result.report)
+    metrics = {
+        f"{scenario}:{governor}:mj_per_unit": value * 1e3
+        for (scenario, governor), value in result.cells_j.items()
+    }
+    metrics["fleet_speedup"] = headline_fleet.speedup
+    write_result(
+        "e2_per_scenario",
+        result.report + "\n\n" + fleet_footer(headline_fleet),
+        metrics=metrics,
+    )
     for scenario in full_sweep.scenarios():
         rl = result.cells_j[(scenario, "rl-policy")]
         for g in DYNAMIC_GOVERNORS:

@@ -17,7 +17,12 @@ def test_e3_qos_preservation(benchmark, full_sweep):
     result = benchmark.pedantic(
         e3_qos_preservation, args=(full_sweep,), rounds=1, iterations=1
     )
-    write_result("e3_qos_preservation", result.report)
+    metrics: dict[str, float] = {}
+    for governor in result.mean_qos:
+        metrics[f"{governor}:mean_qos"] = result.mean_qos[governor]
+        metrics[f"{governor}:miss_rate"] = result.miss_rate[governor]
+        metrics[f"{governor}:mean_energy_j"] = result.mean_energy_j[governor]
+    write_result("e3_qos_preservation", result.report, metrics=metrics)
     rl_qos = result.mean_qos["rl-policy"]
     assert rl_qos > 0.95, "RL policy compromises user satisfaction"
     assert rl_qos >= result.mean_qos["powersave"]

@@ -3,19 +3,27 @@
 Every bench regenerates one table or figure of the paper (see
 DESIGN.md's experiment index).  Heavy shared computations (the full
 scenarios x governors sweep) are session-cached so E1/E2/E3 pay for one
-sweep.  Each bench writes its rendered table into
-``benchmarks/results/<bench>.txt`` so EXPERIMENTS.md numbers can be
-traced to a file.
+sweep — and that sweep fans out across all CPU cores through
+``repro.fleet``, whose rows are bit-identical to a serial run.  Each
+bench writes its rendered table into ``benchmarks/results/<bench>.txt``
+so EXPERIMENTS.md numbers can be traced to a file; benches that pass a
+``metrics`` mapping additionally get a machine-readable
+``benchmarks/results/<bench>.json`` so the perf trajectory can be
+tracked across PRs.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
 
 import pytest
 
 from repro.analysis.sweep import SweepResult
-from repro.experiments import run_headline_sweep
+from repro.fleet import FleetResult, FleetSpec, fleet_summary, run_fleet
+from repro.governors import BASELINE_SIX
+from repro.workload.scenarios import EVALUATION_SET
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -26,19 +34,53 @@ TRAIN_EPISODES = 20
 EVAL_SEED = 100
 
 
-def write_result(name: str, text: str) -> None:
-    """Persist a bench's rendered table under benchmarks/results/."""
+def write_result(
+    name: str, text: str, metrics: dict[str, float] | None = None
+) -> None:
+    """Persist a bench's rendered table under benchmarks/results/.
+
+    Args:
+        name: Bench id (the file stem).
+        text: The rendered table, written to ``<name>.txt``.
+        metrics: Optional metric-name -> value mapping, written to
+            ``<name>.json`` for machine-readable tracking across PRs.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if metrics is not None:
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(metrics, indent=2, sort_keys=True) + "\n"
+        )
     print()
     print(text)
 
 
 @pytest.fixture(scope="session")
-def full_sweep() -> SweepResult:
-    """The E1/E2/E3 data: six governors + RL over the six-scenario set."""
-    return run_headline_sweep(
+def headline_fleet() -> FleetResult:
+    """The E1/E2/E3 grid executed through the fleet runner on all cores.
+
+    Six governors + RL over the six-scenario set; rows are bit-identical
+    to the serial :func:`repro.experiments.run_headline_sweep` (pinned by
+    ``tests/test_fleet.py``), and the per-job wall clocks let benches
+    report the serial-vs-parallel wall-clock ratio.
+    """
+    spec = FleetSpec(
+        scenarios=tuple(EVALUATION_SET),
+        governors=tuple(BASELINE_SIX),
+        seeds=(EVAL_SEED,),
+        include_rl=True,
         duration_s=EVAL_DURATION_S,
-        eval_seed=EVAL_SEED,
         train_episodes=TRAIN_EPISODES,
     )
+    return run_fleet(spec, jobs=os.cpu_count())
+
+
+@pytest.fixture(scope="session")
+def full_sweep(headline_fleet: FleetResult) -> SweepResult:
+    """The E1/E2/E3 data: six governors + RL over the six-scenario set."""
+    return headline_fleet.sweep_result()
+
+
+def fleet_footer(fleet: FleetResult) -> str:
+    """The execution-summary lines benches append to their tables."""
+    return "fleet execution (shared E1/E2/E3 sweep):\n" + fleet_summary(fleet)

@@ -30,6 +30,7 @@ from repro.core import (
     train_policy,
 )
 from repro.errors import ReproError
+from repro.fleet import FleetResult, FleetSpec, JobSpec, run_fleet
 from repro.governors import BASELINE_SIX, Governor, available, create
 from repro.hw import HardwareRLPolicy, QFormat, compare_latency
 from repro.power import PowerModel
@@ -43,8 +44,11 @@ __version__ = "1.0.0"
 __all__ = [
     "BASELINE_SIX",
     "Chip",
+    "FleetResult",
+    "FleetSpec",
     "Governor",
     "HardwareRLPolicy",
+    "JobSpec",
     "PolicyConfig",
     "PowerModel",
     "QFormat",
@@ -67,6 +71,7 @@ __all__ = [
     "improvement_percent",
     "load_policies",
     "make_policies",
+    "run_fleet",
     "save_policies",
     "symmetric_quad",
     "tiny_test_chip",

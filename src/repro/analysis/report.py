@@ -31,6 +31,8 @@ class ReportConfig:
         train_episodes: RL training budget.
         episode_duration_s: Per-episode trace length for per-scenario
             experiments.
+        jobs: Worker processes for the fleet-capable experiments (the
+            headline sweep and X2); ``0`` = CPU count, 1 = serial.
         title: Document title.
     """
 
@@ -40,6 +42,7 @@ class ReportConfig:
     duration_s: float = 20.0
     train_episodes: int = 20
     episode_duration_s: float = 15.0
+    jobs: int = 1
     title: str = "RL power-management reproduction report"
 
 
@@ -68,6 +71,7 @@ def _runners(config: ReportConfig) -> dict[str, Callable[[], object]]:
             sweep_cache["sweep"] = run_headline_sweep(
                 duration_s=config.duration_s,
                 train_episodes=config.train_episodes,
+                jobs=config.jobs,
             )
         return sweep_cache["sweep"]
 
@@ -95,7 +99,9 @@ def _runners(config: ReportConfig) -> dict[str, Callable[[], object]]:
         "a4": lambda: a4_wordlength(**per_scenario),
         "a6": a6_fpga_resources,
         "x2": lambda: x2_seed_stability(
-            duration_s=config.duration_s, train_episodes=config.train_episodes
+            duration_s=config.duration_s,
+            train_episodes=config.train_episodes,
+            jobs=config.jobs,
         ),
     }
 

@@ -111,6 +111,7 @@ def sweep(
     train_episodes: int = 12,
     policy_config: PolicyConfig | None = None,
     interval_s: float = 0.01,
+    jobs: int = 1,
 ) -> SweepResult:
     """Run the full comparison grid.
 
@@ -130,9 +131,18 @@ def sweep(
         train_episodes: RL training episodes per scenario.
         policy_config: RL policy configuration.
         interval_s: DVFS sampling interval.
+        jobs: Worker processes; ``jobs != 1`` runs every grid cell (and
+            each scenario's RL training) through the fleet runner
+            (:mod:`repro.fleet`), with ``0`` meaning the CPU count.
+            Rows are bit-identical to the serial path either way.
     """
     if not scenario_names:
         raise ReproError("sweep needs at least one scenario")
+    if jobs != 1:
+        return _sweep_fleet(
+            chip, scenario_names, governor_names, include_rl, duration_s,
+            eval_seed, train_episodes, policy_config, interval_s, jobs,
+        )
     result = SweepResult()
     power_model = PowerModel()
     for scenario_name in scenario_names:
@@ -165,6 +175,53 @@ def sweep(
             )
             result.rows.append(_row(scenario_name, "rl-policy", run))
     return result
+
+
+def _sweep_fleet(
+    chip: Chip,
+    scenario_names: list[str],
+    governor_names: list[str],
+    include_rl: bool,
+    duration_s: float,
+    eval_seed: int,
+    train_episodes: int,
+    policy_config: PolicyConfig | None,
+    interval_s: float,
+    jobs: int,
+) -> SweepResult:
+    """The parallel sweep: one fleet job per grid cell.
+
+    Each job rebuilds the chip from its preset (falling back to shipping
+    the chip object itself for non-preset chips) and regenerates its
+    traces from the same seeds the serial path uses, so the aggregated
+    rows are bit-identical to the serial nested loops.
+    """
+    from dataclasses import replace
+
+    from repro.fleet import FleetSpec, run_fleet
+    from repro.soc.presets import PRESETS
+
+    for name in scenario_names:
+        get_scenario(name)  # fail fast, as the serial path would
+    spec = FleetSpec(
+        scenarios=tuple(scenario_names),
+        governors=tuple(governor_names),
+        seeds=(eval_seed,),
+        include_rl=include_rl,
+        duration_s=duration_s,
+        interval_s=interval_s,
+        train_episodes=train_episodes,
+        train_base_seed=0,
+    )
+    job_specs = spec.expand()
+    if chip.name in PRESETS:
+        job_specs = [replace(j, chip=chip.name) for j in job_specs]
+    else:
+        job_specs = [replace(j, chip=chip.name, chip_obj=chip) for j in job_specs]
+    if policy_config is not None:
+        job_specs = [replace(j, policy_config=policy_config) for j in job_specs]
+    fleet = run_fleet(job_specs, jobs=jobs)
+    return fleet.sweep_result()
 
 
 def _row(scenario: str, governor: str, run: SimulationResult) -> SweepRow:

@@ -6,17 +6,22 @@ Subcommands:
 * ``run`` — simulate one governor on one scenario and print the summary.
 * ``train`` — train the RL policy on a scenario and save a checkpoint.
 * ``compare`` — the headline comparison (RL vs. baselines) on one scenario.
+* ``fleet`` — run a scenarios x governors x seeds grid across worker
+  processes (see ``docs/fleet.md``).
 * ``latency`` — the software-vs-hardware decision-latency table.
 * ``profile`` — characterise a scenario or a trace CSV.
 * ``report`` — run selected experiments and write a markdown report.
 
 ``run --governor checkpoint:<dir>`` evaluates a saved policy checkpoint
-instead of a named governor.
+instead of a named governor; the same spelling works in ``fleet
+--governors``.  ``compare``/``report``/``fleet`` accept ``--jobs N``
+(0 = CPU count) to fan simulation jobs out over worker processes.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.analysis.sweep import run_baseline, sweep
@@ -33,7 +38,9 @@ from repro.workload.scenarios import SCENARIOS, get_scenario
 
 def _cmd_list(args: argparse.Namespace) -> int:
     print("chips:     ", ", ".join(sorted(PRESETS)))
-    print("scenarios: ", ", ".join(sorted(SCENARIOS)))
+    print("scenarios:")
+    for name in sorted(SCENARIOS):
+        print(f"  {name:<16s} {SCENARIOS[name].description}")
     print("governors: ", ", ".join(available() + ["rl-policy"]))
     return 0
 
@@ -91,6 +98,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         include_rl=True,
         duration_s=args.duration,
         train_episodes=args.episodes,
+        jobs=args.jobs,
     )
     rows = [
         (r.governor, r.energy_j, r.mean_qos, r.energy_per_qos_j * 1e3)
@@ -144,10 +152,100 @@ def _cmd_report(args: argparse.Namespace) -> int:
         experiments=args.experiments.split(","),
         duration_s=args.duration,
         train_episodes=args.episodes,
+        jobs=args.jobs,
     )
     generate_report(config, path=args.out)
     print(f"report written to {args.out}")
     return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import (
+        FleetSpec,
+        failure_table,
+        fleet_summary,
+        format_event,
+        result_table,
+        run_fleet,
+    )
+
+    if args.spec:
+        with open(args.spec) as fh:
+            try:
+                mapping = json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise ReproError(f"invalid JSON in {args.spec}: {exc}") from exc
+        spec = FleetSpec.from_mapping(mapping)
+    else:
+        try:
+            seeds = tuple(int(s) for s in args.seeds.split(","))
+        except ValueError as exc:
+            raise ReproError(
+                f"--seeds must be comma-separated integers: {args.seeds!r}"
+            ) from exc
+        spec = FleetSpec(
+            scenarios=tuple(args.scenarios.split(",")),
+            governors=tuple(args.governors.split(",")),
+            seeds=seeds,
+            chips=tuple(args.chip.split(",")),
+            include_rl=args.include_rl,
+            duration_s=args.duration,
+            train_episodes=args.episodes,
+            timeout_s=args.timeout,
+            retries=args.retries,
+        )
+
+    def progress(event) -> None:
+        if args.quiet:
+            return
+        line = format_event(event)
+        if line:
+            print(line, file=sys.stderr)
+
+    result = run_fleet(spec, jobs=args.jobs, on_event=progress)
+    print(result_table(result.successes))
+    failures = failure_table(result.failures)
+    if failures:
+        print()
+        print(failures)
+    print()
+    print(fleet_summary(result))
+    if args.out:
+        rows = [
+            {
+                **s.spec.to_mapping(),
+                "energy_j": s.energy_j,
+                "mean_qos": s.mean_qos,
+                "deadline_miss_rate": s.deadline_miss_rate,
+                "energy_per_qos_j": s.energy_per_qos_j,
+                "wall_s": s.wall_s,
+                "attempts": s.attempts,
+            }
+            for s in result.successes
+        ]
+        failed = [
+            {
+                **f.spec.to_mapping(),
+                "error_type": f.error_type,
+                "error": f.error,
+                "attempts": f.attempts,
+                "timed_out": f.timed_out,
+            }
+            for f in result.failures
+        ]
+        with open(args.out, "w") as fh:
+            json.dump(
+                {
+                    "rows": rows,
+                    "failures": failed,
+                    "workers": result.workers,
+                    "wall_s": result.wall_s,
+                },
+                fh,
+                indent=2,
+            )
+        print(f"results written to {args.out}")
+    return 0 if result.successes else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -190,7 +288,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cmp_p.add_argument("--duration", type=float, default=20.0)
     cmp_p.add_argument("--episodes", type=int, default=8)
+    cmp_p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (0 = CPU count)")
     cmp_p.set_defaults(func=_cmd_compare)
+
+    fleet_p = sub.add_parser(
+        "fleet", help="run a scenarios x governors x seeds grid in parallel"
+    )
+    fleet_p.add_argument("--chip", default="exynos5422",
+                         help="comma-separated chip presets")
+    fleet_p.add_argument("--scenarios", default="gaming,web_browsing",
+                         help="comma-separated scenario names")
+    fleet_p.add_argument(
+        "--governors",
+        default="performance,powersave,userspace,ondemand,conservative,interactive",
+        help="comma-separated governors (also rl-policy / checkpoint:<dir>)",
+    )
+    fleet_p.add_argument("--seeds", default="100,200",
+                         help="comma-separated evaluation seeds")
+    fleet_p.add_argument("--include-rl", action="store_true",
+                         help="train + evaluate the RL policy per scenario")
+    fleet_p.add_argument("--duration", type=float, default=20.0)
+    fleet_p.add_argument("--episodes", type=int, default=12,
+                         help="RL training episodes (rl-policy jobs)")
+    fleet_p.add_argument("--jobs", type=int, default=0,
+                         help="worker processes (0 = CPU count)")
+    fleet_p.add_argument("--timeout", type=float, default=None,
+                         help="per-job wall-clock timeout [s]")
+    fleet_p.add_argument("--retries", type=int, default=0,
+                         help="extra attempts per failed job")
+    fleet_p.add_argument("--spec", default=None,
+                         help="fleet spec JSON file (overrides grid flags)")
+    fleet_p.add_argument("--out", default=None,
+                         help="write results as JSON to this path")
+    fleet_p.add_argument("--quiet", action="store_true",
+                         help="suppress per-job progress lines")
+    fleet_p.set_defaults(func=_cmd_fleet)
 
     lat_p = sub.add_parser("latency", help="SW vs HW decision latency table")
     lat_p.add_argument("--chip", default="exynos5422", choices=sorted(PRESETS))
@@ -208,6 +341,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated ids (e1..e7,a1..a6,x2)")
     rep_p.add_argument("--duration", type=float, default=20.0)
     rep_p.add_argument("--episodes", type=int, default=20)
+    rep_p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for sweep-based experiments")
     rep_p.add_argument("--out", default="REPORT.md")
     rep_p.set_defaults(func=_cmd_report)
     return parser

@@ -34,9 +34,15 @@ def run_headline_sweep(
     eval_seed: int = 100,
     train_episodes: int = 20,
     policy_config: PolicyConfig | None = None,
+    jobs: int = 1,
 ) -> SweepResult:
     """The E1/E2/E3 data: six baselines + the RL policy over the
-    evaluation scenario set (see DESIGN.md E1-E3)."""
+    evaluation scenario set (see DESIGN.md E1-E3).
+
+    ``jobs != 1`` fans the grid out over worker processes via
+    :mod:`repro.fleet` (``0`` = CPU count); rows are bit-identical to
+    the serial run.
+    """
     return sweep(
         chip or exynos5422(),
         scenario_names or list(EVALUATION_SET),
@@ -46,6 +52,7 @@ def run_headline_sweep(
         eval_seed=eval_seed,
         train_episodes=train_episodes,
         policy_config=policy_config,
+        jobs=jobs,
     )
 
 

@@ -2,9 +2,15 @@
 
 from __future__ import annotations
 
+import tempfile
 from dataclasses import dataclass
 
-from repro.analysis.repeat import RepeatedMeasure, repeat_over_seeds
+from repro.analysis.repeat import (
+    RepeatedMeasure,
+    repeat_jobs_over_seeds,
+    repeat_over_seeds,
+)
+from repro.errors import ReproError
 from repro.analysis.tables import format_table
 from repro.core.trainer import make_policies
 from repro.core.trainer import train_policy
@@ -70,10 +76,16 @@ def x1_full_system(
     train_episodes: int = 16,
     train_episode_s: float = 15.0,
     with_memory: bool = False,
+    jobs: int = 1,
 ) -> X1Result:
     """Rerun the governor comparison inside the full-system simulator;
     the RL policy trains inside it too, so it learns with C-states,
     transition costs and thermals present.
+
+    ``jobs != 1`` fans the (scenario x policy) grid out over worker
+    processes via :mod:`repro.fleet` (``0`` = CPU count); each RL job
+    then trains inside its own worker.  Requires ``with_memory=False``
+    (the fleet worker's full-system substrate omits DRAM).
 
     Note:
         ``with_memory`` defaults to False: DRAM power is common-mode
@@ -81,6 +93,13 @@ def x1_full_system(
     """
     scenario_names = scenario_names or list(X1_SCENARIOS)
     governor_names = governor_names or list(X1_GOVERNORS)
+    if jobs != 1:
+        if with_memory:
+            raise ReproError("x1 with_memory=True cannot run through the fleet")
+        return _x1_fleet(
+            scenario_names, governor_names, duration_s, eval_seed,
+            train_episodes, train_episode_s, jobs,
+        )
     chip = exynos5422()
     cells: dict[tuple[str, str], float] = {}
     rl_qos: dict[str, float] = {}
@@ -119,6 +138,53 @@ def x1_full_system(
     return X1Result(report=report, cells_j=cells, rl_qos=rl_qos)
 
 
+def _x1_fleet(
+    scenario_names: list[str],
+    governor_names: list[str],
+    duration_s: float,
+    eval_seed: int,
+    train_episodes: int,
+    train_episode_s: float,
+    jobs: int,
+) -> X1Result:
+    """X1 through the fleet: one full-system job per (scenario, policy)."""
+    from repro.fleet import FleetSpec, run_fleet
+
+    spec = FleetSpec(
+        scenarios=tuple(scenario_names),
+        governors=tuple(governor_names),
+        seeds=(eval_seed,),
+        include_rl=True,
+        duration_s=duration_s,
+        train_episodes=train_episodes,
+        train_episode_s=train_episode_s,
+        full_system=True,
+    )
+    fleet = run_fleet(spec, jobs=jobs)
+    fleet.raise_on_failure()
+    cells: dict[tuple[str, str], float] = {}
+    rl_qos: dict[str, float] = {}
+    for s in fleet.successes:
+        cells[(s.spec.scenario, s.spec.governor)] = s.energy_per_qos_j
+        if s.spec.governor == "rl-policy":
+            rl_qos[s.spec.scenario] = s.mean_qos
+    rows = [
+        [name]
+        + [cells[(name, g)] * 1e3 for g in governor_names]
+        + [cells[(name, "rl-policy")] * 1e3, rl_qos[name]]
+        for name in scenario_names
+    ]
+    report = format_table(
+        ["scenario"] + governor_names + ["rl-policy", "rl QoS"],
+        rows,
+        title=(
+            "X1: energy/QoS [mJ/unit] with C-states + DVFS transition costs "
+            "+ thermals enabled"
+        ),
+    )
+    return X1Result(report=report, cells_j=cells, rl_qos=rl_qos)
+
+
 @dataclass(frozen=True)
 class X2Result:
     """X2: seed stability of the headline gap on one scenario.
@@ -138,8 +204,15 @@ def x2_seed_stability(
     eval_seeds: list[int] | None = None,
     duration_s: float = 20.0,
     train_episodes: int = 16,
+    jobs: int = 1,
 ) -> X2Result:
-    """Repeat the RL-vs-governors comparison across evaluation seeds."""
+    """Repeat the RL-vs-governors comparison across evaluation seeds.
+
+    ``jobs != 1`` fans every (policy, seed) evaluation out over worker
+    processes via :mod:`repro.fleet` (``0`` = CPU count): the policy is
+    trained once, checkpointed to a temporary directory, and each seed's
+    evaluation reloads it in its worker.
+    """
     governor_names = governor_names or ["ondemand", "conservative", "interactive"]
     eval_seeds = eval_seeds or [100, 200, 300, 400, 500]
     chip = exynos5422()
@@ -148,23 +221,29 @@ def x2_seed_stability(
         chip, scenario, episodes=train_episodes, episode_duration_s=duration_s
     )
 
-    def rl_measure(seed: int) -> float:
-        from repro.core.trainer import evaluate_policy
+    if jobs != 1:
+        measures = _x2_fleet_measures(
+            scenario_name, governor_names, eval_seeds, duration_s,
+            training.policies, jobs,
+        )
+    else:
+        def rl_measure(seed: int) -> float:
+            from repro.core.trainer import evaluate_policy
 
-        trace = scenario.trace(duration_s, seed=seed)
-        return evaluate_policy(chip, training.policies, trace).energy_per_qos_j
-
-    measures: dict[str, RepeatedMeasure] = {
-        "rl-policy": repeat_over_seeds(rl_measure, eval_seeds)
-    }
-    for name in governor_names:
-        def measure(seed: int, name=name) -> float:
             trace = scenario.trace(duration_s, seed=seed)
-            return Simulator(
-                chip, trace, lambda c: create(name)
-            ).run().energy_per_qos_j
+            return evaluate_policy(
+                chip, training.policies, trace
+            ).energy_per_qos_j
 
-        measures[name] = repeat_over_seeds(measure, eval_seeds)
+        measures = {"rl-policy": repeat_over_seeds(rl_measure, eval_seeds)}
+        for name in governor_names:
+            def measure(seed: int, name=name) -> float:
+                trace = scenario.trace(duration_s, seed=seed)
+                return Simulator(
+                    chip, trace, lambda c: create(name)
+                ).run().energy_per_qos_j
+
+            measures[name] = repeat_over_seeds(measure, eval_seeds)
 
     report = format_table(
         ["policy", "mean E/QoS [mJ/unit]", "95% CI ±"],
@@ -178,3 +257,42 @@ def x2_seed_stability(
         ),
     )
     return X2Result(report=report, measures=measures)
+
+
+def _x2_fleet_measures(
+    scenario_name: str,
+    governor_names: list[str],
+    eval_seeds: list[int],
+    duration_s: float,
+    policies,
+    jobs: int,
+) -> dict[str, RepeatedMeasure]:
+    """X2's per-seed evaluations through the fleet.
+
+    The trained policies are checkpointed to a temporary directory so
+    each worker can reload them; the Q-tables round-trip losslessly, so
+    the measures match the in-memory evaluation.
+    """
+    from repro.core.checkpoint import save_policies
+    from repro.fleet import JobSpec
+
+    measures: dict[str, RepeatedMeasure] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-x2-") as checkpoint_dir:
+        save_policies(policies, checkpoint_dir)
+        measures["rl-policy"] = repeat_jobs_over_seeds(
+            JobSpec(
+                scenario=scenario_name,
+                governor=f"checkpoint:{checkpoint_dir}",
+                duration_s=duration_s,
+            ),
+            eval_seeds,
+            jobs=jobs,
+        )
+    for name in governor_names:
+        measures[name] = repeat_jobs_over_seeds(
+            JobSpec(scenario=scenario_name, governor=name,
+                    duration_s=duration_s),
+            eval_seeds,
+            jobs=jobs,
+        )
+    return measures

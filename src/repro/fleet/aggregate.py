@@ -1,0 +1,119 @@
+"""Order-independent aggregation of fleet outcomes.
+
+Workers finish in nondeterministic order; every function here sorts by
+the job's grid index first, so a parallel fleet aggregates to exactly
+the rows a serial run would produce — the determinism contract the
+tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.sweep import SweepResult, SweepRow
+from repro.analysis.tables import format_table
+from repro.fleet.worker import JobFailure, JobSuccess
+
+
+def to_sweep_rows(successes: Iterable[JobSuccess]) -> list[SweepRow]:
+    """Sweep rows from successful jobs, in grid order."""
+    return [
+        SweepRow(
+            scenario=s.spec.scenario,
+            governor=s.spec.governor,
+            energy_j=s.energy_j,
+            mean_qos=s.mean_qos,
+            deadline_miss_rate=s.deadline_miss_rate,
+            energy_per_qos_j=s.energy_per_qos_j,
+        )
+        for s in sorted(successes, key=lambda s: s.index)
+    ]
+
+
+def to_sweep_result(
+    successes: Iterable[JobSuccess], seed: int | None = None
+) -> SweepResult:
+    """A :class:`~repro.analysis.sweep.SweepResult` from fleet successes.
+
+    Args:
+        successes: Completed jobs (any order; re-sorted by grid index).
+        seed: Keep only jobs of one evaluation seed (``None`` = all).
+    """
+    kept = [
+        s for s in successes if seed is None or s.spec.seed == seed
+    ]
+    return SweepResult(rows=to_sweep_rows(kept))
+
+
+def split_by_seed(successes: Iterable[JobSuccess]) -> dict[int, SweepResult]:
+    """One :class:`~repro.analysis.sweep.SweepResult` per evaluation seed."""
+    seeds: list[int] = []
+    for s in successes:
+        if s.spec.seed not in seeds:
+            seeds.append(s.spec.seed)
+    return {seed: to_sweep_result(successes, seed=seed) for seed in seeds}
+
+
+def result_table(successes: Iterable[JobSuccess]) -> str:
+    """The per-job metric table (grid order), for CLI/report output."""
+    rows = [
+        (
+            s.spec.scenario,
+            s.spec.governor,
+            s.spec.seed,
+            s.energy_j,
+            s.mean_qos,
+            s.energy_per_qos_j * 1e3,
+            s.wall_s,
+        )
+        for s in sorted(successes, key=lambda s: s.index)
+    ]
+    return format_table(
+        ["scenario", "governor", "seed", "energy [J]", "QoS",
+         "E/QoS [mJ/unit]", "wall [s]"],
+        rows,
+        title="fleet results",
+    )
+
+
+def failure_table(failures: Iterable[JobFailure]) -> str:
+    """The failed-job table (grid order), empty string when clean."""
+    failures = sorted(failures, key=lambda f: f.index)
+    if not failures:
+        return ""
+    rows = [
+        (
+            f.job_id,
+            f.error_type,
+            f.error[:60],
+            f.attempts,
+            "yes" if f.timed_out else "no",
+        )
+        for f in failures
+    ]
+    return format_table(
+        ["job", "error", "message", "attempts", "timeout"],
+        rows,
+        title="failed jobs",
+    )
+
+
+def fleet_summary(result) -> str:
+    """One-paragraph execution summary of a
+    :class:`~repro.fleet.runner.FleetResult` (wall clock, throughput,
+    estimated serial-vs-parallel speedup)."""
+    successes = result.successes
+    sim_s = sum(s.sim_duration_s for s in successes)
+    lines = [
+        f"jobs:     {len(successes)} ok, {len(result.failures)} failed "
+        f"of {result.n_jobs} (workers: {result.workers})",
+        f"wall:     {result.wall_s:.2f} s fleet, "
+        f"{result.serial_wall_estimate_s:.2f} s serial estimate "
+        f"({result.speedup:.2f}x speedup)",
+    ]
+    if result.wall_s > 0 and sim_s > 0:
+        lines.append(
+            f"sim rate: {sim_s / result.wall_s:.1f} simulated s "
+            "per wall s (evaluation traces, fleet-wide)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,176 @@
+"""Fleet progress/telemetry events.
+
+The runner emits one event object per lifecycle transition — fleet
+start, job queued, job done/failed/retried, fleet finish — to an
+optional ``on_event`` callback.  :class:`EventLog` is the collecting
+callback used by tests and the library API; :func:`format_event` renders
+one human line per event for the CLI's live progress stream.
+
+Job wall-clock and simulated-seconds-per-wall-second throughput are
+measured inside the worker process and travel back on the completion
+events, so the parent sees per-job cost without any shared state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """Base class for all fleet telemetry events."""
+
+
+@dataclass(frozen=True)
+class FleetStarted(FleetEvent):
+    """The fleet began executing.
+
+    Attributes:
+        n_jobs: Total jobs in the grid.
+        workers: Worker-process count (1 = in-process serial).
+    """
+
+    n_jobs: int
+    workers: int
+
+
+@dataclass(frozen=True)
+class JobQueued(FleetEvent):
+    """A job was submitted to the pool."""
+
+    index: int
+    job_id: str
+
+
+@dataclass(frozen=True)
+class JobDone(FleetEvent):
+    """A job finished successfully.
+
+    Attributes:
+        wall_s: Worker-side wall-clock seconds for the attempt.
+        sim_throughput: Simulated seconds per wall-clock second.
+    """
+
+    index: int
+    job_id: str
+    wall_s: float
+    sim_throughput: float
+
+
+@dataclass(frozen=True)
+class JobFailed(FleetEvent):
+    """A job attempt failed (it may still be retried).
+
+    Attributes:
+        attempt: 1-based attempt number that failed.
+        error: One-line error description.
+        timed_out: Whether the failure was the per-job timeout.
+        final: Whether the retry budget is exhausted (this failure
+            becomes the job's :class:`~repro.fleet.worker.JobFailure`
+            row).
+    """
+
+    index: int
+    job_id: str
+    attempt: int
+    error: str
+    timed_out: bool
+    final: bool
+
+
+@dataclass(frozen=True)
+class JobRetried(FleetEvent):
+    """A failed job was re-queued.
+
+    Attributes:
+        attempt: 1-based attempt number about to run.
+    """
+
+    index: int
+    job_id: str
+    attempt: int
+
+
+@dataclass(frozen=True)
+class FleetProgress(FleetEvent):
+    """Running totals, emitted after every job completion."""
+
+    done: int
+    failed: int
+    total: int
+    elapsed_s: float
+
+
+@dataclass(frozen=True)
+class FleetFinished(FleetEvent):
+    """The fleet drained.
+
+    Attributes:
+        done: Successful job count.
+        failed: Finally-failed job count.
+        wall_s: Fleet wall-clock seconds.
+    """
+
+    done: int
+    failed: int
+    wall_s: float
+
+
+@dataclass
+class EventLog:
+    """An ``on_event`` callback that records every event.
+
+    Usage::
+
+        log = EventLog()
+        run_fleet(spec, on_event=log)
+        assert log.count(JobDone) == spec.n_jobs
+    """
+
+    events: list[FleetEvent] = field(default_factory=list)
+
+    def __call__(self, event: FleetEvent) -> None:
+        self.events.append(event)
+
+    def of_type(self, kind: type) -> list[FleetEvent]:
+        """All recorded events of one class."""
+        return [e for e in self.events if isinstance(e, kind)]
+
+    def count(self, kind: type) -> int:
+        """How many events of one class were recorded."""
+        return len(self.of_type(kind))
+
+
+def format_event(event: FleetEvent) -> str | None:
+    """One human-readable progress line, or ``None`` for silent events.
+
+    ``JobQueued`` is silent (a 1000-job grid would print 1000 lines
+    before any work happened); completions, retries and fleet
+    transitions each get a line.
+    """
+    if isinstance(event, FleetStarted):
+        plural = "es" if event.workers != 1 else ""
+        return f"fleet: {event.n_jobs} jobs on {event.workers} process{plural}"
+    if isinstance(event, JobDone):
+        return (
+            f"done  {event.job_id}  "
+            f"wall {event.wall_s:6.2f} s  "
+            f"{event.sim_throughput:6.1f} sim-s/s"
+        )
+    if isinstance(event, JobFailed):
+        tag = "timeout" if event.timed_out else "failed"
+        state = "giving up" if event.final else "will retry"
+        return f"{tag} {event.job_id} (attempt {event.attempt}, {state}): {event.error}"
+    if isinstance(event, JobRetried):
+        return f"retry {event.job_id} (attempt {event.attempt})"
+    if isinstance(event, FleetProgress):
+        return (
+            f"progress: {event.done + event.failed}/{event.total} "
+            f"({event.failed} failed) in {event.elapsed_s:.1f} s"
+        )
+    if isinstance(event, FleetFinished):
+        return (
+            f"fleet finished: {event.done} ok, {event.failed} failed, "
+            f"wall {event.wall_s:.1f} s"
+        )
+    return None

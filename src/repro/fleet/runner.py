@@ -1,0 +1,326 @@
+"""The fleet executor: a job grid over a process pool.
+
+``run_fleet`` takes an expanded job list (or a
+:class:`~repro.fleet.spec.FleetSpec`) and executes every job with
+
+* **failure isolation** — a crashing or hanging job becomes a structured
+  :class:`~repro.fleet.worker.JobFailure` row; the rest of the grid is
+  unaffected,
+* **bounded retry** — failed/timed-out jobs are re-queued up to
+  ``retries`` extra attempts,
+* **deterministic aggregation** — outcomes are sorted by grid index, so
+  the result is independent of worker count and completion order, and
+* **telemetry** — every lifecycle transition is emitted to ``on_event``
+  (see :mod:`repro.fleet.events`).
+
+``jobs=1`` runs everything in-process through the *same* guarded entry
+point, which is both the fast path for small grids and the reference the
+determinism tests compare the pool against.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import ReproError
+from repro.fleet.events import (
+    FleetEvent,
+    FleetFinished,
+    FleetProgress,
+    FleetStarted,
+    JobDone,
+    JobFailed,
+    JobQueued,
+    JobRetried,
+)
+from repro.fleet.spec import FleetSpec, JobSpec
+from repro.fleet.worker import (
+    JobFailure,
+    JobMeasurement,
+    JobOutcome,
+    JobSuccess,
+    execute_job,
+    run_job,
+)
+
+
+def resolve_workers(jobs: int | None) -> int:
+    """Normalise a ``--jobs`` value: ``None``/``0`` means the CPU count."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ReproError(f"worker count must be >= 1: {jobs}")
+    return jobs
+
+
+@dataclass
+class FleetResult:
+    """Everything a finished fleet produced.
+
+    Attributes:
+        outcomes: One entry per grid job, in grid order (successes and
+            failures interleaved exactly where their specs sat).
+        workers: Worker-process count used.
+        wall_s: Fleet wall-clock seconds.
+    """
+
+    outcomes: list[JobOutcome] = field(default_factory=list)
+    workers: int = 1
+    wall_s: float = 0.0
+
+    @property
+    def successes(self) -> list[JobSuccess]:
+        return [o for o in self.outcomes if isinstance(o, JobSuccess)]
+
+    @property
+    def failures(self) -> list[JobFailure]:
+        return [o for o in self.outcomes if isinstance(o, JobFailure)]
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def serial_wall_estimate_s(self) -> float:
+        """Sum of per-job walls — what one process would have paid."""
+        return sum(o.wall_s for o in self.outcomes)
+
+    @property
+    def speedup(self) -> float:
+        """Estimated serial-vs-fleet wall-clock ratio."""
+        return self.serial_wall_estimate_s / self.wall_s if self.wall_s > 0 else 0.0
+
+    def raise_on_failure(self) -> None:
+        """Raise a :class:`ReproError` summarising any failed jobs."""
+        if not self.failures:
+            return
+        lines = [
+            f"  {f.job_id}: {f.error_type}: {f.error} "
+            f"({f.attempts} attempt{'s' if f.attempts != 1 else ''})"
+            for f in self.failures
+        ]
+        raise ReproError(
+            f"{len(self.failures)} of {self.n_jobs} fleet jobs failed:\n"
+            + "\n".join(lines)
+        )
+
+    def sweep_result(self, seed: int | None = None, strict: bool = True):
+        """The successes as a :class:`~repro.analysis.sweep.SweepResult`.
+
+        Args:
+            seed: Keep only rows of one evaluation seed (``None`` = all).
+            strict: Raise if any job failed (default), rather than
+                silently aggregating a grid with holes.
+        """
+        from repro.fleet.aggregate import to_sweep_result
+
+        if strict:
+            self.raise_on_failure()
+        return to_sweep_result(self.successes, seed=seed)
+
+
+def run_fleet(
+    spec: FleetSpec | Sequence[JobSpec],
+    jobs: int | None = None,
+    timeout_s: float | None = None,
+    retries: int | None = None,
+    on_event: Callable[[FleetEvent], None] | None = None,
+    job_fn: Callable[[JobSpec], JobMeasurement] = execute_job,
+) -> FleetResult:
+    """Execute a grid of simulation jobs, possibly in parallel.
+
+    Args:
+        spec: A :class:`~repro.fleet.spec.FleetSpec` (expanded here) or
+            an already-expanded job list.
+        jobs: Worker processes; ``None`` defers to the fleet spec (or 1
+            for a bare job list), ``0`` means the CPU count.
+        timeout_s: Per-job wall-clock budget (``None`` defers to the
+            spec; jobs overrunning it fail with ``timed_out=True``).
+        retries: Extra attempts per failed job (``None`` defers to the
+            spec, default 0).
+        on_event: Telemetry callback (:mod:`repro.fleet.events`).
+        job_fn: Measurement function executed per job; must be a
+            module-level (picklable) callable for ``jobs > 1``.
+
+    Returns:
+        A :class:`FleetResult` with one outcome per job in grid order.
+    """
+    if isinstance(spec, FleetSpec):
+        specs = spec.expand()
+        jobs = spec.jobs if jobs is None else jobs
+        timeout_s = spec.timeout_s if timeout_s is None else timeout_s
+        retries = spec.retries if retries is None else retries
+    else:
+        specs = list(spec)
+    jobs = resolve_workers(1 if jobs is None else jobs)
+    retries = 0 if retries is None else retries
+    if retries < 0:
+        raise ReproError(f"retries must be non-negative: {retries}")
+    if not specs:
+        raise ReproError("fleet needs at least one job")
+
+    workers = min(jobs, len(specs))
+    emit = on_event or (lambda event: None)
+    start = time.perf_counter()
+    emit(FleetStarted(n_jobs=len(specs), workers=workers))
+
+    if workers <= 1:
+        outcomes = _run_serial(specs, timeout_s, retries, emit, job_fn, start)
+    else:
+        outcomes = _run_pool(specs, workers, timeout_s, retries, emit, job_fn,
+                             start)
+
+    outcomes.sort(key=lambda o: o.index)
+    result = FleetResult(
+        outcomes=outcomes, workers=workers, wall_s=time.perf_counter() - start
+    )
+    emit(
+        FleetFinished(
+            done=len(result.successes),
+            failed=len(result.failures),
+            wall_s=result.wall_s,
+        )
+    )
+    return result
+
+
+def _report(
+    outcome: JobOutcome,
+    attempt: int,
+    retries: int,
+    emit: Callable[[FleetEvent], None],
+) -> bool:
+    """Emit the completion event; returns whether the job should retry."""
+    if isinstance(outcome, JobSuccess):
+        emit(
+            JobDone(
+                index=outcome.index,
+                job_id=outcome.job_id,
+                wall_s=outcome.wall_s,
+                sim_throughput=outcome.sim_throughput,
+            )
+        )
+        return False
+    final = attempt > retries
+    emit(
+        JobFailed(
+            index=outcome.index,
+            job_id=outcome.job_id,
+            attempt=attempt,
+            error=f"{outcome.error_type}: {outcome.error}",
+            timed_out=outcome.timed_out,
+            final=final,
+        )
+    )
+    return not final
+
+
+def _run_serial(
+    specs: list[JobSpec],
+    timeout_s: float | None,
+    retries: int,
+    emit: Callable[[FleetEvent], None],
+    job_fn: Callable[[JobSpec], JobMeasurement],
+    start: float,
+) -> list[JobOutcome]:
+    outcomes: list[JobOutcome] = []
+    failed = 0
+    for index, job_spec in enumerate(specs):
+        emit(JobQueued(index=index, job_id=job_spec.job_id))
+        attempt = 1
+        while True:
+            outcome = run_job(
+                job_spec, index=index, attempt=attempt,
+                timeout_s=timeout_s, job_fn=job_fn,
+            )
+            if not _report(outcome, attempt, retries, emit):
+                break
+            attempt += 1
+            emit(JobRetried(index=index, job_id=job_spec.job_id,
+                            attempt=attempt))
+        outcomes.append(outcome)
+        failed += isinstance(outcome, JobFailure)
+        emit(
+            FleetProgress(
+                done=len(outcomes) - failed,
+                failed=failed,
+                total=len(specs),
+                elapsed_s=time.perf_counter() - start,
+            )
+        )
+    return outcomes
+
+
+def _run_pool(
+    specs: list[JobSpec],
+    workers: int,
+    timeout_s: float | None,
+    retries: int,
+    emit: Callable[[FleetEvent], None],
+    job_fn: Callable[[JobSpec], JobMeasurement],
+    start: float,
+) -> list[JobOutcome]:
+    outcomes: list[JobOutcome] = []
+    failed = 0
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+
+        def submit(index: int, attempt: int) -> Future:
+            future = pool.submit(
+                run_job,
+                specs[index],
+                index=index,
+                attempt=attempt,
+                timeout_s=timeout_s,
+                job_fn=job_fn,
+            )
+            future.job_index = index  # type: ignore[attr-defined]
+            future.job_attempt = attempt  # type: ignore[attr-defined]
+            return future
+
+        pending: set[Future] = set()
+        for index, job_spec in enumerate(specs):
+            emit(JobQueued(index=index, job_id=job_spec.job_id))
+            pending.add(submit(index, attempt=1))
+
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = future.job_index  # type: ignore[attr-defined]
+                attempt = future.job_attempt  # type: ignore[attr-defined]
+                try:
+                    outcome = future.result()
+                except Exception as exc:  # pool-level (e.g. pickling) error
+                    outcome = JobFailure(
+                        spec=specs[index],
+                        index=index,
+                        error_type=type(exc).__name__,
+                        error=str(exc),
+                        traceback_str="",
+                        wall_s=0.0,
+                        attempts=attempt,
+                    )
+                if _report(outcome, attempt, retries, emit):
+                    emit(
+                        JobRetried(
+                            index=index,
+                            job_id=specs[index].job_id,
+                            attempt=attempt + 1,
+                        )
+                    )
+                    pending.add(submit(index, attempt=attempt + 1))
+                    continue
+                outcomes.append(outcome)
+                failed += isinstance(outcome, JobFailure)
+                emit(
+                    FleetProgress(
+                        done=len(outcomes) - failed,
+                        failed=failed,
+                        total=len(specs),
+                        elapsed_s=time.perf_counter() - start,
+                    )
+                )
+    return outcomes

@@ -1,0 +1,325 @@
+"""Per-job execution in (or out of) a worker process.
+
+:func:`execute_job` recomputes one :class:`~repro.fleet.spec.JobSpec`
+from scratch — fresh chip, fresh power model, trace regenerated from the
+spec's seed — so a job's result depends only on its spec, never on which
+process ran it or what ran before.  That is what makes parallel fleet
+rows bit-identical to a serial sweep.
+
+:func:`run_job` is the guarded pool entry: it times the attempt, arms a
+``SIGALRM``-based wall-clock timeout (so a hung simulation is
+interrupted *inside* the worker and the pool slot is reclaimed), and
+converts any exception into a structured :class:`JobFailure` instead of
+letting it propagate and poison the executor.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.fleet.spec import CHECKPOINT_PREFIX, JobSpec
+from repro.governors import create
+from repro.power.model import PowerModel
+from repro.sim.engine import Simulator
+from repro.sim.result import SimulationResult
+from repro.soc.chip import Chip
+from repro.soc.presets import PRESETS
+from repro.workload.scenarios import get_scenario
+
+
+@dataclass(frozen=True)
+class JobMeasurement:
+    """The raw metrics one job produces (mirrors a sweep row)."""
+
+    energy_j: float
+    mean_qos: float
+    deadline_miss_rate: float
+    energy_per_qos_j: float
+    sim_duration_s: float
+
+
+@dataclass(frozen=True)
+class JobSuccess:
+    """A completed job: its spec, metrics, and execution telemetry.
+
+    Attributes:
+        index: Position in the expanded grid (aggregation sort key).
+        wall_s: Wall-clock seconds of the successful attempt.
+        attempts: 1-based number of attempts used.
+    """
+
+    spec: JobSpec
+    index: int
+    energy_j: float
+    mean_qos: float
+    deadline_miss_rate: float
+    energy_per_qos_j: float
+    sim_duration_s: float
+    wall_s: float
+    attempts: int = 1
+
+    @property
+    def job_id(self) -> str:
+        return self.spec.job_id
+
+    @property
+    def sim_throughput(self) -> float:
+        """Simulated seconds per wall-clock second."""
+        return self.sim_duration_s / self.wall_s if self.wall_s > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """A job that exhausted its attempts; the sweep-row-shaped tombstone.
+
+    Attributes:
+        error_type: Exception class name (``"JobTimeout"`` for timeouts).
+        error: The exception message.
+        traceback_str: Formatted traceback from the worker.
+        attempts: 1-based number of attempts used.
+        timed_out: Whether the final attempt hit the per-job timeout.
+    """
+
+    spec: JobSpec
+    index: int
+    error_type: str
+    error: str
+    traceback_str: str
+    wall_s: float
+    attempts: int = 1
+    timed_out: bool = False
+
+    @property
+    def job_id(self) -> str:
+        return self.spec.job_id
+
+
+JobOutcome = JobSuccess | JobFailure
+
+
+class JobTimeout(ReproError):
+    """Raised inside a worker when a job overruns its wall-clock budget."""
+
+
+def _build_chip(spec: JobSpec) -> Chip:
+    if spec.chip_obj is not None:
+        return spec.chip_obj
+    try:
+        factory = PRESETS[spec.chip]
+    except KeyError:
+        raise ReproError(
+            f"unknown chip preset {spec.chip!r}; available: {sorted(PRESETS)}"
+        ) from None
+    return factory()
+
+
+def _make_simulator(
+    spec: JobSpec, chip: Chip, trace, governors, power_model: PowerModel
+) -> Simulator:
+    """The job's simulator; full-system jobs get the X1 substrate
+    (thermals + throttling, cpuidle, DVFS transition costs)."""
+    if not spec.full_system:
+        return Simulator(
+            chip,
+            trace,
+            governors,
+            power_model=power_model,
+            interval_s=spec.interval_s,
+        )
+    from repro.idle.governor import MenuIdleGovernor
+    from repro.soc.transition import DVFSTransitionModel
+    from repro.thermal.rc import default_thermal_model
+    from repro.thermal.throttle import ThermalThrottle
+
+    return Simulator(
+        chip,
+        trace,
+        governors,
+        power_model=power_model,
+        interval_s=spec.interval_s,
+        thermal=default_thermal_model(chip.cluster_names),
+        throttle=ThermalThrottle(trip_c=85.0),
+        idle_governor=MenuIdleGovernor(),
+        transition=DVFSTransitionModel(),
+    )
+
+
+def _run_rl(spec: JobSpec, chip: Chip, eval_trace, power_model) -> SimulationResult:
+    """Train the proposed policy on the job's scenario, evaluate greedily."""
+    from repro.core.trainer import make_policies, train_policy
+
+    scenario = get_scenario(spec.scenario)
+    episode_s = spec.train_episode_s or spec.duration_s
+    if not spec.full_system:
+        training = train_policy(
+            chip,
+            scenario,
+            episodes=spec.train_episodes,
+            episode_duration_s=episode_s,
+            base_seed=spec.train_base_seed,
+            config=spec.policy_config,
+            interval_s=spec.interval_s,
+            power_model=power_model,
+        )
+        policies = training.policies
+    else:
+        # X1-style: the policy learns inside the full-system simulator,
+        # so it experiences C-states, transition stalls and throttling.
+        policies = make_policies(chip, spec.policy_config)
+        for episode in range(spec.train_episodes):
+            ep_trace = scenario.trace(
+                episode_s, seed=spec.train_base_seed + episode
+            )
+            _make_simulator(spec, chip, ep_trace, policies, power_model).run()
+    saved = {name: p.online for name, p in policies.items()}
+    try:
+        for p in policies.values():
+            p.online = False
+        return _make_simulator(
+            spec, chip, eval_trace, policies, power_model
+        ).run()
+    finally:
+        for name, p in policies.items():
+            p.online = saved[name]
+
+
+def _run_checkpoint(
+    spec: JobSpec, chip: Chip, eval_trace, power_model
+) -> SimulationResult:
+    from repro.core.checkpoint import load_policies
+
+    directory = spec.governor.removeprefix(CHECKPOINT_PREFIX)
+    policies = load_policies(directory, chip=chip)
+    for p in policies.values():
+        p.online = False
+    return _make_simulator(spec, chip, eval_trace, policies, power_model).run()
+
+
+def execute_job(spec: JobSpec) -> JobMeasurement:
+    """Run one job from scratch and return its metrics.
+
+    Deterministic in the spec alone: the chip is freshly built from its
+    preset, the power model is the default, and every trace (evaluation
+    and RL training episodes) is regenerated from the spec's seeds.
+
+    Raises:
+        ReproError: For unknown chips/scenarios/governors; any simulation
+            exception propagates (the runner converts it to a
+            :class:`JobFailure`).
+    """
+    chip = _build_chip(spec)
+    scenario = get_scenario(spec.scenario)
+    eval_trace = scenario.trace(spec.duration_s, seed=spec.seed)
+    power_model = PowerModel()
+    if spec.is_rl:
+        run = _run_rl(spec, chip, eval_trace, power_model)
+    elif spec.is_checkpoint:
+        run = _run_checkpoint(spec, chip, eval_trace, power_model)
+    else:
+        governor_name = spec.governor
+        create(governor_name)  # fail fast on unknown names
+        run = _make_simulator(
+            spec, chip, eval_trace,
+            lambda cluster: create(governor_name), power_model,
+        ).run()
+    return JobMeasurement(
+        energy_j=run.total_energy_j,
+        mean_qos=run.qos.mean_qos,
+        deadline_miss_rate=run.qos.deadline_miss_rate,
+        energy_per_qos_j=run.energy_per_qos_j,
+        sim_duration_s=spec.duration_s,
+    )
+
+
+def _arm_timeout(timeout_s: float | None) -> bool:
+    """Arm a SIGALRM wall-clock guard; returns whether one was armed.
+
+    Only possible on POSIX main threads (pool workers run tasks on their
+    main thread, so the parallel path always qualifies on Linux); when
+    unavailable the job simply runs unguarded.
+    """
+    if timeout_s is None:
+        return False
+    if not hasattr(signal, "SIGALRM"):
+        return False
+    if threading.current_thread() is not threading.main_thread():
+        return False
+
+    def _on_alarm(signum, frame):
+        raise JobTimeout(f"job exceeded {timeout_s} s wall-clock budget")
+
+    signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    return True
+
+
+def _disarm_timeout(armed: bool) -> None:
+    if armed:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, signal.SIG_DFL)
+
+
+def run_job(
+    spec: JobSpec,
+    index: int = 0,
+    attempt: int = 1,
+    timeout_s: float | None = None,
+    job_fn: Callable[[JobSpec], JobMeasurement] = execute_job,
+) -> JobOutcome:
+    """The guarded pool entry: never raises, always returns an outcome.
+
+    Args:
+        spec: The job to run.
+        index: Grid position, stamped on the outcome for ordered
+            aggregation.
+        attempt: 1-based attempt number, stamped on the outcome.
+        timeout_s: Wall-clock budget; overruns raise :class:`JobTimeout`
+            inside the worker (freeing the pool slot) and yield a
+            ``timed_out`` :class:`JobFailure`.
+        job_fn: The measurement function; tests substitute hanging or
+            raising top-level functions here.
+    """
+    start = time.perf_counter()
+    armed = _arm_timeout(timeout_s)
+    try:
+        measurement = job_fn(spec)
+    except JobTimeout as exc:
+        return JobFailure(
+            spec=spec,
+            index=index,
+            error_type="JobTimeout",
+            error=str(exc),
+            traceback_str=traceback.format_exc(),
+            wall_s=time.perf_counter() - start,
+            attempts=attempt,
+            timed_out=True,
+        )
+    except Exception as exc:
+        return JobFailure(
+            spec=spec,
+            index=index,
+            error_type=type(exc).__name__,
+            error=str(exc),
+            traceback_str=traceback.format_exc(),
+            wall_s=time.perf_counter() - start,
+            attempts=attempt,
+        )
+    finally:
+        _disarm_timeout(armed)
+    return JobSuccess(
+        spec=spec,
+        index=index,
+        energy_j=measurement.energy_j,
+        mean_qos=measurement.mean_qos,
+        deadline_miss_rate=measurement.deadline_miss_rate,
+        energy_per_qos_j=measurement.energy_per_qos_j,
+        sim_duration_s=measurement.sim_duration_s,
+        wall_s=time.perf_counter() - start,
+        attempts=attempt,
+    )

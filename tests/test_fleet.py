@@ -1,0 +1,491 @@
+"""The fleet subsystem: specs, runner, determinism, failure isolation."""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.repeat import repeat_jobs_over_seeds
+from repro.analysis.sweep import sweep
+from repro.errors import ReproError
+from repro.experiments import run_headline_sweep
+from repro.fleet import (
+    EventLog,
+    FleetFinished,
+    FleetProgress,
+    FleetSpec,
+    FleetStarted,
+    JobDone,
+    JobFailed,
+    JobFailure,
+    JobMeasurement,
+    JobQueued,
+    JobRetried,
+    JobSpec,
+    JobSuccess,
+    execute_job,
+    failure_table,
+    fleet_summary,
+    format_event,
+    result_table,
+    resolve_workers,
+    run_fleet,
+    run_job,
+    split_by_seed,
+    to_sweep_result,
+)
+from repro.soc.presets import tiny_test_chip
+
+# Small, fast grid settings shared by the execution tests.
+FAST = dict(duration_s=1.0, train_episodes=2)
+
+
+def _measurement() -> JobMeasurement:
+    return JobMeasurement(
+        energy_j=1.0,
+        mean_qos=0.9,
+        deadline_miss_rate=0.1,
+        energy_per_qos_j=1.0 / 0.9,
+        sim_duration_s=1.0,
+    )
+
+
+# Module-level job functions: the pool pickles them by reference.
+def _hang_forever(spec: JobSpec) -> JobMeasurement:
+    time.sleep(60.0)
+    return _measurement()
+
+
+def _always_raise(spec: JobSpec) -> JobMeasurement:
+    raise ValueError(f"boom in {spec.job_id}")
+
+
+def _flaky_via_marker(spec: JobSpec) -> JobMeasurement:
+    """Fails until a marker file exists; the governor field carries its
+    path (``flaky:<path>``), so the state survives process boundaries."""
+    marker = Path(spec.governor.removeprefix("flaky:"))
+    if not marker.exists():
+        marker.write_text("attempted")
+        raise RuntimeError("first attempt always fails")
+    return _measurement()
+
+
+def _quick(spec: JobSpec) -> JobMeasurement:
+    return _measurement()
+
+
+class TestJobSpec:
+    def test_job_id(self):
+        spec = JobSpec(scenario="gaming", governor="ondemand", seed=7,
+                       chip="tiny")
+        assert spec.job_id == "tiny/gaming/ondemand/s7"
+
+    def test_flags(self):
+        assert JobSpec(scenario="s", governor="rl-policy").is_rl
+        assert JobSpec(scenario="s", governor="checkpoint:/x").is_checkpoint
+        assert not JobSpec(scenario="s", governor="ondemand").is_rl
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            JobSpec(scenario="", governor="ondemand")
+        with pytest.raises(ReproError):
+            JobSpec(scenario="s", governor="ondemand", duration_s=0.0)
+        with pytest.raises(ReproError):
+            JobSpec(scenario="s", governor="ondemand", train_episodes=0)
+
+    def test_mapping_round_trip(self):
+        spec = JobSpec(scenario="gaming", governor="ondemand", seed=3,
+                       duration_s=5.0)
+        assert JobSpec.from_mapping(spec.to_mapping()) == spec
+
+    def test_mapping_rejects_unknown_keys(self):
+        with pytest.raises(ReproError, match="unknown job spec keys"):
+            JobSpec.from_mapping({"scenario": "s", "governor": "g",
+                                  "warp": 9})
+
+    def test_chip_obj_not_serialisable(self):
+        spec = JobSpec(scenario="s", governor="g", chip_obj=tiny_test_chip())
+        with pytest.raises(ReproError, match="chip_obj"):
+            spec.to_mapping()
+
+    def test_with_seed(self):
+        spec = JobSpec(scenario="s", governor="g", seed=1)
+        assert spec.with_seed(9).seed == 9
+        assert spec.seed == 1
+
+
+class TestFleetSpec:
+    def test_expand_order_and_count(self):
+        spec = FleetSpec(
+            scenarios=("a", "b"), governors=("g1", "g2"), seeds=(1, 2),
+            chips=("tiny",),
+        )
+        jobs = spec.expand()
+        assert len(jobs) == spec.n_jobs == 8
+        # scenario-major, then governor, then seed.
+        assert [(j.scenario, j.governor, j.seed) for j in jobs[:4]] == [
+            ("a", "g1", 1), ("a", "g1", 2), ("a", "g2", 1), ("a", "g2", 2),
+        ]
+
+    def test_include_rl_appends_axis(self):
+        spec = FleetSpec(scenarios=("a",), governors=("g",), include_rl=True)
+        assert spec.governor_axis == ("g", "rl-policy")
+        assert spec.expand()[-1].governor == "rl-policy"
+
+    def test_lists_are_frozen_to_tuples(self):
+        spec = FleetSpec(scenarios=["a"], governors=["g"], seeds=[1])
+        assert spec.scenarios == ("a",)
+        assert spec.seeds == (1,)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            FleetSpec(scenarios=(), governors=("g",))
+        with pytest.raises(ReproError):
+            FleetSpec(scenarios=("a",), governors=())
+        with pytest.raises(ReproError):
+            FleetSpec(scenarios=("a",), governors=("g",), retries=-1)
+        with pytest.raises(ReproError):
+            FleetSpec(scenarios=("a",), governors=("g",), timeout_s=0.0)
+
+    def test_mapping_round_trip(self):
+        spec = FleetSpec(scenarios=("a",), governors=("g",), seeds=(1, 2),
+                         timeout_s=5.0, retries=1)
+        assert FleetSpec.from_mapping(spec.to_mapping()) == spec
+
+
+class TestWorker:
+    def test_execute_job_baseline(self):
+        spec = JobSpec(scenario="audio_playback", governor="ondemand",
+                       seed=1, chip="tiny", **FAST)
+        m = execute_job(spec)
+        assert m.energy_j > 0
+        assert 0.0 <= m.mean_qos <= 1.0
+        assert m.sim_duration_s == spec.duration_s
+
+    def test_execute_job_unknown_chip(self):
+        spec = JobSpec(scenario="idle", governor="ondemand",
+                       chip="snapdragon", **FAST)
+        with pytest.raises(ReproError, match="unknown chip preset"):
+            execute_job(spec)
+
+    def test_run_job_success_telemetry(self):
+        outcome = run_job(JobSpec(scenario="s", governor="g"), index=3,
+                          job_fn=_quick)
+        assert isinstance(outcome, JobSuccess)
+        assert outcome.index == 3
+        assert outcome.attempts == 1
+        assert outcome.wall_s >= 0.0
+        assert outcome.sim_throughput >= 0.0
+
+    def test_run_job_converts_exceptions(self):
+        outcome = run_job(JobSpec(scenario="s", governor="g"), index=1,
+                          job_fn=_always_raise)
+        assert isinstance(outcome, JobFailure)
+        assert outcome.error_type == "ValueError"
+        assert "boom" in outcome.error
+        assert "ValueError" in outcome.traceback_str
+        assert not outcome.timed_out
+
+    def test_run_job_timeout(self):
+        start = time.perf_counter()
+        outcome = run_job(JobSpec(scenario="s", governor="g"),
+                          timeout_s=0.2, job_fn=_hang_forever)
+        assert time.perf_counter() - start < 10.0
+        assert isinstance(outcome, JobFailure)
+        assert outcome.timed_out
+        assert outcome.error_type == "JobTimeout"
+
+
+class TestRunner:
+    def test_resolve_workers(self):
+        assert resolve_workers(4) == 4
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(0) >= 1
+        with pytest.raises(ReproError):
+            resolve_workers(-2)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ReproError, match="at least one job"):
+            run_fleet([])
+
+    def test_serial_matches_parallel(self):
+        spec = FleetSpec(
+            scenarios=("audio_playback", "idle"),
+            governors=("ondemand", "performance"),
+            seeds=(1, 2), chips=("tiny",), **FAST,
+        )
+        serial = run_fleet(spec, jobs=1)
+        parallel = run_fleet(spec, jobs=4)
+        assert serial.sweep_result().rows == parallel.sweep_result().rows
+        assert [o.job_id for o in serial.outcomes] == [
+            o.job_id for o in parallel.outcomes
+        ]
+
+    def test_failure_isolation(self):
+        """One bad governor name yields failure rows, not a dead grid."""
+        spec = FleetSpec(
+            scenarios=("idle",),
+            governors=("ondemand", "warpdrive", "performance"),
+            seeds=(1,), chips=("tiny",), **FAST,
+        )
+        result = run_fleet(spec, jobs=2)
+        assert len(result.successes) == 2
+        assert len(result.failures) == 1
+        assert result.failures[0].spec.governor == "warpdrive"
+        assert result.failures[0].error_type == "GovernorError"
+        # Strict aggregation refuses the holed grid...
+        with pytest.raises(ReproError, match="1 of 3 fleet jobs failed"):
+            result.sweep_result()
+        # ...but the lenient path still yields the good rows.
+        rows = result.sweep_result(strict=False).rows
+        assert [r.governor for r in rows] == ["ondemand", "performance"]
+
+    def test_timeout_and_retry_in_pool(self, tmp_path):
+        hang = JobSpec(scenario="s", governor="hang")
+        outcome = run_fleet([hang], jobs=2, timeout_s=0.2, retries=1,
+                            job_fn=_hang_forever).outcomes[0]
+        assert isinstance(outcome, JobFailure)
+        assert outcome.timed_out
+        assert outcome.attempts == 2
+
+    def test_flaky_job_recovers_on_retry(self, tmp_path):
+        marker = tmp_path / "attempted"
+        flaky = JobSpec(scenario="s", governor=f"flaky:{marker}")
+        log = EventLog()
+        result = run_fleet([flaky], jobs=2, retries=1, on_event=log,
+                           job_fn=_flaky_via_marker)
+        [outcome] = result.outcomes
+        assert isinstance(outcome, JobSuccess)
+        assert outcome.attempts == 2
+        assert log.count(JobRetried) == 1
+        assert log.count(JobFailed) == 1
+
+    def test_no_retry_by_default(self):
+        result = run_fleet([JobSpec(scenario="s", governor="g")], jobs=1,
+                           job_fn=_always_raise)
+        assert result.failures[0].attempts == 1
+
+    def test_event_stream(self):
+        spec = FleetSpec(scenarios=("idle",), governors=("ondemand",),
+                         seeds=(1, 2), chips=("tiny",), **FAST)
+        log = EventLog()
+        run_fleet(spec, jobs=2, on_event=log)
+        assert log.count(FleetStarted) == 1
+        assert log.count(JobQueued) == 2
+        assert log.count(JobDone) == 2
+        assert log.count(FleetProgress) == 2
+        assert log.count(FleetFinished) == 1
+        done = log.of_type(JobDone)[0]
+        assert done.wall_s > 0.0
+        assert done.sim_throughput > 0.0
+
+    def test_speedup_accounting(self):
+        spec = FleetSpec(scenarios=("idle",), governors=("ondemand",),
+                         seeds=(1,), chips=("tiny",), **FAST)
+        result = run_fleet(spec, jobs=1)
+        assert result.wall_s > 0.0
+        assert result.serial_wall_estimate_s == pytest.approx(
+            sum(o.wall_s for o in result.outcomes)
+        )
+        assert result.speedup > 0.0
+
+
+class TestDeterminism:
+    """Parallel fleet rows must be bit-identical to serial harness runs."""
+
+    def test_fleet_grid_matches_serial_headline_sweep(self):
+        """The acceptance grid, scaled down: 2 scenarios x 6 governors
+        x 2 seeds (+ RL + one injected failure) through 4 workers equals
+        two serial ``run_headline_sweep`` calls."""
+        scenarios = ("audio_playback", "idle")
+        governors = ("performance", "powersave", "userspace", "ondemand",
+                     "conservative", "interactive")
+        seeds = (1, 2)
+        spec = FleetSpec(
+            scenarios=scenarios,
+            governors=governors + ("warpdrive",),  # the injected failure
+            seeds=seeds, chips=("tiny",), include_rl=True, **FAST,
+        )
+        fleet = run_fleet(spec, jobs=4)
+        assert len(fleet.outcomes) == 2 * 8 * 2
+        assert len(fleet.failures) == len(scenarios) * len(seeds)
+        by_seed = split_by_seed(fleet.successes)
+        for seed in seeds:
+            serial = run_headline_sweep(
+                chip=tiny_test_chip(),
+                scenario_names=list(scenarios),
+                governor_names=list(governors),
+                eval_seed=seed,
+                **FAST,
+            )
+            assert by_seed[seed].rows == serial.rows, seed
+
+    def test_parallel_sweep_equals_serial_sweep(self):
+        kwargs = dict(
+            scenario_names=["audio_playback"],
+            governor_names=["ondemand", "powersave"],
+            include_rl=True, eval_seed=5, **FAST,
+        )
+        serial = sweep(tiny_test_chip(), jobs=1, **kwargs)
+        parallel = sweep(tiny_test_chip(), jobs=2, **kwargs)
+        assert serial.rows == parallel.rows
+
+    def test_custom_chip_ships_to_workers(self, duo_chip):
+        rows = sweep(
+            duo_chip,
+            scenario_names=["idle"],
+            governor_names=["ondemand"],
+            include_rl=False,
+            eval_seed=1,
+            jobs=2,
+            **FAST,
+        ).rows
+        serial = sweep(
+            duo_chip,
+            scenario_names=["idle"],
+            governor_names=["ondemand"],
+            include_rl=False,
+            eval_seed=1,
+            jobs=1,
+            **FAST,
+        ).rows
+        assert rows == serial
+
+
+class TestAggregation:
+    def _successes(self):
+        spec = FleetSpec(scenarios=("idle",), governors=("ondemand",),
+                         seeds=(1, 2), chips=("tiny",), **FAST)
+        return run_fleet(spec, jobs=1).successes
+
+    def test_order_independent(self):
+        successes = self._successes()
+        shuffled = list(reversed(successes))
+        assert to_sweep_result(successes).rows == \
+            to_sweep_result(shuffled).rows
+
+    def test_seed_filter(self):
+        successes = self._successes()
+        only = to_sweep_result(successes, seed=2)
+        assert len(only.rows) == 1
+        by_seed = split_by_seed(successes)
+        assert sorted(by_seed) == [1, 2]
+        assert by_seed[2].rows == only.rows
+
+    def test_tables_render(self):
+        successes = self._successes()
+        table = result_table(successes)
+        assert "ondemand" in table and "wall [s]" in table
+        assert failure_table([]) == ""
+        failure = run_fleet([JobSpec(scenario="s", governor="g")], jobs=1,
+                            job_fn=_always_raise).failures[0]
+        assert "ValueError" in failure_table([failure])
+
+
+class TestRepeatJobs:
+    def test_matches_serial_values_and_order(self):
+        spec = JobSpec(scenario="idle", governor="ondemand", chip="tiny",
+                       **FAST)
+        serial = repeat_jobs_over_seeds(spec, [3, 1, 2], jobs=1)
+        parallel = repeat_jobs_over_seeds(spec, [3, 1, 2], jobs=3)
+        assert serial.values == parallel.values
+        assert serial.n == 3
+
+    def test_unknown_metric_rejected(self):
+        spec = JobSpec(scenario="idle", governor="ondemand", chip="tiny")
+        with pytest.raises(ReproError, match="unknown metric"):
+            repeat_jobs_over_seeds(spec, [1], metric="joules_per_vibe")
+
+    def test_failures_raise(self):
+        spec = JobSpec(scenario="idle", governor="warpdrive", chip="tiny",
+                       **FAST)
+        with pytest.raises(ReproError, match="fleet jobs failed"):
+            repeat_jobs_over_seeds(spec, [1, 2], jobs=1)
+
+
+class TestEvents:
+    def test_format_event_lines(self):
+        assert "2 jobs" in format_event(FleetStarted(n_jobs=2, workers=1))
+        assert format_event(JobQueued(index=0, job_id="j")) is None
+        line = format_event(JobDone(index=0, job_id="tiny/idle/ondemand/s1",
+                                    wall_s=1.5, sim_throughput=12.0))
+        assert "tiny/idle/ondemand/s1" in line
+        failed = format_event(JobFailed(index=0, job_id="j", attempt=1,
+                                        error="E: boom", timed_out=True,
+                                        final=False))
+        assert "timeout" in failed and "will retry" in failed
+        assert "retry" in format_event(JobRetried(index=0, job_id="j",
+                                                  attempt=2))
+        assert "finished" in format_event(FleetFinished(done=1, failed=0,
+                                                        wall_s=2.0))
+
+    def test_summary_mentions_speedup(self):
+        spec = FleetSpec(scenarios=("idle",), governors=("ondemand",),
+                         seeds=(1,), chips=("tiny",), **FAST)
+        summary = fleet_summary(run_fleet(spec, jobs=1))
+        assert "speedup" in summary
+
+
+class TestFleetCLI:
+    def test_fleet_command_survives_bad_governor(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out_file = tmp_path / "fleet.json"
+        code = main([
+            "fleet", "--chip", "tiny",
+            "--scenarios", "audio_playback,idle",
+            "--governors", "ondemand,warpdrive",
+            "--seeds", "1,2", "--duration", "1.0",
+            "--jobs", "2", "--quiet", "--out", str(out_file),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet results" in out
+        assert "failed jobs" in out
+        assert "speedup" in out
+        data = json.loads(out_file.read_text())
+        assert len(data["rows"]) == 4
+        assert len(data["failures"]) == 4
+        assert data["failures"][0]["error_type"] == "GovernorError"
+
+    def test_fleet_spec_file(self, capsys, tmp_path):
+        from repro.cli import main
+
+        spec = FleetSpec(scenarios=("idle",), governors=("ondemand",),
+                         seeds=(1,), chips=("tiny",), **FAST)
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(spec.to_mapping()))
+        assert main(["fleet", "--spec", str(spec_file), "--quiet"]) == 0
+        assert "fleet results" in capsys.readouterr().out
+
+    def test_fleet_all_failed_is_error(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "fleet", "--chip", "tiny", "--scenarios", "idle",
+            "--governors", "warpdrive", "--seeds", "1",
+            "--duration", "1.0", "--jobs", "1", "--quiet",
+        ])
+        assert code == 1
+
+    def test_list_shows_descriptions(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "menu / 60 fps gameplay / level loads" in out
+        assert "background ticks and sync bursts" in out
+
+    def test_compare_jobs_flag(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "compare", "--chip", "tiny", "--scenario", "audio_playback",
+            "--governors", "performance,powersave",
+            "--duration", "1.0", "--episodes", "2", "--jobs", "2",
+        ])
+        assert code == 0
+        assert "rl-policy" in capsys.readouterr().out
