@@ -9,31 +9,107 @@ Subcommands:
 * ``fleet`` — run a scenarios x governors x seeds grid across worker
   processes (see ``docs/fleet.md``).
 * ``latency`` — the software-vs-hardware decision-latency table.
-* ``profile`` — characterise a scenario or a trace CSV.
+* ``trace`` — run instrumented and write a Chrome ``trace_event`` file
+  (plus RL convergence instants) loadable in Perfetto.
+* ``profile`` — characterise a scenario or a trace CSV, and print the
+  per-phase engine time breakdown.
 * ``report`` — run selected experiments and write a markdown report.
 
 ``run --governor checkpoint:<dir>`` evaluates a saved policy checkpoint
 instead of a named governor; the same spelling works in ``fleet
 --governors``.  ``compare``/``report``/``fleet`` accept ``--jobs N``
 (0 = CPU count) to fan simulation jobs out over worker processes.
+
+Every subcommand takes ``--log-level debug|info|warning|error``
+(stderr diagnostics through the ``repro`` logger hierarchy), and
+``run``/``compare``/``fleet`` take ``--trace FILE`` / ``--metrics FILE``
+to capture observability output (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
+from contextlib import contextmanager
 
 from repro.analysis.sweep import run_baseline, sweep
 from repro.analysis.tables import format_table
 from repro.core.checkpoint import load_policies, save_policies
 from repro.core.trainer import train_policy
 from repro.errors import ReproError
-from repro.governors import available
+from repro.governors import available, create
 from repro.hw.latency import compare_latency
 from repro.sim.engine import Simulator
 from repro.soc.presets import PRESETS
 from repro.workload.scenarios import SCENARIOS, get_scenario
+
+log = logging.getLogger("repro.cli")
+
+_LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+class _StderrHandler(logging.Handler):
+    """Resolves ``sys.stderr`` at emit time, so output redirection
+    (tests, shells) after configuration still works."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        print(self.format(record), file=sys.stderr)
+
+
+def _configure_logging(level_name: str) -> None:
+    """Point the ``repro`` logger hierarchy at stderr at the chosen level.
+
+    Idempotent: repeated ``main()`` calls (tests) re-use the handler and
+    only adjust the level.
+    """
+    root = logging.getLogger("repro")
+    root.setLevel(getattr(logging, level_name.upper()))
+    if not root.handlers:
+        handler = _StderrHandler()
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        root.addHandler(handler)
+    root.propagate = False
+
+
+@contextmanager
+def _obs_session(trace_path: str | None, metrics_path: str | None,
+                 trace: bool = True):
+    """An observability capture when any output path asks for one.
+
+    Yields ``None`` (and stays zero-overhead) when neither ``--trace``
+    nor ``--metrics`` was given.
+    """
+    if not (trace_path or metrics_path):
+        yield None
+        return
+    from repro import obs
+
+    with obs.capture(trace=trace) as session:
+        yield session
+
+
+def _write_obs(session, trace_path: str | None,
+               metrics_path: str | None) -> None:
+    """Write the session's Chrome trace / Prometheus text outputs."""
+    if session is None:
+        return
+    from repro import obs
+
+    if trace_path:
+        obs.write_chrome_trace(trace_path, session.tracer, session.metrics)
+        print(
+            f"chrome trace written to {trace_path} "
+            f"({len(session.tracer.spans)} spans, "
+            f"{len(session.tracer.instants)} instants)"
+        )
+    if metrics_path:
+        with open(metrics_path, "w") as fh:
+            fh.write(obs.prometheus_text(session.metrics))
+        print(f"metrics written to {metrics_path}")
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -57,15 +133,27 @@ def _resolve_chip(args: argparse.Namespace):
 def _cmd_run(args: argparse.Namespace) -> int:
     chip = _resolve_chip(args)
     scenario = get_scenario(args.scenario)
-    if args.governor.startswith("checkpoint:"):
-        policies = load_policies(args.governor.removeprefix("checkpoint:"), chip=chip)
-        trace = scenario.trace(args.duration, seed=args.seed)
-        result = Simulator(chip, trace, policies).run()
-    else:
-        result = run_baseline(
-            chip, scenario, args.governor, duration_s=args.duration, seed=args.seed
-        )
+    log.info(
+        "run: chip=%s scenario=%s governor=%s duration=%.1fs seed=%d",
+        args.chip_file or args.chip, args.scenario, args.governor,
+        args.duration, args.seed,
+    )
+    with _obs_session(args.trace, args.metrics) as session:
+        if args.governor.startswith("checkpoint:"):
+            policies = load_policies(
+                args.governor.removeprefix("checkpoint:"), chip=chip
+            )
+            trace = scenario.trace(args.duration, seed=args.seed)
+            result = Simulator(chip, trace, policies).run()
+        else:
+            result = run_baseline(
+                chip, scenario, args.governor,
+                duration_s=args.duration, seed=args.seed,
+            )
+    log.info("run finished: energy=%.3f J mean_qos=%.3f",
+             result.total_energy_j, result.qos.mean_qos)
     print(result.summary())
+    _write_obs(session, args.trace, args.metrics)
     return 0
 
 
@@ -91,15 +179,20 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     chip = _resolve_chip(args)
-    result = sweep(
-        chip,
-        [args.scenario],
-        args.governors.split(","),
-        include_rl=True,
-        duration_s=args.duration,
-        train_episodes=args.episodes,
-        jobs=args.jobs,
+    log.info(
+        "compare: chip=%s scenario=%s governors=%s episodes=%d jobs=%d",
+        args.chip, args.scenario, args.governors, args.episodes, args.jobs,
     )
+    with _obs_session(args.trace, args.metrics) as session:
+        result = sweep(
+            chip,
+            [args.scenario],
+            args.governors.split(","),
+            include_rl=True,
+            duration_s=args.duration,
+            train_episodes=args.episodes,
+            jobs=args.jobs,
+        )
     rows = [
         (r.governor, r.energy_j, r.mean_qos, r.energy_per_qos_j * 1e3)
         for r in result.rows
@@ -111,6 +204,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             title=f"scenario: {args.scenario}",
         )
     )
+    _write_obs(session, args.trace, args.metrics)
     return 0
 
 
@@ -133,7 +227,62 @@ def _cmd_latency(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.core.trainer import evaluate_policy
+
+    chip = _resolve_chip(args)
+    scenario = get_scenario(args.scenario)
+    log.info(
+        "trace: scenario=%s governor=%s duration=%.1fs -> %s",
+        args.scenario, args.governor, args.duration, args.out,
+    )
+    with obs.capture() as session:
+        if args.governor == "rl-policy":
+            training = train_policy(
+                chip,
+                scenario,
+                episodes=args.episodes,
+                episode_duration_s=args.duration,
+            )
+            result = evaluate_policy(
+                chip, training.policies,
+                scenario.trace(args.duration, seed=args.seed),
+            )
+        elif args.governor.startswith("checkpoint:"):
+            policies = load_policies(
+                args.governor.removeprefix("checkpoint:"), chip=chip
+            )
+            result = evaluate_policy(
+                chip, policies, scenario.trace(args.duration, seed=args.seed)
+            )
+        else:
+            result = run_baseline(
+                chip, scenario, args.governor,
+                duration_s=args.duration, seed=args.seed,
+            )
+    tracer = session.tracer
+    if args.format == "chrome":
+        obs.write_chrome_trace(args.out, tracer, session.metrics)
+    else:
+        obs.write_jsonl(args.out, tracer, session.metrics)
+    print(result.summary())
+    print()
+    print(
+        f"{len(tracer.spans)} spans, {len(tracer.instants)} instants "
+        f"({len(tracer.span_names())} span names) written to {args.out}"
+    )
+    if args.format == "chrome":
+        print("open in https://ui.perfetto.dev or chrome://tracing")
+    if args.metrics:
+        with open(args.metrics, "w") as fh:
+            fh.write(obs.prometheus_text(session.metrics))
+        print(f"metrics written to {args.metrics}")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro import obs
     from repro.workload.characterize import profile
     from repro.workload.trace import Trace
 
@@ -142,6 +291,25 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     else:
         trace = get_scenario(args.scenario).trace(args.duration, seed=args.seed)
     print(profile(trace).summary())
+
+    chip = _resolve_chip(args)
+    governor_name = args.governor
+    create(governor_name)  # fail fast on unknown names
+    with obs.capture() as session:
+        Simulator(chip, trace, lambda cluster: create(governor_name)).run()
+    print()
+    print(
+        obs.format_breakdown(
+            obs.phase_breakdown(session.tracer.spans),
+            title=(
+                f"engine phase breakdown ({governor_name}, "
+                f"{trace.duration_s:.1f} s simulated)"
+            ),
+        )
+    )
+    if args.trace_out:
+        obs.write_chrome_trace(args.trace_out, session.tracer, session.metrics)
+        print(f"chrome trace written to {args.trace_out}")
     return 0
 
 
@@ -160,11 +328,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
     from repro.fleet import (
+        FleetFinished,
+        FleetProgress,
         FleetSpec,
         failure_table,
         fleet_summary,
         format_event,
+        format_progress_line,
         result_table,
         run_fleet,
     )
@@ -194,15 +367,28 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             timeout_s=args.timeout,
             retries=args.retries,
         )
+    if args.metrics:
+        spec = replace(spec, collect_metrics=True)
+    log.info("fleet: %d-job grid, jobs=%d", len(spec.expand()), args.jobs)
+
+    progress_mode = "none" if args.quiet else args.progress
 
     def progress(event) -> None:
-        if args.quiet:
+        if progress_mode == "none":
+            return
+        if progress_mode == "live":
+            if isinstance(event, FleetProgress):
+                line = format_progress_line(event)
+                print(f"\r{line}", end="", file=sys.stderr, flush=True)
+            elif isinstance(event, FleetFinished):
+                print(file=sys.stderr)
             return
         line = format_event(event)
         if line:
             print(line, file=sys.stderr)
 
-    result = run_fleet(spec, jobs=args.jobs, on_event=progress)
+    with _obs_session(args.trace, None) as session:
+        result = run_fleet(spec, jobs=args.jobs, on_event=progress)
     print(result_table(result.successes))
     failures = failure_table(result.failures)
     if failures:
@@ -210,6 +396,15 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         print(failures)
     print()
     print(fleet_summary(result))
+    if args.metrics:
+        from repro.fleet import merge_job_metrics
+        from repro.obs import prometheus_text
+
+        merged = merge_job_metrics(result.successes)
+        with open(args.metrics, "w") as fh:
+            fh.write(prometheus_text(merged))
+        print(f"merged fleet metrics written to {args.metrics}")
+    _write_obs(session, args.trace, None)
     if args.out:
         rows = [
             {
@@ -256,11 +451,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list chips, scenarios, governors").set_defaults(
-        func=_cmd_list
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--log-level", default="warning", choices=_LOG_LEVELS,
+        help="stderr diagnostic verbosity (default: warning)",
     )
 
-    run_p = sub.add_parser("run", help="run one governor on one scenario")
+    sub.add_parser(
+        "list", parents=[common], help="list chips, scenarios, governors"
+    ).set_defaults(func=_cmd_list)
+
+    run_p = sub.add_parser("run", parents=[common],
+                           help="run one governor on one scenario")
     run_p.add_argument("--chip", default="exynos5422", choices=sorted(PRESETS))
     run_p.add_argument("--chip-file", default=None,
                        help="chip JSON (device-tree schema), overrides --chip")
@@ -268,9 +470,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--governor", default="ondemand")
     run_p.add_argument("--duration", type=float, default=30.0)
     run_p.add_argument("--seed", type=int, default=100)
+    run_p.add_argument("--trace", default=None, metavar="FILE",
+                       help="write a Chrome trace_event JSON of the run")
+    run_p.add_argument("--metrics", default=None, metavar="FILE",
+                       help="write a Prometheus-format metrics snapshot")
     run_p.set_defaults(func=_cmd_run)
 
-    train_p = sub.add_parser("train", help="train the RL policy, save a checkpoint")
+    train_p = sub.add_parser("train", parents=[common],
+                             help="train the RL policy, save a checkpoint")
     train_p.add_argument("--chip", default="exynos5422", choices=sorted(PRESETS))
     train_p.add_argument("--chip-file", default=None,
                          help="chip JSON (device-tree schema), overrides --chip")
@@ -280,7 +487,8 @@ def build_parser() -> argparse.ArgumentParser:
     train_p.add_argument("--out", default="rl-checkpoint")
     train_p.set_defaults(func=_cmd_train)
 
-    cmp_p = sub.add_parser("compare", help="RL policy vs baseline governors")
+    cmp_p = sub.add_parser("compare", parents=[common],
+                           help="RL policy vs baseline governors")
     cmp_p.add_argument("--chip", default="exynos5422", choices=sorted(PRESETS))
     cmp_p.add_argument("--scenario", default="gaming", choices=sorted(SCENARIOS))
     cmp_p.add_argument(
@@ -290,10 +498,16 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--episodes", type=int, default=8)
     cmp_p.add_argument("--jobs", type=int, default=1,
                        help="worker processes (0 = CPU count)")
+    cmp_p.add_argument("--trace", default=None, metavar="FILE",
+                       help="write a Chrome trace_event JSON of the sweep "
+                            "(in-process jobs only)")
+    cmp_p.add_argument("--metrics", default=None, metavar="FILE",
+                       help="write a Prometheus-format metrics snapshot")
     cmp_p.set_defaults(func=_cmd_compare)
 
     fleet_p = sub.add_parser(
-        "fleet", help="run a scenarios x governors x seeds grid in parallel"
+        "fleet", parents=[common],
+        help="run a scenarios x governors x seeds grid in parallel",
     )
     fleet_p.add_argument("--chip", default="exynos5422",
                          help="comma-separated chip presets")
@@ -321,22 +535,65 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fleet spec JSON file (overrides grid flags)")
     fleet_p.add_argument("--out", default=None,
                          help="write results as JSON to this path")
+    fleet_p.add_argument("--progress", default="plain",
+                         choices=("none", "plain", "live"),
+                         help="stderr progress stream: one line per event "
+                              "(plain), an in-place bar (live), or nothing")
     fleet_p.add_argument("--quiet", action="store_true",
-                         help="suppress per-job progress lines")
+                         help="alias for --progress none")
+    fleet_p.add_argument("--trace", default=None, metavar="FILE",
+                         help="write a parent-process Chrome trace "
+                              "(full engine spans with --jobs 1)")
+    fleet_p.add_argument("--metrics", default=None, metavar="FILE",
+                         help="collect per-job metric snapshots and write "
+                              "the grid-wide merge as Prometheus text")
     fleet_p.set_defaults(func=_cmd_fleet)
 
-    lat_p = sub.add_parser("latency", help="SW vs HW decision latency table")
+    lat_p = sub.add_parser("latency", parents=[common],
+                           help="SW vs HW decision latency table")
     lat_p.add_argument("--chip", default="exynos5422", choices=sorted(PRESETS))
     lat_p.set_defaults(func=_cmd_latency)
 
-    prof_p = sub.add_parser("profile", help="characterise a scenario or trace CSV")
+    trace_p = sub.add_parser(
+        "trace", parents=[common],
+        help="run instrumented, write a Chrome trace_event file",
+    )
+    trace_p.add_argument("scenario", choices=sorted(SCENARIOS))
+    trace_p.add_argument("--chip", default="exynos5422", choices=sorted(PRESETS))
+    trace_p.add_argument("--chip-file", default=None,
+                         help="chip JSON (device-tree schema), overrides --chip")
+    trace_p.add_argument("--governor", default="rl-policy",
+                         help="governor name, rl-policy, or checkpoint:<dir>")
+    trace_p.add_argument("--duration", type=float, default=10.0)
+    trace_p.add_argument("--seed", type=int, default=100)
+    trace_p.add_argument("--episodes", type=int, default=5,
+                         help="RL training episodes (rl-policy only)")
+    trace_p.add_argument("--out", default="trace.json",
+                         help="output trace path")
+    trace_p.add_argument("--format", default="chrome",
+                         choices=("chrome", "jsonl"),
+                         help="trace file format")
+    trace_p.add_argument("--metrics", default=None, metavar="FILE",
+                         help="also write a Prometheus-format snapshot")
+    trace_p.set_defaults(func=_cmd_trace)
+
+    prof_p = sub.add_parser(
+        "profile", parents=[common],
+        help="characterise a scenario or trace CSV, with engine phase timings",
+    )
+    prof_p.add_argument("--chip", default="exynos5422", choices=sorted(PRESETS))
     prof_p.add_argument("--scenario", default="gaming", choices=sorted(SCENARIOS))
     prof_p.add_argument("--trace", default=None, help="trace CSV path (overrides --scenario)")
     prof_p.add_argument("--duration", type=float, default=30.0)
     prof_p.add_argument("--seed", type=int, default=0)
+    prof_p.add_argument("--governor", default="ondemand",
+                        help="governor driving the instrumented run")
+    prof_p.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write the instrumented run's Chrome trace here")
     prof_p.set_defaults(func=_cmd_profile)
 
-    rep_p = sub.add_parser("report", help="run experiments, write a markdown report")
+    rep_p = sub.add_parser("report", parents=[common],
+                           help="run experiments, write a markdown report")
     rep_p.add_argument("--experiments", default="e1,e3,e4,e7",
                        help="comma-separated ids (e1..e7,a1..a6,x2)")
     rep_p.add_argument("--duration", type=float, default=20.0)
@@ -352,9 +609,11 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(getattr(args, "log_level", "warning"))
     try:
         return args.func(args)
     except ReproError as exc:
+        log.debug("command failed", exc_info=True)
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

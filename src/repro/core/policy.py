@@ -93,6 +93,9 @@ class RLPowerManagementPolicy(Governor):
         self.featurizer.reset()
         self._prev_state = None
         self._prev_action = None
+        # Start a fresh TD-error window so convergence stats read out
+        # per run/episode rather than over the policy's whole life.
+        self.agent.td_stats.reset()
         self.episodes += 1
 
     def _make_agent(self, n_states: int) -> QLearningAgent:
@@ -146,6 +149,33 @@ class RLPowerManagementPolicy(Governor):
         if self.agent is None:
             return 0.0
         return self.agent.table.visited_fraction()
+
+    @property
+    def epsilon(self) -> float:
+        """Current exploration probability (0.0 before the first reset)."""
+        if self.agent is None:
+            return 0.0
+        return self.agent.epsilon
+
+    def convergence_snapshot(self) -> dict[str, float]:
+        """Training-introspection numbers for the current episode window.
+
+        Keys: ``td_error_mean_abs`` / ``td_error_last`` /
+        ``td_error_max_abs`` / ``updates`` (this window), plus the
+        lifetime ``epsilon``, ``q_coverage``, ``cumulative_reward``, and
+        ``episodes``.  All zeros before the first reset.
+        """
+        stats = self.agent.td_stats if self.agent is not None else None
+        return {
+            "td_error_mean_abs": stats.mean_abs if stats else 0.0,
+            "td_error_last": stats.last if stats else 0.0,
+            "td_error_max_abs": stats.max_abs if stats else 0.0,
+            "updates": float(stats.count) if stats else 0.0,
+            "epsilon": self.epsilon,
+            "q_coverage": self.q_coverage,
+            "cumulative_reward": self.cumulative_reward,
+            "episodes": float(self.episodes),
+        }
 
 
 class DoubleQPowerManagementPolicy(RLPowerManagementPolicy):

@@ -7,7 +7,7 @@ seeded trace) and then evaluate greedily on a held-out seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.config import PolicyConfig
 from repro.core.policy import RLPowerManagementPolicy
@@ -22,13 +22,22 @@ from repro.workload.trace import Trace
 
 @dataclass(frozen=True)
 class EpisodeRecord:
-    """Summary of one training episode."""
+    """Summary of one training episode.
+
+    The convergence fields (``td_error_mean_abs``, ``epsilon``,
+    ``reward``) aggregate over the episode's updates across all
+    clusters' policies — the per-episode curve the paper's E5 experiment
+    and ``repro trace`` report.
+    """
 
     episode: int
     total_energy_j: float
     mean_qos: float
     energy_per_qos_j: float
     q_coverage: float
+    td_error_mean_abs: float = 0.0
+    epsilon: float = 0.0
+    reward: float = 0.0
 
 
 @dataclass
@@ -118,23 +127,70 @@ def train_policy(
     power_model = power_model or PowerModel()
 
     history: list[EpisodeRecord] = []
+    reward_before = sum(p.cumulative_reward for p in policies.values())
     for episode in range(episodes):
         trace = scenario.trace(episode_duration_s, seed=base_seed + episode)
         sim = Simulator(
             chip, trace, policies, power_model=power_model, interval_s=interval_s
         )
         result = sim.run()
-        coverage = max(p.q_coverage for p in policies.values())
-        history.append(
-            EpisodeRecord(
-                episode=episode,
-                total_energy_j=result.total_energy_j,
-                mean_qos=result.qos.mean_qos,
-                energy_per_qos_j=result.energy_per_qos_j,
-                q_coverage=coverage,
-            )
-        )
+        record = _episode_record(episode, result, policies, reward_before)
+        reward_before += record.reward
+        history.append(record)
+        _emit_episode_obs(record)
     return TrainingResult(policies=policies, history=history)
+
+
+def _episode_record(
+    episode: int,
+    result: SimulationResult,
+    policies: dict[str, RLPowerManagementPolicy],
+    reward_before: float,
+) -> EpisodeRecord:
+    """One episode's summary, with cross-cluster convergence aggregates."""
+    snapshots = [p.convergence_snapshot() for p in policies.values()]
+    updates = sum(s["updates"] for s in snapshots)
+    td_mean = (
+        sum(s["td_error_mean_abs"] * s["updates"] for s in snapshots) / updates
+        if updates
+        else 0.0
+    )
+    reward_now = sum(p.cumulative_reward for p in policies.values())
+    return EpisodeRecord(
+        episode=episode,
+        total_energy_j=result.total_energy_j,
+        mean_qos=result.qos.mean_qos,
+        energy_per_qos_j=result.energy_per_qos_j,
+        q_coverage=max(s["q_coverage"] for s in snapshots),
+        td_error_mean_abs=td_mean,
+        epsilon=max(s["epsilon"] for s in snapshots),
+        reward=reward_now - reward_before,
+    )
+
+
+def _emit_episode_obs(record: EpisodeRecord) -> None:
+    """Publish one episode's convergence metrics when observability is on."""
+    from repro.obs import OBS
+
+    if not OBS.enabled:
+        return
+    m = OBS.metrics
+    m.counter("rl.episodes").inc()
+    m.histogram("rl.td_error_mean_abs").observe(record.td_error_mean_abs)
+    m.gauge("rl.epsilon").set(record.epsilon)
+    m.gauge("rl.q_coverage").set(record.q_coverage)
+    m.gauge("rl.last_episode_reward").set(record.reward)
+    OBS.tracer.instant(
+        "rl.episode",
+        cat="rl",
+        episode=record.episode,
+        td_error_mean_abs=record.td_error_mean_abs,
+        epsilon=record.epsilon,
+        q_coverage=record.q_coverage,
+        reward=record.reward,
+        energy_per_qos_j=record.energy_per_qos_j,
+        mean_qos=record.mean_qos,
+    )
 
 
 def train_curriculum(
@@ -176,14 +232,7 @@ def train_curriculum(
         )
         offset = len(history)
         history.extend(
-            EpisodeRecord(
-                episode=offset + r.episode,
-                total_energy_j=r.total_energy_j,
-                mean_qos=r.mean_qos,
-                energy_per_qos_j=r.energy_per_qos_j,
-                q_coverage=r.q_coverage,
-            )
-            for r in result.history
+            replace(r, episode=offset + r.episode) for r in result.history
         )
     return TrainingResult(policies=policies, history=history)
 

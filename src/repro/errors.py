@@ -38,6 +38,11 @@ class PolicyError(ReproError):
     """The RL power-management policy was misconfigured."""
 
 
+class ObsError(ReproError):
+    """The observability layer was misused (unbalanced spans, a metric
+    re-registered under another type, or a malformed exported trace)."""
+
+
 class HardwareModelError(ReproError):
     """The hardware (fixed-point / pipeline / interface) model detected an
     illegal configuration or datapath condition."""

@@ -32,6 +32,7 @@ Module map:
 from repro.fleet.aggregate import (
     failure_table,
     fleet_summary,
+    merge_job_metrics,
     result_table,
     split_by_seed,
     to_sweep_result,
@@ -48,6 +49,7 @@ from repro.fleet.events import (
     JobQueued,
     JobRetried,
     format_event,
+    format_progress_line,
 )
 from repro.fleet.runner import FleetResult, resolve_workers, run_fleet
 from repro.fleet.spec import CHECKPOINT_PREFIX, RL_POLICY, FleetSpec, JobSpec
@@ -85,6 +87,8 @@ __all__ = [
     "failure_table",
     "fleet_summary",
     "format_event",
+    "format_progress_line",
+    "merge_job_metrics",
     "resolve_workers",
     "result_table",
     "run_fleet",

@@ -8,11 +8,12 @@ tests pin down.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.analysis.sweep import SweepResult, SweepRow
 from repro.analysis.tables import format_table
 from repro.fleet.worker import JobFailure, JobSuccess
+from repro.obs.metrics import merge_snapshots
 
 
 def to_sweep_rows(successes: Iterable[JobSuccess]) -> list[SweepRow]:
@@ -52,6 +53,22 @@ def split_by_seed(successes: Iterable[JobSuccess]) -> dict[int, SweepResult]:
         if s.spec.seed not in seeds:
             seeds.append(s.spec.seed)
     return {seed: to_sweep_result(successes, seed=seed) for seed in seeds}
+
+
+def merge_job_metrics(successes: Iterable[JobSuccess]) -> dict[str, Any]:
+    """Fold per-job observability snapshots into one grid-wide snapshot.
+
+    Jobs that carried no snapshot (``collect_metrics`` off, or a
+    pre-observability worker) are skipped; counters and histograms sum
+    across the grid, gauges average
+    (:func:`repro.obs.metrics.merge_snapshots` semantics).  Sorted by
+    grid index first so the fold order — and thus any floating-point
+    accumulation — is deterministic.
+    """
+    ordered = sorted(successes, key=lambda s: s.index)
+    return merge_snapshots(
+        s.metrics for s in ordered if s.metrics is not None
+    )
 
 
 def result_table(successes: Iterable[JobSuccess]) -> str:

@@ -13,7 +13,9 @@ events, so the parent sees per-job cost without any shared state.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 
 @dataclass(frozen=True)
@@ -49,12 +51,15 @@ class JobDone(FleetEvent):
     Attributes:
         wall_s: Worker-side wall-clock seconds for the attempt.
         sim_throughput: Simulated seconds per wall-clock second.
+        metrics: The worker's observability-registry snapshot
+            (``collect_metrics`` jobs only, else ``None``).
     """
 
     index: int
     job_id: str
     wall_s: float
     sim_throughput: float
+    metrics: Mapping[str, Any] | None = None
 
 
 @dataclass(frozen=True)
@@ -141,13 +146,24 @@ class EventLog:
         return len(self.of_type(kind))
 
 
-def format_event(event: FleetEvent) -> str | None:
-    """One human-readable progress line, or ``None`` for silent events.
+def format_event(event: FleetEvent, ts: str | None = None) -> str | None:
+    """One timestamped progress line, or ``None`` for silent events.
 
     ``JobQueued`` is silent (a 1000-job grid would print 1000 lines
     before any work happened); completions, retries and fleet
-    transitions each get a line.
+    transitions each get a line, prefixed with a wall-clock ISO-8601
+    timestamp so fleet logs are machine-parseable (sortable, and
+    greppable by second).  Pass ``ts`` to pin the stamp (tests).
     """
+    line = _format_event_body(event)
+    if line is None:
+        return None
+    if ts is None:
+        ts = time.strftime("%Y-%m-%dT%H:%M:%S")
+    return f"{ts} {line}"
+
+
+def _format_event_body(event: FleetEvent) -> str | None:
     if isinstance(event, FleetStarted):
         plural = "es" if event.workers != 1 else ""
         return f"fleet: {event.n_jobs} jobs on {event.workers} process{plural}"
@@ -174,3 +190,16 @@ def format_event(event: FleetEvent) -> str | None:
             f"wall {event.wall_s:.1f} s"
         )
     return None
+
+
+def format_progress_line(event: FleetProgress, width: int = 30) -> str:
+    """A single-line progress bar for in-place (``--progress live``)
+    rendering: ``[#####.....] 12/40 (0 failed) 3.2 s``."""
+    total = max(event.total, 1)
+    completed = event.done + event.failed
+    filled = int(width * completed / total)
+    bar = "#" * filled + "." * (width - filled)
+    return (
+        f"[{bar}] {completed}/{event.total} "
+        f"({event.failed} failed) {event.elapsed_s:.1f} s"
+    )

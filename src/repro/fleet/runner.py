@@ -202,6 +202,7 @@ def _report(
                 job_id=outcome.job_id,
                 wall_s=outcome.wall_s,
                 sim_throughput=outcome.sim_throughput,
+                metrics=outcome.metrics,
             )
         )
         return False

@@ -54,6 +54,9 @@ class JobSpec:
         full_system: Simulate with thermals + throttling, cpuidle
             C-states, and DVFS transition costs enabled (the X1
             configuration).
+        collect_metrics: Run the job under a metrics-only observability
+            session (:func:`repro.obs.capture`) and ship the registry
+            snapshot back on the job's success/``JobDone`` event.
         policy_config: RL policy configuration override.
         chip_obj: Escape hatch for non-preset chips (e.g. loaded from a
             device-tree JSON); takes precedence over ``chip``.  Not
@@ -70,6 +73,7 @@ class JobSpec:
     train_base_seed: int = 0
     train_episode_s: float | None = None
     full_system: bool = False
+    collect_metrics: bool = False
     policy_config: PolicyConfig | None = field(default=None, repr=False)
     chip_obj: Chip | None = field(default=None, repr=False, compare=False)
 
@@ -160,6 +164,9 @@ class FleetSpec:
         chips: Chip preset names.
         include_rl: Append ``rl-policy`` to the governor axis (after the
             baselines, matching the serial sweep's row order).
+        collect_metrics: Every job runs under a metrics-only
+            observability session; snapshots come back per job and merge
+            via :func:`repro.fleet.aggregate.merge_job_metrics`.
         jobs: Default worker-process count for
             :func:`repro.fleet.runner.run_fleet` (``None`` = CPU count).
         timeout_s: Per-job wall-clock timeout (``None`` = unlimited).
@@ -177,6 +184,7 @@ class FleetSpec:
     train_base_seed: int = 0
     train_episode_s: float | None = None
     full_system: bool = False
+    collect_metrics: bool = False
     jobs: int | None = 1
     timeout_s: float | None = None
     retries: int = 0
@@ -238,6 +246,7 @@ class FleetSpec:
                                 train_base_seed=self.train_base_seed,
                                 train_episode_s=self.train_episode_s,
                                 full_system=self.full_system,
+                                collect_metrics=self.collect_metrics,
                             )
                         )
         return specs

@@ -35,13 +35,19 @@ from repro.workload.scenarios import get_scenario
 
 @dataclass(frozen=True)
 class JobMeasurement:
-    """The raw metrics one job produces (mirrors a sweep row)."""
+    """The raw metrics one job produces (mirrors a sweep row).
+
+    Attributes:
+        metrics: Observability-registry snapshot captured inside the
+            worker (``collect_metrics`` jobs only, else ``None``).
+    """
 
     energy_j: float
     mean_qos: float
     deadline_miss_rate: float
     energy_per_qos_j: float
     sim_duration_s: float
+    metrics: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -63,6 +69,7 @@ class JobSuccess:
     sim_duration_s: float
     wall_s: float
     attempts: int = 1
+    metrics: dict | None = None
 
     @property
     def job_id(self) -> str:
@@ -207,12 +214,32 @@ def execute_job(spec: JobSpec) -> JobMeasurement:
     Deterministic in the spec alone: the chip is freshly built from its
     preset, the power model is the default, and every trace (evaluation
     and RL training episodes) is regenerated from the spec's seeds.
+    ``collect_metrics`` jobs additionally run inside a metrics-only
+    observability session (spans stay off — they are worthless across a
+    process boundary at fleet scale) and attach the registry snapshot.
 
     Raises:
         ReproError: For unknown chips/scenarios/governors; any simulation
             exception propagates (the runner converts it to a
             :class:`JobFailure`).
     """
+    if spec.collect_metrics:
+        from dataclasses import replace as _replace
+
+        from repro import obs
+
+        # A serial (in-process) fleet may already be tracing; keep its
+        # tracer wired up so per-job metric isolation doesn't eat spans.
+        outer = obs.OBS.tracer if (obs.OBS.enabled and obs.OBS.tracer.enabled) else None
+        with obs.capture(trace=False) as session:
+            if outer is not None:
+                obs.OBS.tracer = outer
+            measurement = _execute_job_inner(spec)
+        return _replace(measurement, metrics=session.metrics.snapshot())
+    return _execute_job_inner(spec)
+
+
+def _execute_job_inner(spec: JobSpec) -> JobMeasurement:
     chip = _build_chip(spec)
     scenario = get_scenario(spec.scenario)
     eval_trace = scenario.trace(spec.duration_s, seed=spec.seed)
@@ -322,4 +349,5 @@ def run_job(
         sim_duration_s=measurement.sim_duration_s,
         wall_s=time.perf_counter() - start,
         attempts=attempt,
+        metrics=measurement.metrics,
     )

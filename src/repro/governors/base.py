@@ -52,6 +52,36 @@ class Governor(ABC):
     def decide(self, obs: ClusterObservation) -> int:
         """Return the OPP index to apply for the next interval."""
 
+    def decide_traced(self, obs: ClusterObservation, tracer=None) -> int:
+        """:meth:`decide`, with an optional per-decision trace record.
+
+        When ``tracer`` is falsy this is exactly ``decide(obs)``; with a
+        :class:`~repro.obs.trace.Tracer` each decision additionally
+        emits a ``governor.decide`` instant carrying the observation the
+        governor acted on and the OPP it chose — the
+        "observation → chosen OPP" audit trail behind every DVFS move.
+        """
+        if not tracer:
+            return self.decide(obs)
+        decision = self.decide(obs)
+        try:
+            chosen = int(decision)
+        except (TypeError, ValueError):
+            chosen = -1  # the engine rejects it; record the attempt anyway
+        tracer.instant(
+            "governor.decide",
+            cat="decision",
+            governor=self.name,
+            cluster=obs.cluster,
+            time_s=obs.time_s,
+            opp_before=obs.opp_index,
+            opp_chosen=chosen,
+            utilization=round(obs.utilization, 6),
+            queue_jobs=obs.queue_jobs,
+            qos_slack=round(obs.qos_slack, 6),
+        )
+        return decision
+
 
 _REGISTRY: dict[str, Callable[[], Governor]] = {}
 

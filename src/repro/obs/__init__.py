@@ -1,0 +1,169 @@
+"""repro.obs — zero-overhead-when-disabled observability.
+
+One module-level hub (:data:`OBS`) owns the active
+:class:`~repro.obs.trace.Tracer` and
+:class:`~repro.obs.metrics.MetricsRegistry`.  Probe points across the
+simulator, governors, RL learners, trainer, and fleet all guard on
+``OBS.enabled`` — a single attribute check — so uninstrumented runs are
+bit-identical to, and indistinguishable in cost from, the
+pre-observability engine.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.capture() as session:
+        Simulator(chip, trace, governors).run()
+    obs.write_chrome_trace("trace.json", session.tracer, session.metrics)
+    print(obs.format_breakdown(obs.phase_breakdown(session.tracer.spans)))
+
+Module map:
+
+* :mod:`repro.obs.trace`   — spans, instants, ``Tracer`` / ``NullTracer``
+* :mod:`repro.obs.metrics` — ``Counter`` / ``Gauge`` / ``Histogram``
+  behind a ``MetricsRegistry``; ``merge_snapshots`` for fleet grids
+* :mod:`repro.obs.export`  — Chrome ``trace_event`` JSON, JSONL,
+  Prometheus text
+* :mod:`repro.obs.profile` — ``engine.phase.*`` time breakdowns
+
+Span/metric naming conventions live in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.obs.export import (
+    chrome_trace,
+    load_chrome_trace,
+    prometheus_text,
+    read_jsonl,
+    span_tree,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+from repro.obs.profile import PhaseStat, format_breakdown, phase_breakdown
+from repro.obs.trace import (
+    NULL_TRACER,
+    InstantRecord,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+)
+
+
+class ObsHub:
+    """The process-wide observability switchboard.
+
+    Attributes:
+        enabled: The one flag every probe checks.
+        tracer: The active tracer (:data:`~repro.obs.trace.NULL_TRACER`
+            while disabled).
+        metrics: The active registry (a throwaway one while disabled).
+    """
+
+    __slots__ = ("enabled", "tracer", "metrics")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.tracer: Tracer | NullTracer = NULL_TRACER
+        self.metrics = MetricsRegistry()
+
+
+OBS = ObsHub()
+"""The singleton hub; import this name, never rebind it."""
+
+
+@dataclass(frozen=True)
+class ObsSession:
+    """The tracer/registry pair one :func:`enable` or :func:`capture`
+    installed; keeps the data reachable after :func:`disable`."""
+
+    tracer: Tracer | NullTracer
+    metrics: MetricsRegistry
+
+
+def enable(
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    trace: bool = True,
+) -> ObsSession:
+    """Switch observability on, installing fresh collectors.
+
+    Args:
+        tracer: Tracer to install; a new one when omitted.
+        metrics: Registry to install; a new one when omitted.
+        trace: When False, install the null tracer (metrics-only
+            sessions — what fleet workers use, since shipping a million
+            spans over a process boundary helps no one).
+    """
+    OBS.tracer = tracer if tracer is not None else (
+        Tracer() if trace else NULL_TRACER
+    )
+    OBS.metrics = metrics if metrics is not None else MetricsRegistry()
+    OBS.enabled = True
+    return ObsSession(tracer=OBS.tracer, metrics=OBS.metrics)
+
+
+def disable() -> None:
+    """Switch observability off (probes go back to the attribute check)."""
+    OBS.enabled = False
+    OBS.tracer = NULL_TRACER
+    OBS.metrics = MetricsRegistry()
+
+
+@contextmanager
+def capture(trace: bool = True) -> Iterator[ObsSession]:
+    """Scoped observability: enable on entry, restore on exit.
+
+    Nests correctly — the previous tracer/registry (and enabled state)
+    come back when the block exits, so a library caller cannot clobber
+    an outer capture.
+    """
+    saved = (OBS.enabled, OBS.tracer, OBS.metrics)
+    session = enable(trace=trace)
+    try:
+        yield session
+    finally:
+        OBS.enabled, OBS.tracer, OBS.metrics = saved
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InstantRecord",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "OBS",
+    "ObsHub",
+    "ObsSession",
+    "PhaseStat",
+    "SpanRecord",
+    "Tracer",
+    "capture",
+    "chrome_trace",
+    "disable",
+    "enable",
+    "format_breakdown",
+    "load_chrome_trace",
+    "merge_snapshots",
+    "phase_breakdown",
+    "prometheus_text",
+    "read_jsonl",
+    "span_tree",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,294 @@
+"""Exporters: Chrome ``trace_event`` JSON, JSONL, Prometheus text.
+
+Three formats for three audiences:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  ``trace_event`` "JSON Object Format" (``{"traceEvents": [...]}``),
+  loadable in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+  Spans become complete (``"ph": "X"``) events, instants become
+  ``"ph": "i"`` events, and counter metrics become ``"ph": "C"`` events.
+* :func:`write_jsonl` / :func:`read_jsonl` — one self-describing JSON
+  object per line (``kind`` = ``span`` / ``instant`` / ``metrics``);
+  lossless for spans, so a dump reloads to the identical span tree.
+* :func:`prometheus_text` — a flat ``name value`` text snapshot in the
+  Prometheus exposition format (dots rewritten to underscores).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ObsError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import InstantRecord, SpanRecord
+
+# -- Chrome trace_event ---------------------------------------------------
+
+_REQUIRED_EVENT_KEYS = {"ph", "name", "ts", "pid", "tid"}
+
+
+def chrome_trace(
+    tracer,
+    metrics: MetricsRegistry | Mapping[str, Any] | None = None,
+    process_name: str = "repro",
+) -> dict[str, Any]:
+    """The tracer's records as a Chrome ``trace_event`` JSON object.
+
+    Args:
+        tracer: A :class:`~repro.obs.trace.Tracer` (or anything with
+            ``spans`` / ``instants`` lists).
+        metrics: Optional registry or snapshot; counters and gauges are
+            appended as ``"C"`` (counter-track) events so Perfetto plots
+            them alongside the spans.
+        process_name: The ``process_name`` metadata label.
+    """
+    events: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 0,
+            "tid": 0,
+            "ts": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    last_us = 0.0
+    for s in tracer.spans:
+        events.append(
+            {
+                "ph": "X",
+                "name": s.name,
+                "cat": s.cat,
+                "ts": s.start_us,
+                "dur": s.dur_us,
+                "pid": 0,
+                "tid": 0,
+                "args": dict(s.args),
+            }
+        )
+        last_us = max(last_us, s.start_us + s.dur_us)
+    for i in tracer.instants:
+        events.append(
+            {
+                "ph": "i",
+                "s": "t",
+                "name": i.name,
+                "cat": i.cat,
+                "ts": i.ts_us,
+                "pid": 0,
+                "tid": 0,
+                "args": dict(i.args),
+            }
+        )
+        last_us = max(last_us, i.ts_us)
+    if metrics is not None:
+        snap = metrics.snapshot() if isinstance(metrics, MetricsRegistry) else metrics
+        for section in ("counters", "gauges"):
+            for name, value in sorted(snap.get(section, {}).items()):
+                events.append(
+                    {
+                        "ph": "C",
+                        "name": name,
+                        "cat": "metrics",
+                        "ts": last_us,
+                        "pid": 0,
+                        "tid": 0,
+                        "args": {"value": value},
+                    }
+                )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(data: Mapping[str, Any]) -> None:
+    """Check a parsed trace against the ``trace_event`` schema essentials.
+
+    Raises:
+        ObsError: On a missing ``traceEvents`` list, a non-mapping
+            event, missing required keys, or non-numeric ``ts``/``dur``.
+    """
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        raise ObsError("chrome trace must carry a 'traceEvents' list")
+    for k, event in enumerate(events):
+        if not isinstance(event, Mapping):
+            raise ObsError(f"traceEvents[{k}] is not an object")
+        missing = _REQUIRED_EVENT_KEYS - set(event)
+        if missing:
+            raise ObsError(
+                f"traceEvents[{k}] ({event.get('name')!r}) missing {sorted(missing)}"
+            )
+        for key in ("ts", "dur"):
+            value = event.get(key, 0)
+            if not isinstance(value, (int, float)) or not math.isfinite(value):
+                raise ObsError(
+                    f"traceEvents[{k}].{key} must be finite, got {value!r}"
+                )
+        if event["ph"] == "X" and "dur" not in event:
+            raise ObsError(f"traceEvents[{k}] complete event without 'dur'")
+
+
+def write_chrome_trace(
+    path: str | Path,
+    tracer,
+    metrics: MetricsRegistry | Mapping[str, Any] | None = None,
+) -> Path:
+    """Serialise :func:`chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(tracer, metrics)) + "\n")
+    return path
+
+
+def load_chrome_trace(path: str | Path) -> dict[str, Any]:
+    """Parse and validate a trace written by :func:`write_chrome_trace`.
+
+    Raises:
+        ObsError: If the file is not valid ``trace_event`` JSON.
+    """
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ObsError(f"{path} is not JSON: {exc}") from exc
+    validate_chrome_trace(data)
+    return data
+
+
+# -- JSONL ----------------------------------------------------------------
+
+
+def write_jsonl(
+    path: str | Path,
+    tracer,
+    metrics: MetricsRegistry | Mapping[str, Any] | None = None,
+) -> Path:
+    """Dump spans, instants, and an optional metrics snapshot as JSONL."""
+    path = Path(path)
+    with path.open("w") as fh:
+        for s in tracer.spans:
+            fh.write(json.dumps({
+                "kind": "span",
+                "uid": s.uid,
+                "parent_uid": s.parent_uid,
+                "name": s.name,
+                "cat": s.cat,
+                "start_us": s.start_us,
+                "dur_us": s.dur_us,
+                "depth": s.depth,
+                "args": s.args,
+            }) + "\n")
+        for i in tracer.instants:
+            fh.write(json.dumps({
+                "kind": "instant",
+                "uid": i.uid,
+                "name": i.name,
+                "cat": i.cat,
+                "ts_us": i.ts_us,
+                "args": i.args,
+            }) + "\n")
+        if metrics is not None:
+            snap = (
+                metrics.snapshot()
+                if isinstance(metrics, MetricsRegistry)
+                else metrics
+            )
+            fh.write(json.dumps({"kind": "metrics", "snapshot": snap}) + "\n")
+    return path
+
+
+def read_jsonl(
+    path: str | Path,
+) -> tuple[list[SpanRecord], list[InstantRecord], dict[str, Any] | None]:
+    """Reload a :func:`write_jsonl` dump.
+
+    Returns:
+        ``(spans, instants, metrics_snapshot)`` — the spans and instants
+        as the same record types the tracer produced (so the span tree
+        round-trips exactly); the snapshot is ``None`` when absent.
+
+    Raises:
+        ObsError: On malformed lines or unknown record kinds.
+    """
+    spans: list[SpanRecord] = []
+    instants: list[InstantRecord] = []
+    snapshot: dict[str, Any] | None = None
+    for n, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObsError(f"{path}:{n} is not JSON: {exc}") from exc
+        kind = record.pop("kind", None)
+        try:
+            if kind == "span":
+                spans.append(SpanRecord(**record))
+            elif kind == "instant":
+                instants.append(InstantRecord(**record))
+            elif kind == "metrics":
+                snapshot = record["snapshot"]
+            else:
+                raise ObsError(f"{path}:{n} has unknown kind {kind!r}")
+        except TypeError as exc:
+            raise ObsError(f"{path}:{n} malformed {kind} record: {exc}") from exc
+    return spans, instants, snapshot
+
+
+def span_tree(spans: Iterable[SpanRecord]) -> dict[int | None, list[SpanRecord]]:
+    """Children-by-parent-uid adjacency of a span list.
+
+    ``tree[None]`` is the top level; children keep the recorded
+    (completion) order, which is deterministic for a single-threaded
+    tracer.
+    """
+    tree: dict[int | None, list[SpanRecord]] = {}
+    for s in spans:
+        tree.setdefault(s.parent_uid, []).append(s)
+    return tree
+
+
+# -- Prometheus -----------------------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    flat = "".join(out)
+    if not flat or flat[0].isdigit():
+        flat = "_" + flat
+    return flat
+
+
+def prometheus_text(
+    metrics: MetricsRegistry | Mapping[str, Any], prefix: str = "repro"
+) -> str:
+    """A Prometheus exposition-format snapshot of a registry.
+
+    Histograms follow the cumulative-bucket convention
+    (``_bucket{le=...}`` plus ``_sum`` / ``_count``); all names get
+    ``prefix`` and dots become underscores.
+    """
+    snap = metrics.snapshot() if isinstance(metrics, MetricsRegistry) else metrics
+    lines: list[str] = []
+    for name, value in sorted(snap.get("counters", {}).items()):
+        flat = f"{prefix}_{_prom_name(name)}"
+        lines.append(f"# TYPE {flat} counter")
+        lines.append(f"{flat} {value:g}")
+    for name, value in sorted(snap.get("gauges", {}).items()):
+        flat = f"{prefix}_{_prom_name(name)}"
+        lines.append(f"# TYPE {flat} gauge")
+        lines.append(f"{flat} {value:g}")
+    for name, h in sorted(snap.get("histograms", {}).items()):
+        flat = f"{prefix}_{_prom_name(name)}"
+        lines.append(f"# TYPE {flat} histogram")
+        cumulative = 0
+        for bound, n in zip(h["bounds"], h["bucket_counts"]):
+            cumulative += n
+            lines.append(f'{flat}_bucket{{le="{bound:g}"}} {cumulative}')
+        cumulative += h["bucket_counts"][-1]
+        lines.append(f'{flat}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{flat}_sum {h['sum']:g}")
+        lines.append(f"{flat}_count {h['count']}")
+    return "\n".join(lines) + "\n"

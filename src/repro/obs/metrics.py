@@ -1,0 +1,241 @@
+"""Counters, gauges, and histograms behind a :class:`MetricsRegistry`.
+
+Metrics are named with dot-separated lowercase components
+(``"sim.intervals"``, ``"rl.td_error"``); the Prometheus exporter in
+:mod:`repro.obs.export` rewrites the dots to underscores.  A registry's
+:meth:`~MetricsRegistry.snapshot` is plain JSON-serialisable data, which
+is what travels back from fleet workers and what
+:func:`merge_snapshots` folds across a grid.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import ObsError
+
+DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0, 1000.0
+)
+"""Decade buckets — a sane default for both seconds and unit-less errors."""
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative).
+
+        Raises:
+            ObsError: On a negative increment.
+        """
+        if amount < 0:
+            raise ObsError(f"counter {self.name!r} cannot decrease: {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins instantaneous measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with ``value``."""
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        """Shift the gauge by ``amount`` (either sign)."""
+        self.value += amount
+
+
+class Histogram:
+    """A cumulative-bucket histogram with count/sum/min/max.
+
+    Args:
+        name: Metric name.
+        buckets: Ascending upper bounds; an implicit ``+Inf`` bucket
+            catches the overflow (Prometheus convention: ``bucket_counts``
+            are *non*-cumulative here and cumulated at export time).
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ObsError(
+                f"histogram {name!r} buckets must be strictly increasing: {bounds}"
+            )
+        self.name = name
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # last = +Inf
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create home for all metrics of one observability session."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(metric, kind):
+            raise ObsError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name``, created on first use.
+
+        Raises:
+            ObsError: If ``name`` is already a gauge or histogram.
+        """
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name``, created on first use.
+
+        Raises:
+            ObsError: If ``name`` is already a counter or histogram.
+        """
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """The histogram registered under ``name``, created on first use.
+
+        ``buckets`` only applies on creation; later calls return the
+        existing instance unchanged.
+
+        Raises:
+            ObsError: If ``name`` is already a counter or gauge.
+        """
+        return self._get(name, Histogram, lambda: Histogram(name, buckets))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterable[Counter | Gauge | Histogram]:
+        return iter(self._metrics.values())
+
+    def names(self) -> list[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict[str, Any]:
+        """All metric values as plain JSON-serialisable data."""
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, Any] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                counters[name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[name] = metric.value
+            else:
+                histograms[name] = {
+                    "bounds": list(metric.bounds),
+                    "bucket_counts": list(metric.bucket_counts),
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "min": metric.min if metric.count else None,
+                    "max": metric.max if metric.count else None,
+                }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def merge_snapshots(snapshots: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
+    """Fold per-job metric snapshots into one grid-wide snapshot.
+
+    Counters and histograms add up; gauges (last-value semantics have no
+    cross-job meaning) are averaged, with the contributing-job count
+    published under ``"<name>.jobs"``.
+
+    Raises:
+        ObsError: When the same histogram appears with different bucket
+            bounds (snapshots from incompatible code versions).
+    """
+    counters: dict[str, float] = {}
+    gauge_sums: dict[str, float] = {}
+    gauge_jobs: dict[str, int] = {}
+    histograms: dict[str, dict[str, Any]] = {}
+    for snap in snapshots:
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0.0) + value
+        for name, value in snap.get("gauges", {}).items():
+            gauge_sums[name] = gauge_sums.get(name, 0.0) + value
+            gauge_jobs[name] = gauge_jobs.get(name, 0) + 1
+        for name, h in snap.get("histograms", {}).items():
+            merged = histograms.get(name)
+            if merged is None:
+                histograms[name] = {
+                    "bounds": list(h["bounds"]),
+                    "bucket_counts": list(h["bucket_counts"]),
+                    "count": h["count"],
+                    "sum": h["sum"],
+                    "min": h["min"],
+                    "max": h["max"],
+                }
+                continue
+            if merged["bounds"] != list(h["bounds"]):
+                raise ObsError(
+                    f"histogram {name!r} bucket bounds differ across jobs"
+                )
+            merged["bucket_counts"] = [
+                a + b for a, b in zip(merged["bucket_counts"], h["bucket_counts"])
+            ]
+            merged["count"] += h["count"]
+            merged["sum"] += h["sum"]
+            for key, pick in (("min", min), ("max", max)):
+                if h[key] is not None:
+                    merged[key] = (
+                        h[key] if merged[key] is None else pick(merged[key], h[key])
+                    )
+    gauges = {
+        name: gauge_sums[name] / gauge_jobs[name] for name in gauge_sums
+    }
+    for name, jobs in sorted(gauge_jobs.items()):
+        gauges[f"{name}.jobs"] = float(jobs)
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}

@@ -1,0 +1,80 @@
+"""Per-phase wall-clock breakdown of a traced run.
+
+Aggregates the engine's ``engine.phase.*`` spans (or any name prefix)
+into per-phase statistics — the "where does simulation time go" table
+behind ``repro profile`` and the CI timing baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.obs.trace import SpanRecord
+
+
+@dataclass(frozen=True)
+class PhaseStat:
+    """Aggregate timing of one span name.
+
+    Attributes:
+        name: Span name.
+        count: Completed spans.
+        total_us / mean_us / min_us / max_us: Duration statistics.
+    """
+
+    name: str
+    count: int
+    total_us: float
+    mean_us: float
+    min_us: float
+    max_us: float
+
+
+def phase_breakdown(
+    spans: Iterable[SpanRecord], prefix: str = "engine.phase."
+) -> list[PhaseStat]:
+    """Per-name timing statistics of spans matching ``prefix``.
+
+    An empty prefix aggregates every span.  Results are sorted by total
+    time, descending, so the hottest phase leads.
+    """
+    totals: dict[str, list[float]] = {}
+    for s in spans:
+        if s.name.startswith(prefix):
+            totals.setdefault(s.name, []).append(s.dur_us)
+    stats = [
+        PhaseStat(
+            name=name,
+            count=len(durs),
+            total_us=sum(durs),
+            mean_us=sum(durs) / len(durs),
+            min_us=min(durs),
+            max_us=max(durs),
+        )
+        for name, durs in totals.items()
+    ]
+    stats.sort(key=lambda p: -p.total_us)
+    return stats
+
+
+def format_breakdown(
+    stats: Iterable[PhaseStat], title: str = "per-phase time breakdown"
+) -> str:
+    """Render phase statistics as an aligned text table."""
+    stats = list(stats)
+    if not stats:
+        return f"{title}\n  (no spans recorded)"
+    grand = sum(p.total_us for p in stats) or math.inf
+    header = (
+        f"{'phase':<28s} {'count':>7s} {'total [ms]':>11s} "
+        f"{'mean [us]':>10s} {'max [us]':>10s} {'share':>7s}"
+    )
+    lines = [title, header, "-" * len(header)]
+    for p in stats:
+        lines.append(
+            f"{p.name:<28s} {p.count:>7d} {p.total_us / 1e3:>11.3f} "
+            f"{p.mean_us:>10.2f} {p.max_us:>10.2f} {p.total_us / grand:>6.1%}"
+        )
+    return "\n".join(lines)

@@ -8,6 +8,7 @@ from repro.rl.qlearning import QLearningAgent
 from repro.rl.qtable import QTable
 from repro.rl.reward import RewardConfig, default_energy_scale
 from repro.rl.sarsa import SarsaAgent
+from repro.rl.stats import TDErrorStats
 
 __all__ = [
     "Binner",
@@ -20,5 +21,6 @@ __all__ = [
     "RewardConfig",
     "SarsaAgent",
     "StateSpace",
+    "TDErrorStats",
     "default_energy_scale",
 ]

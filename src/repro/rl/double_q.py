@@ -19,6 +19,7 @@ import numpy as np
 from repro.errors import PolicyError
 from repro.rl.exploration import EpsilonGreedy, EpsilonSchedule
 from repro.rl.qtable import QTable
+from repro.rl.stats import TDErrorStats
 
 
 class DoubleQAgent:
@@ -51,6 +52,7 @@ class DoubleQAgent:
         )
         self._coin = np.random.default_rng(seed + 0x5EED)
         self.updates = 0
+        self.td_stats = TDErrorStats()
 
     @property
     def n_states(self) -> int:
@@ -59,6 +61,11 @@ class DoubleQAgent:
     @property
     def n_actions(self) -> int:
         return self.table_a.n_actions
+
+    @property
+    def epsilon(self) -> float:
+        """The behaviour policy's current exploration probability."""
+        return self.explorer.epsilon
 
     @property
     def table(self) -> QTable:
@@ -98,4 +105,5 @@ class DoubleQAgent:
         td_error = target - q
         writer.set(state, action, q + self.alpha * td_error)
         self.updates += 1
+        self.td_stats.push(td_error)
         return td_error

@@ -21,6 +21,7 @@ from collections import deque
 from repro.errors import PolicyError
 from repro.rl.exploration import EpsilonGreedy, EpsilonSchedule
 from repro.rl.qtable import QTable
+from repro.rl.stats import TDErrorStats
 
 
 class NStepQAgent:
@@ -61,6 +62,12 @@ class NStepQAgent:
         # n-step return.
         self._window: deque[tuple[int, int, float]] = deque()
         self.updates = 0
+        self.td_stats = TDErrorStats()
+
+    @property
+    def epsilon(self) -> float:
+        """The behaviour policy's current exploration probability."""
+        return self.explorer.epsilon
 
     @property
     def n_states(self) -> int:
@@ -101,6 +108,7 @@ class NStepQAgent:
         td_error = g - q
         self.table.set(s0, a0, q + self.alpha * td_error)
         self.updates += 1
+        self.td_stats.push(td_error)
         return td_error
 
     def flush(self, final_state: int) -> int:

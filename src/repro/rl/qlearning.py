@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.errors import PolicyError
 from repro.rl.exploration import EpsilonGreedy, EpsilonSchedule
 from repro.rl.qtable import QTable
+from repro.rl.stats import TDErrorStats
 
 
 class QLearningAgent:
@@ -49,6 +50,7 @@ class QLearningAgent:
             epsilon or EpsilonSchedule(), n_actions, seed=seed
         )
         self.updates = 0
+        self.td_stats = TDErrorStats()
 
     @property
     def n_actions(self) -> int:
@@ -57,6 +59,11 @@ class QLearningAgent:
     @property
     def n_states(self) -> int:
         return self.table.n_states
+
+    @property
+    def epsilon(self) -> float:
+        """The behaviour policy's current exploration probability."""
+        return self.explorer.epsilon
 
     def act(self, state: int) -> int:
         """Epsilon-greedy action for ``state``."""
@@ -77,4 +84,5 @@ class QLearningAgent:
         td_error = target - q
         self.table.set(state, action, q + self.alpha * td_error)
         self.updates += 1
+        self.td_stats.push(td_error)
         return td_error

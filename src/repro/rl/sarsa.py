@@ -10,6 +10,7 @@ from __future__ import annotations
 from repro.errors import PolicyError
 from repro.rl.exploration import EpsilonGreedy, EpsilonSchedule
 from repro.rl.qtable import QTable
+from repro.rl.stats import TDErrorStats
 
 
 class SarsaAgent:
@@ -42,6 +43,7 @@ class SarsaAgent:
             epsilon or EpsilonSchedule(), n_actions, seed=seed
         )
         self.updates = 0
+        self.td_stats = TDErrorStats()
 
     @property
     def n_actions(self) -> int:
@@ -50,6 +52,11 @@ class SarsaAgent:
     @property
     def n_states(self) -> int:
         return self.table.n_states
+
+    @property
+    def epsilon(self) -> float:
+        """The behaviour policy's current exploration probability."""
+        return self.explorer.epsilon
 
     def act(self, state: int) -> int:
         """Epsilon-greedy action for ``state``."""
@@ -72,4 +79,5 @@ class SarsaAgent:
         td_error = target - q
         self.table.set(state, action, q + self.alpha * td_error)
         self.updates += 1
+        self.td_stats.push(td_error)
         return td_error

@@ -1,0 +1,70 @@
+"""Training-introspection accumulators shared by the tabular learners.
+
+Every agent pushes its raw temporal-difference error into a
+:class:`TDErrorStats` on each update.  The accumulator is a handful of
+float operations per DVFS interval — cheap enough to run
+unconditionally — and is what the trainer's per-episode convergence
+metrics (mean |TD error|, last error) read out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TDErrorStats:
+    """Running statistics over raw (pre-alpha) TD errors.
+
+    Attributes:
+        count: Updates recorded since the last :meth:`reset`.
+        abs_sum: Sum of ``|td_error|`` (for :attr:`mean_abs`).
+        total: Signed sum (bias diagnostic: persistent sign means the
+            value estimate is still drifting).
+        max_abs: Largest magnitude seen.
+        last: The most recent error.
+    """
+
+    count: int = 0
+    abs_sum: float = 0.0
+    total: float = 0.0
+    max_abs: float = 0.0
+    last: float = 0.0
+
+    def push(self, td_error: float) -> None:
+        """Record one update's TD error."""
+        self.count += 1
+        magnitude = td_error if td_error >= 0.0 else -td_error
+        self.abs_sum += magnitude
+        self.total += td_error
+        if magnitude > self.max_abs:
+            self.max_abs = magnitude
+        self.last = td_error
+
+    @property
+    def mean_abs(self) -> float:
+        """Mean ``|TD error|`` — the convergence curve's y-axis."""
+        return self.abs_sum / self.count if self.count else 0.0
+
+    @property
+    def mean(self) -> float:
+        """Mean signed TD error."""
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        """Start a fresh window (the trainer calls this per episode)."""
+        self.count = 0
+        self.abs_sum = 0.0
+        self.total = 0.0
+        self.max_abs = 0.0
+        self.last = 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        """The statistics as plain data (for metric export)."""
+        return {
+            "count": float(self.count),
+            "mean_abs": self.mean_abs,
+            "mean": self.mean,
+            "max_abs": self.max_abs,
+            "last": self.last,
+        }

@@ -23,6 +23,7 @@ from typing import Callable, Mapping
 
 from repro.errors import GovernorError, SimulationError
 from repro.governors.base import Governor
+from repro.obs import OBS
 from repro.idle.governor import MenuIdleGovernor
 from repro.mem.dram import DRAMModel
 from repro.power.energy import EnergyMeter
@@ -174,16 +175,33 @@ class Simulator:
         units = self.trace.units
         n_steps = max(1, math.ceil(self.trace.duration_s / dt))
 
+        # Observability probes: `tracer` is None unless a session is
+        # active, so the disabled path costs one local truthiness check
+        # per probe and the simulated numbers are untouched either way.
+        tracer = OBS.tracer if OBS.enabled else None
+        run_span = (
+            tracer.begin(
+                "engine.run", cat="engine",
+                trace=self.trace.name, intervals=n_steps,
+            )
+            if tracer
+            else None
+        )
+
         for step in range(n_steps):
             t0 = step * dt
             t1 = t0 + dt
+            if tracer:
+                interval_span = tracer.begin("engine.interval", cat="engine",
+                                             step=step)
+                phase_span = tracer.begin("engine.phase.governor", cat="engine")
 
             # 1. Governor decisions from last interval's observation.
             stall_s: dict[str, float] = {name: 0.0 for name in queues}
             transition_energy: dict[str, float] = {name: 0.0 for name in queues}
             for cluster in chip:
                 name = cluster.spec.name
-                decision = self.governors[name].decide(obs[name])
+                decision = self.governors[name].decide_traced(obs[name], tracer)
                 try:
                     decision = int(decision)
                 except (TypeError, ValueError):
@@ -216,6 +234,9 @@ class Simulator:
                                 cluster.spec.opp_table[before].voltage_v,
                                 cluster.voltage_v,
                             )
+            if tracer:
+                tracer.end(phase_span)
+                phase_span = tracer.begin("engine.phase.schedule", cat="engine")
 
             # 3. Release arrivals and place them.
             arrived: dict[str, float] = {name: 0.0 for name in queues}
@@ -235,6 +256,9 @@ class Simulator:
                 all_jobs.append(job)
                 arrived[target] += unit.work
                 unit_idx += 1
+            if tracer:
+                tracer.end(phase_span)
+                phase_span = tracer.begin("engine.phase.drain", cat="engine")
 
             # 4. Drain run queues (a transitioning cluster stalls first).
             drained: dict[str, tuple[float, int, int]] = {}
@@ -255,6 +279,10 @@ class Simulator:
                     else:
                         keep.append(job)
                 queues[name] = keep
+            if tracer:
+                tracer.end(phase_span)
+                phase_span = tracer.begin("engine.phase.power_thermal",
+                                          cat="engine")
 
             # 6. Power, energy, thermals (C-state selection feeds the
             # per-core idle-power discount).
@@ -288,6 +316,9 @@ class Simulator:
             meter.record(chip_power, dt)
             if self.thermal is not None:
                 self.thermal.step(cluster_power_total, dt)
+            if tracer:
+                tracer.end(phase_span)
+                phase_span = tracer.begin("engine.phase.observe", cat="engine")
 
             # 7. Publish observations.
             for cluster in chip:
@@ -327,6 +358,9 @@ class Simulator:
                         queue_jobs=sum(len(q) for q in queues.values()),
                     )
                 )
+            if tracer:
+                tracer.end(phase_span)
+                tracer.end(interval_span)
 
         # Units the horizon never released (e.g. a release landing exactly
         # on the final interval edge) still count: they are work the trace
@@ -345,6 +379,18 @@ class Simulator:
         governor_name = "+".join(
             sorted({g.name for g in self.governors.values()})
         )
+        if tracer:
+            tracer.end(run_span)
+        if OBS.enabled:
+            m = OBS.metrics
+            m.counter("sim.runs").inc()
+            m.counter("sim.intervals").inc(n_steps)
+            m.counter("sim.opp_switches").inc(opp_switches)
+            m.counter("sim.jobs").inc(len(all_jobs))
+            m.counter("sim.energy_j").inc(meter.total_j)
+            m.counter("sim.simulated_s").inc(n_steps * dt)
+            m.gauge("sim.last_mean_qos").set(qos.mean_qos)
+            m.gauge("sim.last_deadline_miss_rate").set(qos.deadline_miss_rate)
         return SimulationResult(
             governor=governor_name,
             trace_name=self.trace.name,

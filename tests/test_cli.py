@@ -131,3 +131,134 @@ class TestCommands:
         ])
         assert code == 1
         assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestObservabilityCLI:
+    def test_trace_command_writes_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "t.json"
+        code = main([
+            "trace", "idle", "--chip", "tiny", "--governor", "ondemand",
+            "--duration", "1.0", "--out", str(out),
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "spans" in stdout and str(out) in stdout
+        events = json.loads(out.read_text())["traceEvents"]
+        assert any(e.get("name", "").startswith("engine.phase.")
+                   for e in events)
+
+    def test_trace_command_rl_policy_jsonl(self, capsys, tmp_path):
+        from repro.obs import read_jsonl
+
+        out = tmp_path / "t.jsonl"
+        prom = tmp_path / "t.prom"
+        code = main([
+            "trace", "audio_playback", "--chip", "tiny",
+            "--duration", "1.0", "--episodes", "2",
+            "--format", "jsonl", "--out", str(out), "--metrics", str(prom),
+        ])
+        assert code == 0
+        spans, instants, snapshot = read_jsonl(out)
+        assert spans
+        assert sum(1 for i in instants if i.name == "rl.episode") == 2
+        assert snapshot["counters"]["rl.episodes"] == 2.0
+        assert "repro_rl_episodes 2" in prom.read_text()
+
+    def test_run_trace_and_metrics_flags(self, capsys, tmp_path):
+        import json
+
+        trace_file = tmp_path / "run.json"
+        prom = tmp_path / "run.prom"
+        code = main([
+            "run", "--chip", "tiny", "--scenario", "idle",
+            "--duration", "1.0", "--trace", str(trace_file),
+            "--metrics", str(prom),
+        ])
+        assert code == 0
+        assert json.loads(trace_file.read_text())["traceEvents"]
+        assert "repro_sim_runs 1" in prom.read_text()
+
+    def test_run_without_flags_leaves_obs_disabled(self, capsys):
+        from repro.obs import OBS
+
+        code = main([
+            "run", "--chip", "tiny", "--scenario", "idle",
+            "--duration", "1.0",
+        ])
+        assert code == 0
+        assert not OBS.enabled
+
+    def test_profile_prints_phase_breakdown(self, capsys, tmp_path):
+        out = tmp_path / "prof.json"
+        code = main([
+            "profile", "--chip", "tiny", "--scenario", "idle",
+            "--duration", "2.0", "--trace-out", str(out),
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "engine phase breakdown" in stdout
+        assert "engine.phase.governor" in stdout
+        assert out.is_file()
+
+    def test_log_level_flag_emits_diagnostics(self, capsys):
+        code = main([
+            "run", "--chip", "tiny", "--scenario", "idle",
+            "--duration", "1.0", "--log-level", "info",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "INFO repro.cli" in err and "scenario=idle" in err
+
+    def test_log_level_defaults_to_quiet(self, capsys):
+        code = main([
+            "run", "--chip", "tiny", "--scenario", "idle",
+            "--duration", "1.0",
+        ])
+        assert code == 0
+        assert "INFO" not in capsys.readouterr().err
+
+    def test_fleet_progress_none_is_silent(self, capsys, tmp_path):
+        code = main([
+            "fleet", "--chip", "tiny", "--scenarios", "idle",
+            "--governors", "ondemand", "--seeds", "1",
+            "--duration", "1.0", "--jobs", "1", "--progress", "none",
+        ])
+        assert code == 0
+        assert capsys.readouterr().err == ""
+
+    def test_fleet_progress_live_renders_bar(self, capsys):
+        code = main([
+            "fleet", "--chip", "tiny", "--scenarios", "idle",
+            "--governors", "ondemand", "--seeds", "1",
+            "--duration", "1.0", "--jobs", "1", "--progress", "live",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "[#" in err and "1/1" in err
+
+    def test_fleet_plain_progress_is_timestamped(self, capsys):
+        import re
+
+        code = main([
+            "fleet", "--chip", "tiny", "--scenarios", "idle",
+            "--governors", "ondemand", "--seeds", "1",
+            "--duration", "1.0", "--jobs", "1",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert re.search(r"^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2} fleet:",
+                         err, re.M)
+
+    def test_fleet_metrics_flag_writes_merged_snapshot(self, capsys, tmp_path):
+        prom = tmp_path / "fleet.prom"
+        code = main([
+            "fleet", "--chip", "tiny", "--scenarios", "idle",
+            "--governors", "ondemand,powersave", "--seeds", "1",
+            "--duration", "1.0", "--jobs", "1", "--quiet",
+            "--metrics", str(prom),
+        ])
+        assert code == 0
+        text = prom.read_text()
+        assert "repro_sim_runs 2" in text

@@ -30,6 +30,8 @@ from repro.fleet import (
     failure_table,
     fleet_summary,
     format_event,
+    format_progress_line,
+    merge_job_metrics,
     result_table,
     resolve_workers,
     run_fleet,
@@ -489,3 +491,97 @@ class TestFleetCLI:
         ])
         assert code == 0
         assert "rl-policy" in capsys.readouterr().out
+
+
+class TestFleetMetrics:
+    def test_collect_metrics_travels_on_job_done(self):
+        spec = FleetSpec(scenarios=("idle",), governors=("ondemand",),
+                         seeds=(1,), chips=("tiny",), collect_metrics=True,
+                         **FAST)
+        log = EventLog()
+        result = run_fleet(spec, jobs=1, on_event=log)
+        success = result.successes[0]
+        assert success.metrics is not None
+        assert success.metrics["counters"]["sim.runs"] == 1.0
+        done = log.of_type(JobDone)[0]
+        assert done.metrics == success.metrics
+
+    def test_metrics_off_by_default(self):
+        spec = JobSpec(scenario="idle", governor="ondemand", chip="tiny",
+                       duration_s=1.0)
+        assert execute_job(spec).metrics is None
+        assert run_job(spec).metrics is None
+
+    def test_obs_state_restored_after_job(self):
+        from repro.obs import OBS
+
+        spec = JobSpec(scenario="idle", governor="ondemand", chip="tiny",
+                       duration_s=1.0, collect_metrics=True)
+        measurement = execute_job(spec)
+        assert not OBS.enabled
+        assert measurement.metrics["counters"]["sim.intervals"] > 0
+
+    def test_merge_job_metrics_sums_counters(self):
+        spec = FleetSpec(scenarios=("idle",),
+                         governors=("ondemand", "powersave"),
+                         seeds=(1,), chips=("tiny",), collect_metrics=True,
+                         **FAST)
+        result = run_fleet(spec, jobs=1)
+        merged = merge_job_metrics(result.successes)
+        assert merged["counters"]["sim.runs"] == 2.0
+        # Gauges average, and record the contributing-job count.
+        assert merged["gauges"]["sim.last_mean_qos.jobs"] == 2.0
+
+    def test_merge_skips_jobs_without_snapshots(self):
+        spec = JobSpec(scenario="idle", governor="ondemand", chip="tiny",
+                       duration_s=1.0)
+        outcome = run_job(spec)
+        assert merge_job_metrics([outcome]) == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+
+    def test_collect_metrics_round_trips_spec_mapping(self):
+        spec = FleetSpec(scenarios=("idle",), governors=("ondemand",),
+                         seeds=(1,), chips=("tiny",), collect_metrics=True)
+        again = FleetSpec.from_mapping(spec.to_mapping())
+        assert again.collect_metrics
+        assert all(j.collect_metrics for j in again.expand())
+
+    def test_parallel_jobs_carry_metrics(self):
+        spec = FleetSpec(scenarios=("idle",),
+                         governors=("ondemand", "powersave"),
+                         seeds=(1,), chips=("tiny",), collect_metrics=True,
+                         **FAST)
+        result = run_fleet(spec, jobs=2)
+        assert all(s.metrics is not None for s in result.successes)
+        merged = merge_job_metrics(result.successes)
+        assert merged["counters"]["sim.runs"] == 2.0
+
+
+class TestProgressRendering:
+    def test_format_event_prefixes_timestamp(self):
+        line = format_event(FleetStarted(n_jobs=2, workers=1),
+                            ts="2026-01-02T03:04:05")
+        assert line == "2026-01-02T03:04:05 fleet: 2 jobs on 1 process"
+
+    def test_format_event_default_timestamp_is_iso(self):
+        import re
+
+        line = format_event(FleetFinished(done=1, failed=0, wall_s=1.0))
+        assert re.match(r"^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2} ", line)
+
+    def test_silent_events_stay_silent(self):
+        assert format_event(JobQueued(index=0, job_id="j"),
+                            ts="2026-01-01T00:00:00") is None
+
+    def test_format_progress_line(self):
+        line = format_progress_line(
+            FleetProgress(done=1, failed=1, total=4, elapsed_s=2.5), width=8
+        )
+        assert line == "[####....] 2/4 (1 failed) 2.5 s"
+
+    def test_progress_line_empty_grid_safe(self):
+        line = format_progress_line(
+            FleetProgress(done=0, failed=0, total=0, elapsed_s=0.0)
+        )
+        assert "0/0" in line

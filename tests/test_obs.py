@@ -1,0 +1,269 @@
+"""repro.obs core: tracer, metrics, the hub, and the zero-overhead guard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.trainer import train_policy
+from repro.errors import ObsError
+from repro.governors import create
+from repro.obs import (
+    NULL_TRACER,
+    OBS,
+    MetricsRegistry,
+    Tracer,
+    capture,
+    disable,
+    enable,
+    format_breakdown,
+    merge_snapshots,
+    phase_breakdown,
+)
+from repro.sim.engine import Simulator
+from repro.soc.presets import tiny_test_chip
+from repro.workload.scenarios import get_scenario
+
+
+class TestTracer:
+    def test_nested_spans_record_tree(self):
+        t = Tracer()
+        with t.span("a"):
+            with t.span("b", cat="inner", k=1):
+                pass
+            with t.span("c"):
+                pass
+        # Spans land in completion order: children before their parent.
+        assert [s.name for s in t.spans] == ["b", "c", "a"]
+        b, c, a = t.spans
+        assert a.parent_uid is None and a.depth == 0
+        assert b.parent_uid == a.uid and b.depth == 1
+        assert c.parent_uid == a.uid
+        assert b.cat == "inner" and b.args == {"k": 1}
+        assert t.open_depth == 0
+
+    def test_timestamps_are_relative_microseconds(self):
+        t = Tracer()
+        handle = t.begin("x")
+        t.end(handle)
+        span = t.spans[0]
+        assert span.start_us >= 0.0
+        assert span.dur_us >= 0.0
+
+    def test_out_of_order_close_raises(self):
+        t = Tracer()
+        outer = t.begin("outer")
+        inner = t.begin("inner")
+        with pytest.raises(ObsError, match="out of order"):
+            t.end(outer)
+        t.end(inner)
+        t.end(outer)
+        with pytest.raises(ObsError, match="no span is open"):
+            t.end(outer)
+
+    def test_instants_and_names(self):
+        t = Tracer()
+        t.instant("tick", cat="test", n=1)
+        with t.span("s"):
+            pass
+        with t.span("s"):
+            pass
+        assert [i.name for i in t.instants] == ["tick"]
+        assert t.instants[0].args == {"n": 1}
+        assert t.span_names() == ["s"]
+        t.clear()
+        assert not t.spans and not t.instants
+
+    def test_null_tracer_is_inert(self):
+        n = NULL_TRACER
+        assert not n.enabled
+        assert n.begin("x") is None
+        n.end(None)
+        with n.span("x"):
+            n.instant("y")
+        assert n.span_names() == [] and n.open_depth == 0
+        assert n.spans == () and n.instants == ()
+
+
+class TestMetrics:
+    def test_counter_monotonic(self):
+        reg = MetricsRegistry()
+        c = reg.counter("sim.runs")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ObsError, match="cannot decrease"):
+            c.inc(-1.0)
+
+    def test_gauge_last_value(self):
+        g = MetricsRegistry().gauge("rl.epsilon")
+        g.set(0.4)
+        g.add(0.1)
+        assert g.value == pytest.approx(0.5)
+
+    def test_histogram_buckets(self):
+        h = MetricsRegistry().histogram("x", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.bucket_counts == [1, 1, 1]
+        assert h.count == 3 and h.mean == pytest.approx(55.5 / 3)
+        assert h.min == 0.5 and h.max == 50.0
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ObsError, match="strictly increasing"):
+            MetricsRegistry().histogram("x", buckets=(10.0, 1.0))
+
+    def test_registry_get_or_create_and_type_conflict(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        with pytest.raises(ObsError, match="already registered"):
+            reg.gauge("a")
+        assert reg.names() == ["a"] and len(reg) == 1
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 2.0}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_merge_snapshots(self):
+        def snap(c, g, values):
+            reg = MetricsRegistry()
+            reg.counter("jobs").inc(c)
+            reg.gauge("qos").set(g)
+            h = reg.histogram("err", buckets=(1.0, 10.0))
+            for v in values:
+                h.observe(v)
+            return reg.snapshot()
+
+        merged = merge_snapshots([snap(1, 0.8, [0.5]), snap(2, 0.6, [5.0])])
+        assert merged["counters"]["jobs"] == 3.0
+        assert merged["gauges"]["qos"] == pytest.approx(0.7)
+        assert merged["gauges"]["qos.jobs"] == 2.0
+        assert merged["histograms"]["err"]["count"] == 2
+        assert merged["histograms"]["err"]["bucket_counts"] == [1, 1, 0]
+
+    def test_merge_rejects_incompatible_bounds(self):
+        a = {"histograms": {"h": {"bounds": [1.0], "bucket_counts": [0, 0],
+                                  "count": 0, "sum": 0.0, "min": None,
+                                  "max": None}}}
+        b = {"histograms": {"h": {"bounds": [2.0], "bucket_counts": [0, 0],
+                                  "count": 0, "sum": 0.0, "min": None,
+                                  "max": None}}}
+        with pytest.raises(ObsError, match="bounds differ"):
+            merge_snapshots([a, b])
+
+
+class TestHub:
+    def test_disabled_by_default(self):
+        assert not OBS.enabled
+        assert OBS.tracer is NULL_TRACER
+
+    def test_capture_installs_and_restores(self):
+        with capture() as session:
+            assert OBS.enabled
+            assert OBS.tracer is session.tracer
+            assert OBS.metrics is session.metrics
+            with capture(trace=False) as inner:
+                assert OBS.tracer is NULL_TRACER
+                assert OBS.metrics is inner.metrics
+            assert OBS.tracer is session.tracer
+        assert not OBS.enabled and OBS.tracer is NULL_TRACER
+
+    def test_capture_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with capture():
+                raise RuntimeError("boom")
+        assert not OBS.enabled
+
+    def test_enable_disable(self):
+        session = enable()
+        try:
+            assert OBS.enabled and OBS.tracer is session.tracer
+        finally:
+            disable()
+        assert not OBS.enabled
+        # Session data stays reachable after disable.
+        assert session.tracer.spans == []
+
+
+def _run_once(seed: int = 7):
+    trace = get_scenario("audio_playback").trace(2.0, seed=seed)
+    sim = Simulator(tiny_test_chip(), trace, lambda c: create("ondemand"))
+    return sim.run()
+
+
+class TestZeroOverheadGuard:
+    def test_tracing_off_is_bit_identical(self):
+        """The instrumented engine with observability off must produce
+        exactly the result an enabled run produces — same floats, same
+        QoS rows — and a fresh disabled run afterwards must still match."""
+        baseline = _run_once()
+        with capture() as session:
+            instrumented = _run_once()
+        assert instrumented == baseline
+        assert session.tracer.spans  # the enabled run did record
+        assert _run_once() == baseline
+
+    def test_engine_records_phases_and_decisions(self):
+        with capture() as session:
+            _run_once()
+        names = set(session.tracer.span_names())
+        assert {"engine.run", "engine.interval"} <= names
+        assert sum(1 for n in names if n.startswith("engine.phase.")) >= 4
+        decisions = [i for i in session.tracer.instants
+                     if i.name == "governor.decide"]
+        assert decisions
+        assert {"governor", "cluster", "opp_before", "opp_chosen",
+                "utilization"} <= set(decisions[0].args)
+        snap = session.metrics.snapshot()
+        assert snap["counters"]["sim.runs"] == 1.0
+        assert snap["counters"]["sim.intervals"] > 0
+
+    def test_trainer_emits_convergence_metrics(self):
+        with capture() as session:
+            train_policy(
+                tiny_test_chip(),
+                get_scenario("audio_playback"),
+                episodes=2,
+                episode_duration_s=1.0,
+            )
+        snap = session.metrics.snapshot()
+        assert snap["counters"]["rl.episodes"] == 2.0
+        assert "rl.epsilon" in snap["gauges"]
+        assert "rl.q_coverage" in snap["gauges"]
+        assert snap["histograms"]["rl.td_error_mean_abs"]["count"] == 2
+        episodes = [i for i in session.tracer.instants
+                    if i.name == "rl.episode"]
+        assert len(episodes) == 2
+        assert {"episode", "td_error_mean_abs", "epsilon", "q_coverage",
+                "reward"} <= set(episodes[0].args)
+
+    def test_disabled_trainer_history_still_carries_convergence(self):
+        result = train_policy(
+            tiny_test_chip(),
+            get_scenario("audio_playback"),
+            episodes=2,
+            episode_duration_s=1.0,
+        )
+        record = result.history[-1]
+        assert record.td_error_mean_abs >= 0.0
+        assert 0.0 <= record.epsilon <= 1.0
+
+
+class TestPhaseBreakdown:
+    def test_breakdown_from_engine_spans(self):
+        with capture() as session:
+            _run_once()
+        stats = phase_breakdown(session.tracer.spans)
+        assert len(stats) >= 4
+        assert all(p.name.startswith("engine.phase.") for p in stats)
+        assert stats == sorted(stats, key=lambda p: -p.total_us)
+        text = format_breakdown(stats)
+        assert "engine.phase.governor" in text and "share" in text
+
+    def test_breakdown_empty(self):
+        assert "no spans" in format_breakdown([])

@@ -1,0 +1,169 @@
+"""Exporter round-trips: Chrome trace_event, JSONL, Prometheus text."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.trainer import train_policy
+from repro.errors import ObsError
+from repro.governors import create
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    capture,
+    chrome_trace,
+    load_chrome_trace,
+    prometheus_text,
+    read_jsonl,
+    span_tree,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.sim.engine import Simulator
+from repro.soc.presets import tiny_test_chip
+from repro.workload.scenarios import get_scenario
+
+
+def _traced_run(duration_s: float = 1.0):
+    trace = get_scenario("audio_playback").trace(duration_s, seed=3)
+    with capture() as session:
+        Simulator(tiny_test_chip(), trace, lambda c: create("ondemand")).run()
+    return session
+
+
+def _sample_tracer_and_metrics():
+    tracer = Tracer()
+    with tracer.span("outer", cat="test", run=1):
+        with tracer.span("inner"):
+            tracer.instant("mark", cat="test", k=2)
+        with tracer.span("inner"):
+            pass
+    metrics = MetricsRegistry()
+    metrics.counter("jobs").inc(3)
+    metrics.gauge("qos").set(0.9)
+    metrics.histogram("err", buckets=(1.0, 10.0)).observe(0.5)
+    return tracer, metrics
+
+
+class TestChromeTrace:
+    def test_engine_round_trip_has_phases_per_interval(self, tmp_path):
+        """The acceptance check: a written trace parses back into >= 4
+        distinct engine phase spans *per interval*."""
+        session = _traced_run()
+        path = write_chrome_trace(tmp_path / "t.json", session.tracer,
+                                  session.metrics)
+        data = load_chrome_trace(path)  # validates the schema
+        events = data["traceEvents"]
+        intervals = [e for e in events
+                     if e["ph"] == "X" and e["name"] == "engine.interval"]
+        assert intervals
+        phase_names = {e["name"] for e in events
+                       if e["ph"] == "X" and e["name"].startswith("engine.phase.")}
+        assert len(phase_names) >= 4
+        for name in phase_names:
+            count = sum(1 for e in events if e.get("name") == name)
+            assert count == len(intervals)
+
+    def test_rl_convergence_events_per_episode(self, tmp_path):
+        episodes = 2
+        with capture() as session:
+            train_policy(
+                tiny_test_chip(),
+                get_scenario("audio_playback"),
+                episodes=episodes,
+                episode_duration_s=1.0,
+            )
+        path = write_chrome_trace(tmp_path / "rl.json", session.tracer,
+                                  session.metrics)
+        events = load_chrome_trace(path)["traceEvents"]
+        rl = [e for e in events if e.get("name") == "rl.episode"]
+        assert len(rl) == episodes
+        for e in rl:
+            assert e["ph"] == "i"
+            assert {"td_error_mean_abs", "epsilon", "q_coverage"} <= set(e["args"])
+        counters = {e["name"] for e in events if e["ph"] == "C"}
+        assert "rl.episodes" in counters
+
+    def test_structure_and_metadata(self):
+        tracer, metrics = _sample_tracer_and_metrics()
+        data = chrome_trace(tracer, metrics, process_name="unit")
+        validate_chrome_trace(data)
+        events = data["traceEvents"]
+        assert events[0]["ph"] == "M"
+        assert events[0]["args"]["name"] == "unit"
+        assert sum(1 for e in events if e["ph"] == "X") == 3
+        assert sum(1 for e in events if e["ph"] == "i") == 1
+        # Counters and gauges each become a counter-track event.
+        assert sum(1 for e in events if e["ph"] == "C") == 2
+
+    def test_validate_rejects_malformed(self, tmp_path):
+        with pytest.raises(ObsError, match="traceEvents"):
+            validate_chrome_trace({})
+        with pytest.raises(ObsError, match="missing"):
+            validate_chrome_trace({"traceEvents": [{"ph": "X"}]})
+        with pytest.raises(ObsError, match="finite"):
+            validate_chrome_trace({"traceEvents": [
+                {"ph": "X", "name": "x", "ts": float("nan"), "pid": 0,
+                 "tid": 0, "dur": 1.0}
+            ]})
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        with pytest.raises(ObsError, match="not JSON"):
+            load_chrome_trace(bad)
+
+
+class TestJsonl:
+    def test_round_trip_identical_span_tree(self, tmp_path):
+        tracer, metrics = _sample_tracer_and_metrics()
+        path = write_jsonl(tmp_path / "t.jsonl", tracer, metrics)
+        spans, instants, snapshot = read_jsonl(path)
+        assert spans == tracer.spans
+        assert instants == tracer.instants
+        assert snapshot == metrics.snapshot()
+        assert span_tree(spans) == span_tree(tracer.spans)
+
+    def test_engine_dump_reloads(self, tmp_path):
+        session = _traced_run()
+        path = write_jsonl(tmp_path / "e.jsonl", session.tracer,
+                           session.metrics)
+        spans, instants, snapshot = read_jsonl(path)
+        assert spans == session.tracer.spans
+        assert [i.name for i in instants] == \
+            [i.name for i in session.tracer.instants]
+        assert snapshot["counters"]["sim.runs"] == 1.0
+        tree = span_tree(spans)
+        root = tree[None][0]
+        assert root.name == "engine.run"
+        assert all(s.name == "engine.interval" for s in tree[root.uid])
+
+    def test_malformed_lines_raise(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{not json}\n")
+        with pytest.raises(ObsError, match="not JSON"):
+            read_jsonl(bad)
+        bad.write_text(json.dumps({"kind": "mystery"}) + "\n")
+        with pytest.raises(ObsError, match="unknown kind"):
+            read_jsonl(bad)
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        _, metrics = _sample_tracer_and_metrics()
+        text = prometheus_text(metrics)
+        lines = text.splitlines()
+        assert "# TYPE repro_jobs counter" in lines
+        assert "repro_jobs 3" in lines
+        assert "repro_qos 0.9" in lines
+        assert "# TYPE repro_err histogram" in lines
+        assert 'repro_err_bucket{le="1"} 1' in lines
+        assert 'repro_err_bucket{le="+Inf"} 1' in lines
+        assert "repro_err_count 1" in lines
+
+    def test_accepts_plain_snapshot_and_sanitises_names(self):
+        reg = MetricsRegistry()
+        reg.counter("sim.opp-switches").inc()
+        text = prometheus_text(reg.snapshot(), prefix="x")
+        assert "x_sim_opp_switches 1" in text
