@@ -14,6 +14,9 @@ Subcommands:
 * ``profile`` — characterise a scenario or a trace CSV, and print the
   per-phase engine time breakdown.
 * ``report`` — run selected experiments and write a markdown report.
+* ``check`` — run the repo's invariant-aware static analysis
+  (``repro.lint``) over source paths; the CI lint gate
+  (see ``docs/static-analysis.md``).
 
 ``run --governor checkpoint:<dir>`` evaluates a saved policy checkpoint
 instead of a named governor; the same spelling works in ``fleet
@@ -443,6 +446,76 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0 if result.successes else 1
 
 
+_DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def _find_baseline(explicit: str | None, no_baseline: bool) -> str | None:
+    """The baseline file to gate against, or ``None``.
+
+    An explicit ``--baseline`` always wins (and must exist);  otherwise
+    a committed ``lint-baseline.json`` in the working directory is
+    picked up automatically, so plain ``repro check src/`` is the CI
+    gate.  ``--no-baseline`` shows the raw findings.
+    """
+    if no_baseline:
+        return None
+    if explicit is not None:
+        return explicit
+    from pathlib import Path
+
+    return _DEFAULT_BASELINE if Path(_DEFAULT_BASELINE).is_file() else None
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro import lint
+
+    if args.list_rules:
+        print(lint.rule_catalogue())
+        return 0
+    paths = args.paths or ["src"]
+    result = lint.check_paths(
+        paths,
+        select=args.select.split(",") if args.select else None,
+        ignore=args.ignore.split(",") if args.ignore else None,
+    )
+    findings = result.findings
+    accepted = 0
+    stale = 0
+    if args.write_baseline:
+        out = args.baseline or _DEFAULT_BASELINE
+        lint.Baseline.from_findings(findings).save(out)
+        print(
+            f"baseline with {len(findings)} finding"
+            f"{'s' if len(findings) != 1 else ''} written to {out}"
+        )
+        return 0
+    baseline_path = _find_baseline(args.baseline, args.no_baseline)
+    if baseline_path is not None:
+        split = lint.filter_findings(
+            findings, lint.Baseline.load(baseline_path)
+        )
+        findings = split.new
+        accepted = len(split.accepted)
+        stale = len(split.stale)
+    report = lint.render(
+        args.format,
+        findings,
+        files_checked=result.files_checked,
+        suppressed=len(result.suppressed),
+        accepted=accepted,
+        stale=stale,
+    )
+    if report:
+        print(report)
+    if stale and args.format == "text":
+        print(
+            f"note: {stale} baseline entr{'ies' if stale != 1 else 'y'} no "
+            "longer match any finding; refresh with --write-baseline",
+            file=sys.stderr,
+        )
+    return 1 if findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -602,6 +675,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for sweep-based experiments")
     rep_p.add_argument("--out", default="REPORT.md")
     rep_p.set_defaults(func=_cmd_report)
+
+    check_p = sub.add_parser(
+        "check", parents=[common],
+        help="run the invariant-aware static analysis (lint gate)",
+    )
+    check_p.add_argument("paths", nargs="*",
+                         help="files or directories (default: src)")
+    check_p.add_argument("--select", default=None, metavar="CODES",
+                         help="comma-separated code prefixes to run "
+                              "exclusively (e.g. RPL0,RPL101)")
+    check_p.add_argument("--ignore", default=None, metavar="CODES",
+                         help="comma-separated code prefixes to skip")
+    check_p.add_argument("--format", default="text",
+                         choices=("text", "json", "github"),
+                         help="report format (github = Actions annotations)")
+    check_p.add_argument("--baseline", default=None, metavar="FILE",
+                         help="baseline of accepted findings (default: "
+                              "lint-baseline.json when present)")
+    check_p.add_argument("--no-baseline", action="store_true",
+                         help="ignore any baseline; report raw findings")
+    check_p.add_argument("--write-baseline", action="store_true",
+                         help="accept all current findings into the "
+                              "baseline file and exit 0")
+    check_p.add_argument("--list-rules", action="store_true",
+                         help="print the rule catalogue and exit")
+    check_p.set_defaults(func=_cmd_check)
     return parser
 
 

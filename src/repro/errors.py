@@ -43,6 +43,12 @@ class ObsError(ReproError):
     re-registered under another type, or a malformed exported trace)."""
 
 
+class LintError(ReproError):
+    """The static-analysis engine was misconfigured (unknown rule code,
+    unparsable input, malformed baseline) — distinct from a finding,
+    which is a property of the *checked* code, not an error."""
+
+
 class HardwareModelError(ReproError):
     """The hardware (fixed-point / pipeline / interface) model detected an
     illegal configuration or datapath condition."""

@@ -1,0 +1,82 @@
+"""repro.lint — invariant-aware static analysis for this repository.
+
+The repo's correctness rests on invariants no generic linter knows
+about: bit-determinism under seeding (sim/rl/fleet), the ``_mhz`` /
+``_mw`` unit-suffix convention, integer-only fixed-point datapaths,
+zero-overhead-when-disabled observability probes, and the fleet's
+never-swallow-a-worker-failure exception policy.  This package encodes
+each as an AST rule with a stable ``RPLnnn`` code and gates them behind
+``repro check``.
+
+Typical use::
+
+    repro check src/                         # human output, exit 1 on findings
+    repro check src/ --format json           # machine report
+    repro check src/ --select RPL0 --ignore RPL003
+    repro check src/ --write-baseline        # accept current findings
+    repro check src/ --baseline lint-baseline.json   # the CI gate
+
+Library API::
+
+    from repro.lint import check_paths, check_source
+
+    result = check_paths(["src/repro"])
+    for finding in result.findings:
+        print(finding.location(), finding.code, finding.message)
+
+Suppression: append ``# noqa: RPL001`` (or a bare ``# noqa``) to the
+offending line.  The rule catalogue, rationale, and the baseline
+workflow live in ``docs/static-analysis.md``.
+"""
+
+from repro.lint.baseline import Baseline, BaselineResult, filter_findings
+from repro.lint.engine import (
+    CheckResult,
+    FileResult,
+    ImportMap,
+    LintContext,
+    Rule,
+    all_rules,
+    check_paths,
+    check_source,
+    iter_python_files,
+    module_relpath,
+    noqa_map,
+    register,
+    select_rules,
+)
+from repro.lint.findings import Finding
+from repro.lint.output import (
+    FORMATS,
+    render,
+    render_github,
+    render_json,
+    render_text,
+    rule_catalogue,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineResult",
+    "CheckResult",
+    "FORMATS",
+    "FileResult",
+    "Finding",
+    "ImportMap",
+    "LintContext",
+    "Rule",
+    "all_rules",
+    "check_paths",
+    "check_source",
+    "filter_findings",
+    "iter_python_files",
+    "module_relpath",
+    "noqa_map",
+    "register",
+    "render",
+    "render_github",
+    "render_json",
+    "render_text",
+    "rule_catalogue",
+    "select_rules",
+]

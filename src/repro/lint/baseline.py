@@ -1,0 +1,115 @@
+"""Baseline storage: accepted findings that ``repro check`` ignores.
+
+A baseline is the reviewed debt ledger: findings recorded in it are
+deliberate (or grandfathered) and do not fail the build, while any *new*
+finding still does.  Entries are keyed by a content fingerprint —
+``sha256(path :: code :: stripped source line :: occurrence)`` — so they
+survive unrelated edits that shift line numbers, but disappear (go
+*stale*) when the offending line itself is fixed or removed.
+
+Workflow::
+
+    repro check src/ --write-baseline             # accept current state
+    repro check src/ --baseline lint-baseline.json  # CI gate
+
+:func:`filter_findings` also reports stale entries so the ledger can be
+re-tightened as debt is paid down.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import LintError
+from repro.lint.findings import Finding
+
+_VERSION = 1
+
+
+def _fingerprints(findings: list[Finding]) -> dict[str, Finding]:
+    """Fingerprint every finding, numbering duplicates per content key."""
+    seen: dict[str, int] = {}
+    out: dict[str, Finding] = {}
+    for f in findings:
+        key = f.content_key()
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        out[f.fingerprint(occurrence)] = f
+    return out
+
+
+@dataclass
+class Baseline:
+    """The committed set of accepted findings."""
+
+    entries: dict[str, dict[str, object]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file.
+
+        Raises:
+            LintError: If the file is missing or malformed.
+        """
+        p = Path(path)
+        if not p.is_file():
+            raise LintError(f"baseline file not found: {p}")
+        try:
+            data = json.loads(p.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise LintError(f"invalid JSON in baseline {p}: {exc}") from exc
+        if not isinstance(data, dict) or data.get("version") != _VERSION:
+            raise LintError(
+                f"baseline {p} has unsupported format "
+                f"(expected version {_VERSION})"
+            )
+        entries = data.get("findings", {})
+        if not isinstance(entries, dict):
+            raise LintError(f"baseline {p}: 'findings' must be an object")
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls(
+            entries={
+                fp: f.to_mapping() for fp, f in _fingerprints(findings).items()
+            }
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Write the baseline as versioned, sorted JSON."""
+        payload = {
+            "version": _VERSION,
+            "findings": dict(sorted(self.entries.items())),
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass
+class BaselineResult:
+    """Findings partitioned against a baseline."""
+
+    new: list[Finding]
+    accepted: list[Finding]
+    stale: list[str]
+
+
+def filter_findings(findings: list[Finding], baseline: Baseline) -> BaselineResult:
+    """Split findings into new vs. baseline-accepted, and spot stale entries."""
+    current = _fingerprints(findings)
+    new: list[Finding] = []
+    accepted: list[Finding] = []
+    for fp, f in current.items():
+        (accepted if fp in baseline.entries else new).append(f)
+    stale = sorted(fp for fp in baseline.entries if fp not in current)
+    new.sort()
+    accepted.sort()
+    return BaselineResult(new=new, accepted=accepted, stale=stale)

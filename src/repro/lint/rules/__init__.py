@@ -1,0 +1,18 @@
+"""Rule modules; importing this package registers every rule.
+
+Rule code families:
+
+* ``RPL0xx`` — determinism (:mod:`repro.lint.rules.determinism`)
+* ``RPL1xx`` — unit consistency (:mod:`repro.lint.rules.units`)
+* ``RPL2xx`` — fixed-point discipline (:mod:`repro.lint.rules.fixedpoint`)
+* ``RPL3xx`` — observability overhead (:mod:`repro.lint.rules.obsguard`)
+* ``RPL4xx`` — exception policy (:mod:`repro.lint.rules.exceptions`)
+"""
+
+from repro.lint.rules import (  # noqa: F401
+    determinism,
+    exceptions,
+    fixedpoint,
+    obsguard,
+    units,
+)

@@ -1,0 +1,122 @@
+"""Exception-policy rules (RPL401–RPL402) for the fleet layer.
+
+The fleet's failure-isolation contract (PR 1) is that a crashing job
+becomes a structured :class:`~repro.fleet.worker.JobFailure` — never a
+silently missing grid row.  A bare ``except:`` (which also swallows
+``KeyboardInterrupt`` and worker-timeout ``SystemExit``) or a blind
+``except Exception: pass`` breaks that contract invisibly: the sweep
+"succeeds" with holes in it and the aggregate statistics shift.
+
+* **RPL401** — bare ``except:`` anywhere in ``fleet/``.
+* **RPL402** — an ``except Exception`` / ``except BaseException``
+  handler that swallows: it neither re-raises, nor uses the bound
+  exception (to wrap it into a failure record), nor logs it.
+
+A broad handler that *records* the failure — like the worker's
+``except Exception as exc:`` building a ``JobFailure`` from ``exc`` —
+is the pattern these rules exist to protect, and is not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import Rule, register
+
+_FLEET_SCOPE = ("fleet/",)
+
+_BROAD_TYPES = {"Exception", "BaseException"}
+
+_LOG_ROOTS = {"log", "logger", "logging"}
+
+
+def _handler_type_names(handler: ast.ExceptHandler) -> list[str]:
+    t = handler.type
+    if t is None:
+        return []
+    nodes = t.elts if isinstance(t, ast.Tuple) else [t]
+    names: list[str] = []
+    for n in nodes:
+        if isinstance(n, ast.Name):
+            names.append(n.id)
+        elif isinstance(n, ast.Attribute):
+            names.append(n.attr)
+    return names
+
+
+def _body_reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(n, ast.Raise) for n in ast.walk(handler))
+
+
+def _body_uses_name(handler: ast.ExceptHandler, name: str) -> bool:
+    for n in ast.walk(handler):
+        if isinstance(n, ast.Name) and n.id == name and isinstance(
+            n.ctx, ast.Load
+        ):
+            return True
+    return False
+
+
+def _body_logs(handler: ast.ExceptHandler) -> bool:
+    for n in ast.walk(handler):
+        if isinstance(n, ast.Call) and isinstance(n.func, ast.Attribute):
+            root = n.func.value
+            if isinstance(root, ast.Name) and root.id in _LOG_ROOTS:
+                return True
+    return False
+
+
+@register
+class BareExceptRule(Rule):
+    """RPL401: no bare ``except:`` in the fleet layer."""
+
+    code = "RPL401"
+    name = "exceptions.bare-except"
+    summary = (
+        "bare `except:` in fleet code swallows KeyboardInterrupt and "
+        "timeout signals; catch Exception (and record it) instead"
+    )
+    scope = _FLEET_SCOPE
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        """Flag handlers with no exception type."""
+        if node.type is None:
+            self.report(
+                node,
+                "bare `except:` also catches KeyboardInterrupt/SystemExit "
+                "and can wedge a worker; catch Exception and convert it "
+                "into a JobFailure",
+            )
+        self.generic_visit(node)
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    """RPL402: broad handlers must record, wrap, or re-raise."""
+
+    code = "RPL402"
+    name = "exceptions.swallowed"
+    summary = (
+        "`except Exception` that neither re-raises, uses the bound "
+        "error, nor logs it turns worker failures into missing rows"
+    )
+    scope = _FLEET_SCOPE
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        """Flag broad handlers that drop the failure on the floor."""
+        names = _handler_type_names(node)
+        if any(n in _BROAD_TYPES for n in names):
+            handled = (
+                _body_reraises(node)
+                or (node.name is not None and _body_uses_name(node, node.name))
+                or _body_logs(node)
+            )
+            if not handled:
+                what = " as ".join(filter(None, [" | ".join(names), node.name]))
+                self.report(
+                    node,
+                    f"`except {what}` swallows the failure: bind the "
+                    "exception and turn it into a structured failure "
+                    "record (or log and re-raise)",
+                )
+        self.generic_visit(node)

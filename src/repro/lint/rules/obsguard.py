@@ -1,0 +1,170 @@
+"""Observability-overhead rule (RPL301).
+
+PR 2's contract is that disabled observability is *zero*-overhead: a
+run without a session must be bit-identical to (and as fast as) the
+pre-observability engine.  That only holds if every probe — each
+``tracer.begin/end/instant`` and ``metrics.counter/gauge/histogram``
+call on the hot path — sits behind an enabled-check, because an
+unguarded probe on the null tracer still evaluates its arguments
+(f-strings, attribute chains, reductions) on every interval.
+
+**RPL301** flags a probe call that is not protected by one of the
+recognised guard shapes:
+
+* an enclosing positive guard — ``if tracer:`` / ``if OBS.enabled:``
+  (including ``elif`` and ``a and b`` tests that mention the guard);
+* a conditional expression — ``x = tracer.begin(...) if tracer else None``;
+* an early return before it in the same function —
+  ``if not OBS.enabled: return``.
+
+Scope: the hot paths — ``sim/``, ``rl/``, ``core/trainer.py``,
+``core/policy.py`` and ``governors/`` — not the CLI or exporters, where
+observability is the point and a few attribute checks are noise.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import Rule, ancestors, register
+
+#: Receiver roots treated as observability objects.
+_PROBE_ROOTS = {"tracer", "metrics"}
+
+#: Method names that are probes when called on a probe root / OBS chain.
+_PROBE_METHODS = {
+    "begin", "end", "instant", "span",
+    "counter", "gauge", "histogram", "inc", "set", "observe",
+}
+
+
+def _attr_chain(node: ast.expr) -> list[str] | None:
+    """``OBS.metrics.counter`` → ``["OBS", "metrics", "counter"]``."""
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return list(reversed(parts))
+    return None
+
+
+def _expr_mentions_guard(node: ast.expr) -> bool:
+    """Whether a test expression checks observability enablement."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and (
+            sub.id in _PROBE_ROOTS or sub.id.endswith("tracer")
+        ):
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr == "enabled":
+            return True
+    return False
+
+
+def _is_probe_call(node: ast.Call, assigned_from_obs: set[str]) -> bool:
+    chain = _attr_chain(node.func)
+    if chain is None or len(chain) < 2:
+        return False
+    root, *rest = chain
+    method = rest[-1]
+    if method not in _PROBE_METHODS:
+        return False
+    if root in _PROBE_ROOTS or root.endswith("tracer"):
+        return True
+    if root == "OBS" and len(chain) >= 3:
+        return True
+    if root in assigned_from_obs:
+        return True
+    return False
+
+
+@register
+class UnguardedProbeRule(Rule):
+    """RPL301: every obs probe on a hot path needs an enabled-check."""
+
+    code = "RPL301"
+    name = "obs.unguarded-probe"
+    summary = (
+        "tracer./metrics. probe without an enabled-guard on a hot path; "
+        "disabled runs must stay bit-identical and zero-overhead"
+    )
+    scope = ("sim/", "rl/", "core/trainer.py", "core/policy.py", "governors/")
+
+    def run(self) -> None:
+        self._obs_aliases = self._collect_obs_aliases()
+        self.visit(self.ctx.tree)
+
+    def _collect_obs_aliases(self) -> set[str]:
+        """Names bound from the OBS hub (``m = OBS.metrics``)."""
+        aliases: set[str] = set()
+        for node in ast.walk(self.ctx.tree):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue
+                chain = None
+                value = node.value
+                if isinstance(value, ast.IfExp):
+                    value = value.body
+                if isinstance(value, ast.Attribute):
+                    chain = _attr_chain(value)
+                if chain and chain[0] == "OBS":
+                    aliases.add(target.id)
+        return aliases
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag probe calls with no recognised enabled-guard."""
+        if _is_probe_call(node, self._obs_aliases) and not self._guarded(node):
+            chain = _attr_chain(node.func) or ["probe"]
+            self.report(
+                node,
+                f"unguarded probe {'.'.join(chain)}(...); wrap it in "
+                "`if tracer:` / `if OBS.enabled:` (or bail out early with "
+                "`if not OBS.enabled: return`) so disabled runs pay nothing",
+            )
+        self.generic_visit(node)
+
+    # -- guard detection ---------------------------------------------------
+
+    def _guarded(self, node: ast.Call) -> bool:
+        prev: ast.AST = node
+        for anc in ancestors(node):
+            if isinstance(anc, ast.If) and _expr_mentions_guard(anc.test):
+                negated = isinstance(anc.test, ast.UnaryOp) and isinstance(
+                    anc.test.op, ast.Not
+                )
+                in_body = prev in anc.body
+                if (in_body and not negated) or (not in_body and negated):
+                    return True
+            if isinstance(anc, ast.IfExp) and _expr_mentions_guard(anc.test):
+                if prev is anc.body:
+                    return True
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return self._early_return_before(anc, node)
+            prev = anc
+        return False
+
+    @staticmethod
+    def _early_return_before(
+        func: ast.FunctionDef | ast.AsyncFunctionDef, node: ast.Call
+    ) -> bool:
+        """``if not OBS.enabled: return`` earlier in the function body."""
+        for stmt in func.body:
+            if stmt.lineno >= node.lineno:
+                break
+            if not isinstance(stmt, ast.If) or stmt.orelse:
+                continue
+            test = stmt.test
+            is_negated = isinstance(test, ast.UnaryOp) and isinstance(
+                test.op, ast.Not
+            )
+            if not is_negated or not _expr_mentions_guard(test.operand):  # type: ignore[union-attr]
+                continue
+            if all(
+                isinstance(s, (ast.Return, ast.Raise, ast.Continue))
+                for s in stmt.body
+            ):
+                return True
+        return False
