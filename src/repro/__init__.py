@@ -34,7 +34,7 @@ from repro.fleet import FleetResult, FleetSpec, JobSpec, run_fleet
 from repro.governors import BASELINE_SIX, Governor, available, create
 from repro.hw import HardwareRLPolicy, QFormat, compare_latency
 from repro.power import PowerModel
-from repro.qos import energy_per_qos, improvement_percent
+from repro.qos import energy_per_qos, energy_per_qos_j, improvement_percent
 from repro.sim import SimulationResult, Simulator
 from repro.soc import Chip, exynos5422, symmetric_quad, tiny_test_chip
 from repro.workload import SCENARIOS, Scenario, Trace, get_scenario
@@ -65,6 +65,7 @@ __all__ = [
     "compare_latency",
     "create",
     "energy_per_qos",
+    "energy_per_qos_j",
     "evaluate_policy",
     "exynos5422",
     "get_scenario",

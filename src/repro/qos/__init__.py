@@ -9,7 +9,11 @@ from repro.qos.classes import (
     default_mobile_classes,
     evaluate_jobs_weighted,
 )
-from repro.qos.energy_per_qos import energy_per_qos, improvement_percent
+from repro.qos.energy_per_qos import (
+    energy_per_qos,
+    energy_per_qos_j,
+    improvement_percent,
+)
 from repro.qos.metrics import QoSReport, evaluate_jobs, soft_qos
 
 __all__ = [
@@ -21,6 +25,7 @@ __all__ = [
     "QoSReport",
     "default_mobile_classes",
     "energy_per_qos",
+    "energy_per_qos_j",
     "evaluate_jobs",
     "evaluate_jobs_weighted",
     "improvement_percent",

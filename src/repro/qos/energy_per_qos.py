@@ -18,7 +18,7 @@ from repro.errors import ConfigurationError
 from repro.qos.metrics import QoSReport
 
 
-def energy_per_qos(total_energy_j: float, report: QoSReport) -> float:
+def energy_per_qos_j(total_energy_j: float, report: QoSReport) -> float:
     """Energy per unit of delivered QoS, in joules.
 
     Args:
@@ -40,6 +40,10 @@ def energy_per_qos(total_energy_j: float, report: QoSReport) -> float:
     if delivered == 0:
         return float("inf")
     return total_energy_j / delivered
+
+
+#: Pre-rename alias; the ``_j`` suffix carries the unit (RPL102).
+energy_per_qos = energy_per_qos_j
 
 
 def improvement_percent(baseline: float, proposed: float) -> float:

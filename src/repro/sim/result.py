@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
-from repro.qos.energy_per_qos import energy_per_qos
+from repro.qos.energy_per_qos import energy_per_qos_j
 from repro.qos.metrics import QoSReport
 from repro.sim.telemetry import ClusterObservation
 
@@ -55,7 +55,7 @@ class SimulationResult:
     @property
     def energy_per_qos_j(self) -> float:
         """The paper's headline metric for this run."""
-        return energy_per_qos(self.total_energy_j, self.qos)
+        return energy_per_qos_j(self.total_energy_j, self.qos)
 
     @property
     def average_power_w(self) -> float:

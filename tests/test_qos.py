@@ -5,7 +5,11 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
-from repro.qos.energy_per_qos import energy_per_qos, improvement_percent
+from repro.qos.energy_per_qos import (
+    energy_per_qos,
+    energy_per_qos_j,
+    improvement_percent,
+)
 from repro.qos.metrics import QoSReport, evaluate_jobs, soft_qos
 from repro.workload.task import Job
 
@@ -101,23 +105,26 @@ class TestEnergyPerQoS:
         )
 
     def test_basic(self):
-        assert energy_per_qos(10.0, self.report(1.0, n=10)) == pytest.approx(1.0)
+        assert energy_per_qos_j(10.0, self.report(1.0, n=10)) == pytest.approx(1.0)
 
     def test_lower_qos_costs_more(self):
-        full = energy_per_qos(10.0, self.report(1.0))
-        half = energy_per_qos(10.0, self.report(0.5))
+        full = energy_per_qos_j(10.0, self.report(1.0))
+        half = energy_per_qos_j(10.0, self.report(0.5))
         assert half == pytest.approx(2 * full)
 
     def test_zero_qos_is_infinite(self):
-        assert energy_per_qos(10.0, self.report(0.0)) == float("inf")
+        assert energy_per_qos_j(10.0, self.report(0.0)) == float("inf")
 
     def test_zero_units_rejected(self):
         with pytest.raises(ConfigurationError):
-            energy_per_qos(1.0, self.report(1.0, n=0))
+            energy_per_qos_j(1.0, self.report(1.0, n=0))
 
     def test_negative_energy_rejected(self):
         with pytest.raises(ConfigurationError):
-            energy_per_qos(-1.0, self.report(1.0))
+            energy_per_qos_j(-1.0, self.report(1.0))
+
+    def test_pre_rename_alias(self):
+        assert energy_per_qos is energy_per_qos_j
 
     def test_improvement_percent(self):
         assert improvement_percent(100.0, 68.34) == pytest.approx(31.66)
