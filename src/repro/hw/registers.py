@@ -35,6 +35,11 @@ from repro.errors import HardwareModelError
 from repro.hw.fixed_point import QFormat
 
 WORD_MASK = 0xFFFFFFFF
+#: Width of the OBS1 reward field; the lint rule RPL203 reads this
+#: constant to reject QFormats that could never cross the interface.
+OBS1_REWARD_BITS = 16
+_REWARD_MASK = (1 << OBS1_REWARD_BITS) - 1
+_REWARD_SIGN = 1 << (OBS1_REWARD_BITS - 1)
 _LEARN_BIT = 1 << 16
 _VALID_BIT = 1 << 31
 _SEQ_SHIFT = 16
@@ -74,12 +79,13 @@ def pack_obs1(reward: float, qformat: QFormat, learn: bool = True) -> int:
     The reward raw value is carried two's-complement in 16 bits, so the
     Q-format must not be wider than 16 bits.
     """
-    if qformat.width > 16:
+    if qformat.width > OBS1_REWARD_BITS:
         raise HardwareModelError(
-            f"OBS1 reward field is 16 bits; {qformat} is {qformat.width}"
+            f"OBS1 reward field is {OBS1_REWARD_BITS} bits; "
+            f"{qformat} is {qformat.width}"
         )
     raw = qformat.quantize(reward)
-    word = raw & 0xFFFF  # two's complement into the low half-word
+    word = raw & _REWARD_MASK  # two's complement into the low half-word
     if learn:
         word |= _LEARN_BIT
     return word
@@ -92,11 +98,11 @@ def unpack_obs1(word: int, qformat: QFormat) -> tuple[float, bool]:
     value the datapath actually saw.
     """
     _check_word(word, "OBS1")
-    if word & ~(0xFFFF | _LEARN_BIT):
+    if word & ~(_REWARD_MASK | _LEARN_BIT):
         raise HardwareModelError(f"OBS1 reserved bits set: {word:#x}")
-    raw = word & 0xFFFF
-    if raw >= 0x8000:  # sign-extend
-        raw -= 0x10000
+    raw = word & _REWARD_MASK
+    if raw >= _REWARD_SIGN:  # sign-extend
+        raw -= 1 << OBS1_REWARD_BITS
     return qformat.dequantize(raw), bool(word & _LEARN_BIT)
 
 
