@@ -509,8 +509,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print(report)
     if stale and args.format == "text":
         print(
-            f"note: {stale} baseline entr{'ies' if stale != 1 else 'y'} no "
-            "longer match any finding; refresh with --write-baseline",
+            f"note: {stale} stale baseline "
+            + ("entries no longer match" if stale != 1 else "entry no longer matches")
+            + " any finding; refresh with --write-baseline",
             file=sys.stderr,
         )
     return 1 if findings else 0
