@@ -8,12 +8,15 @@ tests pin down.
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.analysis.sweep import SweepResult, SweepRow
 from repro.analysis.tables import format_table
 from repro.fleet.worker import JobFailure, JobSuccess
 from repro.obs.metrics import merge_snapshots
+
+if TYPE_CHECKING:
+    from repro.fleet.runner import FleetResult
 
 
 def to_sweep_rows(successes: Iterable[JobSuccess]) -> list[SweepRow]:
@@ -115,7 +118,7 @@ def failure_table(failures: Iterable[JobFailure]) -> str:
     )
 
 
-def fleet_summary(result) -> str:
+def fleet_summary(result: "FleetResult") -> str:
     """One-paragraph execution summary of a
     :class:`~repro.fleet.runner.FleetResult` (wall clock, throughput,
     estimated serial-vs-parallel speedup)."""

@@ -24,7 +24,7 @@ import os
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.errors import ReproError
 from repro.fleet.events import (
@@ -46,6 +46,9 @@ from repro.fleet.worker import (
     execute_job,
     run_job,
 )
+
+if TYPE_CHECKING:
+    from repro.analysis.sweep import SweepResult
 
 
 def resolve_workers(jobs: int | None) -> int:
@@ -108,7 +111,9 @@ class FleetResult:
             + "\n".join(lines)
         )
 
-    def sweep_result(self, seed: int | None = None, strict: bool = True):
+    def sweep_result(
+        self, seed: int | None = None, strict: bool = True
+    ) -> "SweepResult":
         """The successes as a :class:`~repro.analysis.sweep.SweepResult`.
 
         Args:

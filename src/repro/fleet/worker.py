@@ -20,17 +20,18 @@ import threading
 import time
 import traceback
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Mapping
 
 from repro.errors import ReproError
 from repro.fleet.spec import CHECKPOINT_PREFIX, JobSpec
-from repro.governors import create
+from repro.governors import Governor, create
 from repro.power.model import PowerModel
 from repro.sim.engine import Simulator
 from repro.sim.result import SimulationResult
 from repro.soc.chip import Chip
 from repro.soc.presets import PRESETS
 from repro.workload.scenarios import get_scenario
+from repro.workload.trace import Trace
 
 
 @dataclass(frozen=True)
@@ -127,7 +128,8 @@ def _build_chip(spec: JobSpec) -> Chip:
 
 
 def _make_simulator(
-    spec: JobSpec, chip: Chip, trace, governors, power_model: PowerModel
+    spec: JobSpec, chip: Chip, trace: Trace,
+    governors: Mapping[str, Governor], power_model: PowerModel
 ) -> Simulator:
     """The job's simulator; full-system jobs get the X1 substrate
     (thermals + throttling, cpuidle, DVFS transition costs)."""
@@ -157,7 +159,9 @@ def _make_simulator(
     )
 
 
-def _run_rl(spec: JobSpec, chip: Chip, eval_trace, power_model) -> SimulationResult:
+def _run_rl(
+    spec: JobSpec, chip: Chip, eval_trace: Trace, power_model: PowerModel
+) -> SimulationResult:
     """Train the proposed policy on the job's scenario, evaluate greedily."""
     from repro.core.trainer import make_policies, train_policy
 
@@ -197,7 +201,7 @@ def _run_rl(spec: JobSpec, chip: Chip, eval_trace, power_model) -> SimulationRes
 
 
 def _run_checkpoint(
-    spec: JobSpec, chip: Chip, eval_trace, power_model
+    spec: JobSpec, chip: Chip, eval_trace: Trace, power_model: PowerModel
 ) -> SimulationResult:
     from repro.core.checkpoint import load_policies
 
@@ -278,7 +282,7 @@ def _arm_timeout(timeout_s: float | None) -> bool:
     if threading.current_thread() is not threading.main_thread():
         return False
 
-    def _on_alarm(signum, frame):
+    def _on_alarm(signum: int, frame: object) -> None:
         raise JobTimeout(f"job exceeded {timeout_s} s wall-clock budget")
 
     signal.signal(signal.SIGALRM, _on_alarm)

@@ -80,7 +80,7 @@ class ImportMap:
     ``from time import time``) to ``time.time``.
     """
 
-    def __init__(self, tree: ast.AST):
+    def __init__(self, tree: ast.AST) -> None:
         self._aliases: dict[str, str] = {}
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
@@ -163,7 +163,7 @@ class Rule(ast.NodeVisitor):
     summary: str = ""
     scope: tuple[str, ...] = ()
 
-    def __init__(self, ctx: LintContext):
+    def __init__(self, ctx: LintContext) -> None:
         self.ctx = ctx
 
     @classmethod

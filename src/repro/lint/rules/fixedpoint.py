@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import ast
 
-from repro.lint.engine import Rule, ancestors, register
+from repro.lint.engine import LintContext, Rule, ancestors, register
 
 _DATAPATH_SCOPE = ("hw/datapath.py", "hw/fixed_point.py")
 
@@ -134,7 +134,7 @@ class TrueDivisionRule(Rule):
         self.generic_visit(node)
 
 
-def _reward_field_bits(ctx) -> int:
+def _reward_field_bits(ctx: LintContext) -> int:
     """The OBS1 reward field width, parsed from ``hw/registers.py``.
 
     Falls back to the interface's historical 16 bits when the file (or

@@ -23,7 +23,7 @@ from typing import Any, Iterable, Mapping
 
 from repro.errors import ObsError
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import InstantRecord, SpanRecord
+from repro.obs.trace import InstantRecord, SpanRecord, Tracer
 
 # -- Chrome trace_event ---------------------------------------------------
 
@@ -31,7 +31,7 @@ _REQUIRED_EVENT_KEYS = {"ph", "name", "ts", "pid", "tid"}
 
 
 def chrome_trace(
-    tracer,
+    tracer: Tracer,
     metrics: MetricsRegistry | Mapping[str, Any] | None = None,
     process_name: str = "repro",
 ) -> dict[str, Any]:
@@ -132,7 +132,7 @@ def validate_chrome_trace(data: Mapping[str, Any]) -> None:
 
 def write_chrome_trace(
     path: str | Path,
-    tracer,
+    tracer: Tracer,
     metrics: MetricsRegistry | Mapping[str, Any] | None = None,
 ) -> Path:
     """Serialise :func:`chrome_trace` to ``path``; returns the path."""
@@ -160,7 +160,7 @@ def load_chrome_trace(path: str | Path) -> dict[str, Any]:
 
 def write_jsonl(
     path: str | Path,
-    tracer,
+    tracer: Tracer,
     metrics: MetricsRegistry | Mapping[str, Any] | None = None,
 ) -> Path:
     """Dump spans, instants, and an optional metrics snapshot as JSONL."""

@@ -11,7 +11,7 @@ is what travels back from fleet workers and what
 from __future__ import annotations
 
 import math
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence, TypeVar
 
 from repro.errors import ObsError
 
@@ -26,7 +26,7 @@ class Counter:
 
     __slots__ = ("name", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
 
@@ -46,7 +46,7 @@ class Gauge:
 
     __slots__ = ("name", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
 
@@ -71,7 +71,7 @@ class Histogram:
 
     __slots__ = ("name", "bounds", "bucket_counts", "count", "sum", "min", "max")
 
-    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
         bounds = tuple(float(b) for b in buckets)
         if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
             raise ObsError(
@@ -105,13 +105,16 @@ class Histogram:
         return self.sum / self.count if self.count else 0.0
 
 
+_M = TypeVar("_M", "Counter", "Gauge", "Histogram")
+
+
 class MetricsRegistry:
     """Get-or-create home for all metrics of one observability session."""
 
     def __init__(self) -> None:
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
 
-    def _get(self, name: str, kind: type, factory):
+    def _get(self, name: str, kind: type[_M], factory: Callable[[], _M]) -> _M:
         metric = self._metrics.get(name)
         if metric is None:
             metric = factory()

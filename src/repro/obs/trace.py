@@ -62,7 +62,9 @@ class _OpenSpan:
 
     __slots__ = ("uid", "parent_uid", "name", "cat", "start_us", "depth", "args")
 
-    def __init__(self, uid, parent_uid, name, cat, start_us, depth, args):
+    def __init__(self, uid: int, parent_uid: int | None, name: str,
+                 cat: str, start_us: float, depth: int,
+                 args: dict[str, object] | None) -> None:
         self.uid = uid
         self.parent_uid = parent_uid
         self.name = name
