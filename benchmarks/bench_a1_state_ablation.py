@@ -17,7 +17,17 @@ from conftest import write_result
 
 def test_a1_state_ablation(benchmark):
     result = benchmark.pedantic(a1_state_ablation, rounds=1, iterations=1)
-    write_result("a1_state_ablation", result.report)
+    metrics = {
+        f"{label}.energy_per_qos_j": run.energy_per_qos_j
+        for label, run in result.results.items()
+    }
+    metrics.update(
+        {
+            f"{label}.mean_qos": run.qos.mean_qos
+            for label, run in result.results.items()
+        }
+    )
+    write_result("a1_state_ablation", result.report, metrics=metrics)
     runs = result.results
     full = runs["full"].energy_per_qos_j
     assert runs["no-slack"].energy_per_qos_j > full

@@ -15,7 +15,12 @@ from conftest import write_result
 
 def test_a3_learner_ablation(benchmark):
     result = benchmark.pedantic(a3_learner_ablation, rounds=1, iterations=1)
-    write_result("a3_learner_ablation", result.report)
+    metrics = {
+        f"{label}.energy_per_qos_j": run.energy_per_qos_j
+        for label, run in result.learners.items()
+    }
+    metrics["oracle.energy_per_qos_j"] = result.oracle.energy_per_qos_j
+    write_result("a3_learner_ablation", result.report, metrics=metrics)
     q_run = result.learners["Q-learning (paper)"]
     for label, other in result.learners.items():
         ratio = other.energy_per_qos_j / q_run.energy_per_qos_j

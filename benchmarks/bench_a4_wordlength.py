@@ -15,7 +15,13 @@ from conftest import write_result
 
 def test_a4_wordlength(benchmark):
     result = benchmark.pedantic(a4_wordlength, rounds=1, iterations=1)
-    write_result("a4_wordlength", result.report)
+    ref = result.row("Q7.8")
+    metrics = {
+        "q7_8.agreement": ref.agreement,
+        "q7_8.energy_per_qos_j": ref.run.energy_per_qos_j,
+        "software.energy_per_qos_j": result.software.energy_per_qos_j,
+    }
+    write_result("a4_wordlength", result.report, metrics=metrics)
     assert result.row("Q11.12").agreement >= result.row("Q2.2").agreement
     ref = result.row("Q7.8")
     assert ref.agreement > 0.85

@@ -16,9 +16,13 @@ from conftest import write_result
 
 def test_a6_fpga_resources(benchmark):
     result = benchmark(a6_fpga_resources)
-    write_result("a6_fpga_resources", result.report)
-    assert result.reference_fits()
     luts = [est.luts for est in result.estimates.values()]
+    metrics = {
+        "max_luts": float(max(luts)),
+        "accelerator_power_w": result.accelerator_power_w,
+    }
+    write_result("a6_fpga_resources", result.report, metrics=metrics)
+    assert result.reference_fits()
     assert luts == sorted(luts)
     for _, rtl_cycles, analytical in result.rtl_checks:
         assert rtl_cycles == analytical

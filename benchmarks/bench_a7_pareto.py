@@ -39,7 +39,11 @@ def test_a7_pareto(benchmark):
     report = frontier_table(points)
     frontier = pareto_frontier(points)
     report += "\nfrontier: " + " -> ".join(p.label for p in frontier)
-    write_result("a7_pareto", report)
+    metrics: dict[str, float] = {"frontier_size": float(len(frontier))}
+    for p in points:
+        metrics[f"{p.label}.energy_j"] = p.energy_j
+        metrics[f"{p.label}.qos"] = p.qos
+    write_result("a7_pareto", report, metrics=metrics)
 
     rl = next(p for p in points if p.label == "rl-policy")
     # No baseline strictly beats the policy on both axes (1% energy / one

@@ -19,7 +19,13 @@ from conftest import write_result
 
 def test_e4_decision_latency(benchmark):
     result = benchmark(e4_decision_latency)
-    write_result("e4_decision_latency", result.report)
+    metrics = {
+        "typical_speedup": result.typical.speedup,
+        "best_case_speedup": result.best_case.speedup,
+        "typical_software_s": result.typical.software_s,
+        "typical_hardware_s": result.typical.hardware_s,
+    }
+    write_result("e4_decision_latency", result.report, metrics=metrics)
     assert abs(result.typical.speedup - PAPER_TYPICAL_SPEEDUP) < 0.05 * PAPER_TYPICAL_SPEEDUP
     assert 25.0 < result.best_case.speedup < 60.0
     assert all(row.speedup > 1.0 for row in result.rows)

@@ -16,7 +16,13 @@ from conftest import write_result
 
 def test_e5_convergence(benchmark):
     result = benchmark.pedantic(e5_learning_curve, rounds=1, iterations=1)
-    write_result("e5_convergence", result.report)
+    metrics = {
+        "start_energy_per_qos_j": result.start_j,
+        "tail_energy_per_qos_j": result.tail_mean_j(),
+        "tail_qos": result.tail_qos(),
+        "episodes": float(len(result.curve)),
+    }
+    write_result("e5_convergence", result.report, metrics=metrics)
     late = result.tail_mean_j()
     assert late < result.start_j, (
         f"no learning: start {result.start_j:.4g}, late {late:.4g}"

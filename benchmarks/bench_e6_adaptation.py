@@ -17,7 +17,13 @@ from conftest import write_result
 
 def test_e6_adaptation(benchmark):
     result = benchmark.pedantic(e6_adaptation, rounds=1, iterations=1)
-    write_result("e6_adaptation", result.report)
+    metrics: dict[str, float] = {}
+    for seg in result.segments:
+        metrics[f"{seg.scenario}.adapting_qos"] = seg.adapting_qos
+        metrics[f"{seg.scenario}.adapting_j"] = seg.adapting_j
+        metrics[f"{seg.scenario}.ondemand_j"] = seg.ondemand_j
+        metrics[f"{seg.scenario}.specialist_j"] = seg.specialist_j
+    write_result("e6_adaptation", result.report, metrics=metrics)
     for seg in result.segments:
         assert seg.adapting_qos > 0.9, f"{seg.scenario}: QoS collapsed while adapting"
         assert seg.adapting_j < seg.ondemand_j * 1.05, (

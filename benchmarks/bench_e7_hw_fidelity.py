@@ -15,7 +15,13 @@ from conftest import write_result
 
 def test_e7_hw_fidelity(benchmark):
     result = benchmark.pedantic(e7_hw_fidelity, rounds=1, iterations=1)
-    write_result("e7_hw_fidelity", result.report)
+    metrics = {
+        "min_agreement": min(result.agreements.values()),
+        "hardware_qos": result.hardware.qos.mean_qos,
+        "software_qos": result.software.qos.mean_qos,
+        "energy_per_qos_delta": result.energy_per_qos_delta,
+    }
+    write_result("e7_hw_fidelity", result.report, metrics=metrics)
     assert all(a > 0.85 for a in result.agreements.values()), result.agreements
     assert abs(result.hardware.qos.mean_qos - result.software.qos.mean_qos) < 0.05
     assert result.energy_per_qos_delta < 0.15

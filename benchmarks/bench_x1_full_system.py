@@ -17,7 +17,13 @@ from conftest import write_result
 
 def test_x1_full_system(benchmark):
     result = benchmark.pedantic(x1_full_system, rounds=1, iterations=1)
-    write_result("x1_full_system", result.report)
+    metrics = {
+        f"{g}.mean_energy_per_qos_j": result.mean_j(g)
+        for g in ("rl-policy", "performance", "ondemand", "interactive")
+    }
+    for scenario, qos in result.rl_qos.items():
+        metrics[f"{scenario}.rl_qos"] = qos
+    write_result("x1_full_system", result.report, metrics=metrics)
     rl_mean = result.mean_j("rl-policy")
     for g in ("performance", "ondemand", "interactive"):
         gain = improvement_percent(result.mean_j(g), rl_mean)

@@ -17,7 +17,11 @@ from conftest import write_result
 
 def test_x2_seed_stability(benchmark):
     result = benchmark.pedantic(x2_seed_stability, rounds=1, iterations=1)
-    write_result("x2_seed_stability", result.report)
+    metrics = {
+        f"{g}.mean_energy_per_qos_j": m.mean
+        for g, m in result.measures.items()
+    }
+    write_result("x2_seed_stability", result.report, metrics=metrics)
     rl = result.measures["rl-policy"]
     ondemand = result.measures["ondemand"]
     interactive = result.measures["interactive"]

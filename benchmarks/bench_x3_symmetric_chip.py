@@ -55,9 +55,14 @@ def _report(result) -> str:
 
 def test_x3_symmetric_chip(benchmark):
     result = benchmark.pedantic(_run, rounds=1, iterations=1)
-    write_result("x3_symmetric_chip", _report(result))
     baseline_mean = mean([result.mean_energy_per_qos(g) for g in GOVERNORS])
     rl = result.mean_energy_per_qos("rl-policy")
+    metrics = {
+        f"{g}.mean_energy_per_qos_j": result.mean_energy_per_qos(g)
+        for g in GOVERNORS + ["rl-policy"]
+    }
+    metrics["improvement_percent"] = improvement_percent(baseline_mean, rl)
+    write_result("x3_symmetric_chip", _report(result), metrics=metrics)
     assert improvement_percent(baseline_mean, rl) > 10.0
     # QoS intact on every scenario.
     for scenario in result.scenarios():

@@ -56,7 +56,13 @@ def _report(results) -> str:
 
 def test_x4_driver_modes(benchmark):
     results = benchmark.pedantic(_run, rounds=1, iterations=1)
-    write_result("x4_driver_modes", _report(results))
+    metrics: dict[str, float] = {}
+    for mode, (latency, polls) in results.items():
+        slug = mode.split(" ")[0] if "(" not in mode else mode.replace(
+            "interrupt (", "irq_").replace(" us IRQ)", "us")
+        metrics[f"{slug}.mean_latency_s"] = latency
+        metrics[f"{slug}.polls_per_request"] = polls
+    write_result("x4_driver_modes", _report(results), metrics=metrics)
     polling = results["polling"][0]
     irq5 = results["interrupt (5 us IRQ)"][0]
     irq20 = results["interrupt (20 us IRQ)"][0]

@@ -52,7 +52,13 @@ def _report(rows) -> str:
 
 def test_x5_demand_shift(benchmark):
     rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    write_result("x5_demand_shift", _report(rows))
+    metrics: dict[str, float] = {}
+    for factor, rl_j, rl_qos, od_j, od_qos in rows:
+        slug = f"x{factor:g}".replace(".", "_")
+        metrics[f"{slug}.rl_energy_per_qos_mj"] = rl_j
+        metrics[f"{slug}.rl_qos"] = rl_qos
+        metrics[f"{slug}.ondemand_energy_per_qos_mj"] = od_j
+    write_result("x5_demand_shift", _report(rows), metrics=metrics)
     for factor, rl_j, rl_qos, od_j, _od_qos in rows:
         if factor >= 1.0:
             # At and above the trained demand the policy must stay ahead.

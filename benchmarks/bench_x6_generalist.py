@@ -51,10 +51,16 @@ def _report(rows) -> str:
 
 def test_x6_generalist(benchmark, full_sweep):
     rows = benchmark.pedantic(_run, args=(full_sweep,), rounds=1, iterations=1)
-    write_result("x6_generalist", _report(rows))
     generalist_mean = mean([r[1] for r in rows])
     specialist_mean = mean([r[2] for r in rows])
     ondemand_mean = mean([r[3] for r in rows])
+    metrics = {
+        "generalist_mean_mj": generalist_mean,
+        "specialist_mean_mj": specialist_mean,
+        "ondemand_mean_mj": ondemand_mean,
+        "min_generalist_qos": min(r[-1] for r in rows),
+    }
+    write_result("x6_generalist", _report(rows), metrics=metrics)
     # The single policy is within 15% of six specialists on average...
     assert generalist_mean < specialist_mean * 1.15
     # ...and still clearly better than ondemand.

@@ -23,6 +23,7 @@ import pytest
 from repro.analysis.sweep import SweepResult
 from repro.fleet import FleetResult, FleetSpec, fleet_summary, run_fleet
 from repro.governors import BASELINE_SIX
+from repro.perf import LEDGER_ENV_VAR, new_run_id, record_run
 from repro.workload.scenarios import EVALUATION_SET
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -32,6 +33,15 @@ RESULTS_DIR = Path(__file__).parent / "results"
 EVAL_DURATION_S = 20.0
 TRAIN_EPISODES = 20
 EVAL_SEED = 100
+
+# All benches of one pytest invocation share a ledger run id, so
+# ``repro perf gate`` sees them as one "current" run.  The ledger is
+# anchored at the repo root (not the cwd) unless REPRO_PERF_LEDGER says
+# otherwise.
+_BENCH_RUN_ID = new_run_id()
+_LEDGER_PATH = os.environ.get(LEDGER_ENV_VAR) or str(
+    Path(__file__).parent.parent / ".repro" / "perf-ledger.jsonl"
+)
 
 
 def write_result(
@@ -43,13 +53,21 @@ def write_result(
         name: Bench id (the file stem).
         text: The rendered table, written to ``<name>.txt``.
         metrics: Optional metric-name -> value mapping, written to
-            ``<name>.json`` for machine-readable tracking across PRs.
+            ``<name>.json`` for machine-readable tracking across PRs
+            and appended to the performance ledger (``repro.perf``) so
+            ``repro perf gate`` can test the trajectory.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     if metrics is not None:
         (RESULTS_DIR / f"{name}.json").write_text(
             json.dumps(metrics, indent=2, sort_keys=True) + "\n"
+        )
+        record_run(
+            "bench", name, metrics,
+            {"duration_s": EVAL_DURATION_S, "episodes": TRAIN_EPISODES,
+             "seed": EVAL_SEED},
+            run_id=_BENCH_RUN_ID, path=_LEDGER_PATH,
         )
     print()
     print(text)

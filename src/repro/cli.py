@@ -17,6 +17,10 @@ Subcommands:
 * ``check`` — run the repo's invariant-aware static analysis
   (``repro.lint``) over source paths; the CI lint gate
   (see ``docs/static-analysis.md``).
+* ``perf`` — the performance ledger: ``perf list`` shows recorded runs,
+  ``perf compare <baseline-ledger>`` classifies metric shifts against a
+  reference ledger, and ``perf gate`` is the CI regression gate
+  (see the "Performance ledger" section of ``docs/observability.md``).
 
 ``run --governor checkpoint:<dir>`` evaluates a saved policy checkpoint
 instead of a named governor; the same spelling works in ``fleet
@@ -27,6 +31,9 @@ Every subcommand takes ``--log-level debug|info|warning|error``
 (stderr diagnostics through the ``repro`` logger hierarchy), and
 ``run``/``compare``/``fleet`` take ``--trace FILE`` / ``--metrics FILE``
 to capture observability output (see ``docs/observability.md``).
+``run``/``compare``/``fleet`` also take ``--ledger [FILE]`` to append
+the run's metrics to the performance ledger (bare ``--ledger`` uses
+``$REPRO_PERF_LEDGER`` or ``.repro/perf-ledger.jsonl``).
 """
 
 from __future__ import annotations
@@ -80,19 +87,64 @@ def _configure_logging(level_name: str) -> None:
 
 @contextmanager
 def _obs_session(trace_path: str | None, metrics_path: str | None,
-                 trace: bool = True):
+                 trace: bool = True, force: bool = False):
     """An observability capture when any output path asks for one.
 
     Yields ``None`` (and stays zero-overhead) when neither ``--trace``
-    nor ``--metrics`` was given.
+    nor ``--metrics`` was given and ``force`` is off (``--ledger`` runs
+    force a metrics capture so decision-latency percentiles land in the
+    ledger).
     """
-    if not (trace_path or metrics_path):
+    if not (trace_path or metrics_path or force):
         yield None
         return
     from repro import obs
 
     with obs.capture(trace=trace) as session:
         yield session
+
+
+def _ledger_path(args: argparse.Namespace) -> str | None:
+    """The ``--ledger`` value, with bare ``--ledger`` (empty string)
+    mapped to ``None`` so :func:`repro.perf.resolve_ledger_path` applies
+    the env-var/default resolution."""
+    return getattr(args, "ledger", None) or None
+
+
+def _ledger_requested(args: argparse.Namespace) -> bool:
+    """Whether ``--ledger`` was given at all (bare or with a path)."""
+    return getattr(args, "ledger", None) is not None
+
+
+def _record_result(
+    kind: str,
+    name: str,
+    result,
+    config: dict,
+    args: argparse.Namespace,
+    session=None,
+    run_id: str | None = None,
+) -> None:
+    """Append one simulation result to the performance ledger."""
+    from repro import perf
+
+    metrics = {
+        "energy_j": result.total_energy_j,
+        "mean_qos": result.qos.mean_qos,
+        "deadline_miss_rate": result.qos.deadline_miss_rate,
+        "energy_per_qos_j": result.energy_per_qos_j,
+    }
+    if session is not None:
+        metrics.update(perf.metrics_from_snapshot(session.metrics.snapshot()))
+    record = perf.record_run(
+        kind, name, metrics, config,
+        run_id=run_id, path=_ledger_path(args),
+    )
+    print(
+        f"ledger: recorded {record.kind}:{record.name} "
+        f"({len(record.metrics)} metrics, run {record.run_id}) "
+        f"to {perf.resolve_ledger_path(_ledger_path(args))}"
+    )
 
 
 def _write_obs(session, trace_path: str | None,
@@ -141,7 +193,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         args.chip_file or args.chip, args.scenario, args.governor,
         args.duration, args.seed,
     )
-    with _obs_session(args.trace, args.metrics) as session:
+    with _obs_session(
+        args.trace, args.metrics, force=_ledger_requested(args)
+    ) as session:
         if args.governor.startswith("checkpoint:"):
             policies = load_policies(
                 args.governor.removeprefix("checkpoint:"), chip=chip
@@ -157,6 +211,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
              result.total_energy_j, result.qos.mean_qos)
     print(result.summary())
     _write_obs(session, args.trace, args.metrics)
+    if _ledger_requested(args):
+        _record_result(
+            "run", args.scenario, result,
+            {
+                "chip": args.chip_file or args.chip,
+                "governor": args.governor,
+                "seed": args.seed,
+                "duration_s": args.duration,
+            },
+            args, session=session,
+        )
     return 0
 
 
@@ -208,6 +273,31 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         )
     )
     _write_obs(session, args.trace, args.metrics)
+    if _ledger_requested(args):
+        from repro import perf
+
+        run_id = perf.new_run_id()
+        for r in result.rows:
+            perf.record_run(
+                "compare", r.scenario,
+                {
+                    "energy_j": r.energy_j,
+                    "mean_qos": r.mean_qos,
+                    "deadline_miss_rate": r.deadline_miss_rate,
+                    "energy_per_qos_j": r.energy_per_qos_j,
+                },
+                {
+                    "chip": args.chip,
+                    "governor": r.governor,
+                    "duration_s": args.duration,
+                },
+                run_id=run_id, path=_ledger_path(args),
+            )
+        print(
+            f"ledger: recorded {len(result.rows)} compare rows "
+            f"(run {run_id}) to "
+            f"{perf.resolve_ledger_path(_ledger_path(args))}"
+        )
     return 0
 
 
@@ -233,6 +323,19 @@ def _cmd_latency(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro import obs
     from repro.core.trainer import evaluate_policy
+
+    if args.merge:
+        merged = obs.merge_trace_files(args.merge, out=args.out)
+        lanes = obs.trace_lanes(merged)
+        print(
+            f"merged {len(args.merge)} trace(s) "
+            f"({len(merged['traceEvents'])} events, "
+            f"{len(lanes)} lane(s): pids {lanes}) into {args.out}"
+        )
+        print("open in https://ui.perfetto.dev or chrome://tracing")
+        return 0
+    if args.scenario is None:
+        raise ReproError("a scenario is required unless --merge is given")
 
     chip = _resolve_chip(args)
     scenario = get_scenario(args.scenario)
@@ -288,6 +391,18 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro import obs
     from repro.workload.characterize import profile
     from repro.workload.trace import Trace
+
+    if args.from_trace:
+        # Offline re-profiling: phase breakdown straight from a saved
+        # trace file (Chrome or JSONL), no simulation run.
+        spans = obs.load_spans(args.from_trace)
+        print(
+            obs.format_breakdown(
+                obs.phase_breakdown(spans),
+                title=f"engine phase breakdown ({args.from_trace})",
+            )
+        )
+        return 0
 
     if args.trace:
         trace = Trace.from_csv(args.trace)
@@ -372,6 +487,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         )
     if args.metrics:
         spec = replace(spec, collect_metrics=True)
+    if args.trace_dir:
+        spec = replace(spec, trace_dir=args.trace_dir)
     log.info("fleet: %d-job grid, jobs=%d", len(spec.expand()), args.jobs)
 
     progress_mode = "none" if args.quiet else args.progress
@@ -407,6 +524,60 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         with open(args.metrics, "w") as fh:
             fh.write(prometheus_text(merged))
         print(f"merged fleet metrics written to {args.metrics}")
+    if args.trace_dir:
+        from repro.fleet import trace_paths
+
+        paths = trace_paths(result.successes)
+        print(
+            f"{len(paths)} per-job trace(s) in {args.trace_dir}; "
+            f"stitch with: repro trace --merge {args.trace_dir}/*.json "
+            f"--out merged.json"
+        )
+    if _ledger_requested(args):
+        from repro import perf
+
+        run_id = perf.new_run_id()
+        for s in result.successes:
+            metrics = {
+                "energy_j": s.energy_j,
+                "mean_qos": s.mean_qos,
+                "deadline_miss_rate": s.deadline_miss_rate,
+                "energy_per_qos_j": s.energy_per_qos_j,
+                "wall_s": s.wall_s,
+                "sim_throughput_per_s": s.sim_throughput,
+            }
+            if s.metrics is not None:
+                metrics.update(perf.metrics_from_snapshot(s.metrics))
+            perf.record_run(
+                "fleet", s.spec.scenario, metrics,
+                {
+                    "chip": s.spec.chip,
+                    "governor": s.spec.governor,
+                    "seed": s.spec.seed,
+                    "duration_s": s.spec.duration_s,
+                },
+                run_id=run_id, path=_ledger_path(args),
+            )
+        perf.record_run(
+            "fleet", "grid",
+            {
+                "jobs_total": float(len(result.successes) + len(result.failures)),
+                "jobs_failed": float(len(result.failures)),
+                "wall_s": result.wall_s,
+            },
+            {
+                "scenarios": ",".join(spec.scenarios),
+                "governors": ",".join(spec.governor_axis),
+                "seeds": ",".join(str(s) for s in spec.seeds),
+                "chips": ",".join(spec.chips),
+            },
+            run_id=run_id, path=_ledger_path(args),
+        )
+        print(
+            f"ledger: recorded {len(result.successes)} fleet rows + "
+            f"grid summary (run {run_id}) to "
+            f"{perf.resolve_ledger_path(_ledger_path(args))}"
+        )
     _write_obs(session, args.trace, None)
     if args.out:
         rows = [
@@ -517,6 +688,101 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _polarity_overrides(args: argparse.Namespace) -> dict[str, str] | None:
+    overrides: dict[str, str] = {}
+    if getattr(args, "higher_better", None):
+        for name in args.higher_better.split(","):
+            overrides[name] = "higher"
+    if getattr(args, "lower_better", None):
+        for name in args.lower_better.split(","):
+            overrides[name] = "lower"
+    return overrides or None
+
+
+def _render_comparison(comparison, args: argparse.Namespace) -> None:
+    from repro import perf
+
+    if args.format == "json":
+        print(perf.render_json(comparison))
+    elif args.format == "github":
+        print(perf.render_github(comparison))
+    else:
+        print(
+            perf.render_text(
+                comparison, verbose=getattr(args, "verbose", False)
+            )
+        )
+
+
+def _cmd_perf_list(args: argparse.Namespace) -> int:
+    from repro import perf
+
+    records = perf.read_ledger(perf.resolve_ledger_path(_ledger_path(args)))
+    if args.limit and len(records) > args.limit:
+        records = records[-args.limit:]
+    rows = [
+        (r.run_id, r.kind, r.name, r.git_sha, len(r.metrics), r.key())
+        for r in records
+    ]
+    print(
+        format_table(
+            ["run", "kind", "name", "sha", "#metrics", "key"],
+            rows,
+            title=f"performance ledger ({len(records)} record(s) shown)",
+        )
+    )
+    return 0
+
+
+def _cmd_perf_compare(args: argparse.Namespace) -> int:
+    from repro import perf
+
+    baseline = perf.read_ledger(args.baseline_ref)
+    current = perf.read_ledger(perf.resolve_ledger_path(_ledger_path(args)))
+    comparison = perf.compare_records(
+        baseline, current,
+        threshold=args.threshold,
+        confidence=args.confidence,
+        polarity_overrides=_polarity_overrides(args),
+    )
+    _render_comparison(comparison, args)
+    return 0 if comparison.ok else 1
+
+
+def _cmd_perf_gate(args: argparse.Namespace) -> int:
+    from repro import perf
+
+    current_path = perf.resolve_ledger_path(_ledger_path(args))
+    if args.baseline is not None:
+        baseline = perf.read_ledger(args.baseline)
+        current = perf.read_ledger(current_path)
+    else:
+        # Self-gating: the ledger's newest run per config key is tested
+        # against every earlier record of that key.
+        baseline, current = perf.split_latest(perf.read_ledger(current_path))
+        if not baseline and not current:
+            print(
+                "perf gate: nothing to compare (every config key has "
+                "records from a single run only) — pass"
+            )
+            return 0
+    comparison = perf.compare_records(
+        baseline, current,
+        threshold=args.threshold,
+        confidence=args.confidence,
+        polarity_overrides=_polarity_overrides(args),
+    )
+    _render_comparison(comparison, args)
+    result = perf.gate(comparison, warn_only=args.warn_only)
+    if result.comparison.regressions and args.warn_only:
+        print(
+            f"perf gate: {len(result.comparison.regressions)} "
+            "regression(s) (warn-only, not failing)",
+            file=sys.stderr,
+        )
+    return result.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -548,6 +814,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a Chrome trace_event JSON of the run")
     run_p.add_argument("--metrics", default=None, metavar="FILE",
                        help="write a Prometheus-format metrics snapshot")
+    run_p.add_argument("--ledger", nargs="?", const="", default=None,
+                       metavar="FILE",
+                       help="append the run to the performance ledger "
+                            "(bare flag: $REPRO_PERF_LEDGER or "
+                            ".repro/perf-ledger.jsonl)")
     run_p.set_defaults(func=_cmd_run)
 
     train_p = sub.add_parser("train", parents=[common],
@@ -577,6 +848,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(in-process jobs only)")
     cmp_p.add_argument("--metrics", default=None, metavar="FILE",
                        help="write a Prometheus-format metrics snapshot")
+    cmp_p.add_argument("--ledger", nargs="?", const="", default=None,
+                       metavar="FILE",
+                       help="append one ledger record per comparison row")
     cmp_p.set_defaults(func=_cmd_compare)
 
     fleet_p = sub.add_parser(
@@ -621,6 +895,13 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_p.add_argument("--metrics", default=None, metavar="FILE",
                          help="collect per-job metric snapshots and write "
                               "the grid-wide merge as Prometheus text")
+    fleet_p.add_argument("--trace-dir", default=None, metavar="DIR",
+                         help="write one pid-tagged Chrome trace per job "
+                              "into DIR (merge with: repro trace --merge)")
+    fleet_p.add_argument("--ledger", nargs="?", const="", default=None,
+                         metavar="FILE",
+                         help="append per-job rows + the grid summary to "
+                              "the performance ledger")
     fleet_p.set_defaults(func=_cmd_fleet)
 
     lat_p = sub.add_parser("latency", parents=[common],
@@ -632,7 +913,13 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", parents=[common],
         help="run instrumented, write a Chrome trace_event file",
     )
-    trace_p.add_argument("scenario", choices=sorted(SCENARIOS))
+    trace_p.add_argument("scenario", nargs="?", default=None,
+                         choices=sorted(SCENARIOS))
+    trace_p.add_argument("--merge", nargs="+", default=None,
+                         metavar="TRACE",
+                         help="merge per-worker Chrome traces (e.g. a "
+                              "fleet --trace-dir output) into --out on a "
+                              "common timeline instead of running")
     trace_p.add_argument("--chip", default="exynos5422", choices=sorted(PRESETS))
     trace_p.add_argument("--chip-file", default=None,
                          help="chip JSON (device-tree schema), overrides --chip")
@@ -658,6 +945,10 @@ def build_parser() -> argparse.ArgumentParser:
     prof_p.add_argument("--chip", default="exynos5422", choices=sorted(PRESETS))
     prof_p.add_argument("--scenario", default="gaming", choices=sorted(SCENARIOS))
     prof_p.add_argument("--trace", default=None, help="trace CSV path (overrides --scenario)")
+    prof_p.add_argument("--from-trace", default=None, metavar="FILE",
+                        help="re-profile a saved trace file (Chrome JSON "
+                             "or JSONL, e.g. from the ledgered run's "
+                             "trace output) instead of running")
     prof_p.add_argument("--duration", type=float, default=30.0)
     prof_p.add_argument("--seed", type=int, default=0)
     prof_p.add_argument("--governor", default="ondemand",
@@ -702,6 +993,77 @@ def build_parser() -> argparse.ArgumentParser:
     check_p.add_argument("--list-rules", action="store_true",
                          help="print the rule catalogue and exit")
     check_p.set_defaults(func=_cmd_check)
+
+    perf_p = sub.add_parser(
+        "perf", parents=[common],
+        help="performance ledger: list runs, compare, regression gate",
+    )
+    perf_sub = perf_p.add_subparsers(dest="perf_command", required=True)
+
+    perf_common = argparse.ArgumentParser(add_help=False)
+    perf_common.add_argument(
+        "--ledger", default=None, metavar="FILE",
+        help="ledger file (default: $REPRO_PERF_LEDGER or "
+             ".repro/perf-ledger.jsonl)",
+    )
+
+    stat_common = argparse.ArgumentParser(add_help=False)
+    stat_common.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="relative median shift treated as noise (default: 0.10)",
+    )
+    stat_common.add_argument(
+        "--confidence", type=float, default=0.95,
+        help="bootstrap CI level for n >= 5 samples (default: 0.95)",
+    )
+    stat_common.add_argument(
+        "--format", default="text", choices=("text", "json", "github"),
+        help="report format (github = Actions annotations)",
+    )
+    stat_common.add_argument(
+        "--verbose", action="store_true",
+        help="also list unchanged/added/removed metrics (text format)",
+    )
+    stat_common.add_argument(
+        "--higher-better", default=None, metavar="METRICS",
+        help="comma-separated metrics where bigger is better "
+             "(overrides name-based polarity)",
+    )
+    stat_common.add_argument(
+        "--lower-better", default=None, metavar="METRICS",
+        help="comma-separated metrics where smaller is better",
+    )
+
+    perf_list_p = perf_sub.add_parser(
+        "list", parents=[common, perf_common],
+        help="show recorded runs",
+    )
+    perf_list_p.add_argument("--limit", type=int, default=50,
+                             help="show at most the last N records")
+    perf_list_p.set_defaults(func=_cmd_perf_list)
+
+    perf_cmp_p = perf_sub.add_parser(
+        "compare", parents=[common, perf_common, stat_common],
+        help="classify metric shifts against a baseline ledger",
+    )
+    perf_cmp_p.add_argument("baseline_ref", metavar="BASELINE",
+                            help="baseline ledger file to compare against")
+    perf_cmp_p.set_defaults(func=_cmd_perf_compare)
+
+    perf_gate_p = perf_sub.add_parser(
+        "gate", parents=[common, perf_common, stat_common],
+        help="CI regression gate (exit 1 on a regression)",
+    )
+    perf_gate_p.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline ledger; omitted = gate the ledger's newest run "
+             "against its own history per config key",
+    )
+    perf_gate_p.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but exit 0 (CI bring-up mode)",
+    )
+    perf_gate_p.set_defaults(func=_cmd_perf_gate)
     return parser
 
 

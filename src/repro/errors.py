@@ -43,6 +43,13 @@ class ObsError(ReproError):
     re-registered under another type, or a malformed exported trace)."""
 
 
+class PerfError(ReproError):
+    """The performance ledger or regression gate was misused (malformed
+    ledger lines, an unknown metric polarity override, an empty
+    comparison) — distinct from a *regression*, which is a property of
+    the measured code, not an error."""
+
+
 class LintError(ReproError):
     """The static-analysis engine was misconfigured (unknown rule code,
     unparsable input, malformed baseline) — distinct from a finding,

@@ -37,6 +37,7 @@ from repro.fleet.aggregate import (
     split_by_seed,
     to_sweep_result,
     to_sweep_rows,
+    trace_paths,
 )
 from repro.fleet.events import (
     EventLog,
@@ -96,4 +97,5 @@ __all__ = [
     "split_by_seed",
     "to_sweep_result",
     "to_sweep_rows",
+    "trace_paths",
 ]

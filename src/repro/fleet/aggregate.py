@@ -74,6 +74,16 @@ def merge_job_metrics(successes: Iterable[JobSuccess]) -> dict[str, Any]:
     )
 
 
+def trace_paths(successes: Iterable[JobSuccess]) -> list[str]:
+    """Per-job Chrome trace files (grid order), ``trace_dir`` jobs only.
+
+    Feed these to :func:`repro.obs.export.merge_trace_files` to stitch
+    the fleet onto one timeline.
+    """
+    ordered = sorted(successes, key=lambda s: s.index)
+    return [s.trace_path for s in ordered if s.trace_path is not None]
+
+
 def result_table(successes: Iterable[JobSuccess]) -> str:
     """The per-job metric table (grid order), for CLI/report output."""
     rows = [

@@ -53,6 +53,8 @@ class JobDone(FleetEvent):
         sim_throughput: Simulated seconds per wall-clock second.
         metrics: The worker's observability-registry snapshot
             (``collect_metrics`` jobs only, else ``None``).
+        trace_path: The job's Chrome trace file (``trace_dir`` jobs
+            only, else ``None``).
     """
 
     index: int
@@ -60,6 +62,7 @@ class JobDone(FleetEvent):
     wall_s: float
     sim_throughput: float
     metrics: Mapping[str, Any] | None = None
+    trace_path: str | None = None
 
 
 @dataclass(frozen=True)

@@ -208,6 +208,7 @@ def _report(
                 wall_s=outcome.wall_s,
                 sim_throughput=outcome.sim_throughput,
                 metrics=outcome.metrics,
+                trace_path=outcome.trace_path,
             )
         )
         return False

@@ -57,6 +57,12 @@ class JobSpec:
         collect_metrics: Run the job under a metrics-only observability
             session (:func:`repro.obs.capture`) and ship the registry
             snapshot back on the job's success/``JobDone`` event.
+        trace_dir: When set (implies ``collect_metrics`` behaviour with
+            tracing on), the worker writes a per-job Chrome trace named
+            ``<job_id>-pid<pid>.json`` into this directory, tagged with
+            the worker pid and the tracer epoch so
+            :func:`repro.obs.export.merge_traces` can stitch the fleet
+            onto one timeline.
         policy_config: RL policy configuration override.
         chip_obj: Escape hatch for non-preset chips (e.g. loaded from a
             device-tree JSON); takes precedence over ``chip``.  Not
@@ -74,6 +80,7 @@ class JobSpec:
     train_episode_s: float | None = None
     full_system: bool = False
     collect_metrics: bool = False
+    trace_dir: str | None = None
     policy_config: PolicyConfig | None = field(default=None, repr=False)
     chip_obj: Chip | None = field(default=None, repr=False, compare=False)
 
@@ -167,6 +174,8 @@ class FleetSpec:
         collect_metrics: Every job runs under a metrics-only
             observability session; snapshots come back per job and merge
             via :func:`repro.fleet.aggregate.merge_job_metrics`.
+        trace_dir: Directory for per-job Chrome traces (see
+            :attr:`JobSpec.trace_dir`); ``None`` disables tracing.
         jobs: Default worker-process count for
             :func:`repro.fleet.runner.run_fleet` (``None`` = CPU count).
         timeout_s: Per-job wall-clock timeout (``None`` = unlimited).
@@ -185,6 +194,7 @@ class FleetSpec:
     train_episode_s: float | None = None
     full_system: bool = False
     collect_metrics: bool = False
+    trace_dir: str | None = None
     jobs: int | None = 1
     timeout_s: float | None = None
     retries: int = 0
@@ -247,6 +257,7 @@ class FleetSpec:
                                 train_episode_s=self.train_episode_s,
                                 full_system=self.full_system,
                                 collect_metrics=self.collect_metrics,
+                                trace_dir=self.trace_dir,
                             )
                         )
         return specs

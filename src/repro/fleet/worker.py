@@ -15,12 +15,17 @@ letting it propagate and poison the executor.
 
 from __future__ import annotations
 
+import os
 import signal
 import threading
 import time
 import traceback
 from dataclasses import dataclass
-from typing import Callable, Mapping
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Mapping
+
+if TYPE_CHECKING:
+    from repro.obs import ObsSession
 
 from repro.errors import ReproError
 from repro.fleet.spec import CHECKPOINT_PREFIX, JobSpec
@@ -40,7 +45,11 @@ class JobMeasurement:
 
     Attributes:
         metrics: Observability-registry snapshot captured inside the
-            worker (``collect_metrics`` jobs only, else ``None``).
+            worker (``collect_metrics``/``trace_dir`` jobs only, else
+            ``None``); carries a ``"meta"`` section tagging the job id
+            and worker pid.
+        trace_path: The per-job Chrome trace file (``trace_dir`` jobs
+            only, else ``None``).
     """
 
     energy_j: float
@@ -49,6 +58,7 @@ class JobMeasurement:
     energy_per_qos_j: float
     sim_duration_s: float
     metrics: dict | None = None
+    trace_path: str | None = None
 
 
 @dataclass(frozen=True)
@@ -71,6 +81,7 @@ class JobSuccess:
     wall_s: float
     attempts: int = 1
     metrics: dict | None = None
+    trace_path: str | None = None
 
     @property
     def job_id(self) -> str:
@@ -220,27 +231,63 @@ def execute_job(spec: JobSpec) -> JobMeasurement:
     and RL training episodes) is regenerated from the spec's seeds.
     ``collect_metrics`` jobs additionally run inside a metrics-only
     observability session (spans stay off — they are worthless across a
-    process boundary at fleet scale) and attach the registry snapshot.
+    process boundary at fleet scale) and attach the registry snapshot,
+    tagged with the job id and worker pid under ``"meta"``.
+    ``trace_dir`` jobs instead capture with tracing *on* and write a
+    pid- and epoch-stamped Chrome trace into the directory, one lane per
+    worker process once merged.
 
     Raises:
         ReproError: For unknown chips/scenarios/governors; any simulation
             exception propagates (the runner converts it to a
             :class:`JobFailure`).
     """
-    if spec.collect_metrics:
+    if spec.collect_metrics or spec.trace_dir is not None:
         from dataclasses import replace as _replace
 
         from repro import obs
 
+        want_trace = spec.trace_dir is not None
         # A serial (in-process) fleet may already be tracing; keep its
         # tracer wired up so per-job metric isolation doesn't eat spans.
         outer = obs.OBS.tracer if (obs.OBS.enabled and obs.OBS.tracer.enabled) else None
-        with obs.capture(trace=False) as session:
-            if outer is not None:
+        with obs.capture(trace=want_trace) as session:
+            if outer is not None and not want_trace:
                 obs.OBS.tracer = outer
             measurement = _execute_job_inner(spec)
-        return _replace(measurement, metrics=session.metrics.snapshot())
+        snapshot = session.metrics.snapshot()
+        snapshot["meta"] = {"job_id": spec.job_id, "pid": os.getpid()}
+        trace_path = _write_job_trace(spec, session) if want_trace else None
+        return _replace(
+            measurement, metrics=snapshot, trace_path=trace_path
+        )
     return _execute_job_inner(spec)
+
+
+def _write_job_trace(spec: JobSpec, session: ObsSession) -> str:
+    """Write the job's Chrome trace as ``<job-id>-pid<pid>.json``.
+
+    The trace is stamped with the worker pid (one merged-timeline lane
+    per process) and the tracer epoch (``time.perf_counter`` origin,
+    shared machine-wide) so :func:`repro.obs.export.merge_traces` can
+    align traces from concurrent workers.
+    """
+    from repro.obs.export import write_chrome_trace
+
+    pid = os.getpid()
+    safe_id = spec.job_id.replace("/", "-").replace(":", "_")
+    directory = Path(spec.trace_dir or ".")
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{safe_id}-pid{pid}.json"
+    write_chrome_trace(
+        path,
+        session.tracer,
+        session.metrics,
+        process_name=spec.job_id,
+        pid=pid,
+        epoch_us=session.tracer.epoch_s * 1e6,
+    )
+    return str(path)
 
 
 def _execute_job_inner(spec: JobSpec) -> JobMeasurement:
@@ -354,4 +401,5 @@ def run_job(
         wall_s=time.perf_counter() - start,
         attempts=attempt,
         metrics=measurement.metrics,
+        trace_path=measurement.trace_path,
     )

@@ -7,6 +7,8 @@ Rule code families:
 * ``RPL2xx`` — fixed-point discipline (:mod:`repro.lint.rules.fixedpoint`)
 * ``RPL3xx`` — observability overhead (:mod:`repro.lint.rules.obsguard`)
 * ``RPL4xx`` — exception policy (:mod:`repro.lint.rules.exceptions`)
+* ``RPL5xx`` — performance-ledger discipline
+  (:mod:`repro.lint.rules.perfledger`)
 """
 
 from repro.lint.rules import (  # noqa: F401
@@ -14,5 +16,6 @@ from repro.lint.rules import (  # noqa: F401
     exceptions,
     fixedpoint,
     obsguard,
+    perfledger,
     units,
 )

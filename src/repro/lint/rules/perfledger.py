@@ -1,0 +1,90 @@
+"""Performance-ledger discipline rule (RPL501).
+
+The ledger's value is that every record has the same shape — run id,
+git SHA, timestamp, config, flat metrics — which only holds while
+:func:`repro.perf.record_run` is the sole writer.  An ad-hoc
+``json.dump`` of metrics into a ledger file silently forks the schema:
+``repro perf gate`` either chokes on the line or, worse, quietly skips
+it and the regression sails through.
+
+**RPL501** flags write-ish calls (``json.dump``/``json.dumps``,
+``open``, ``write_text``, ``.open``, ``.write``) whose arguments
+mention a ledger — a name or string constant containing ``"ledger"`` —
+anywhere outside :mod:`repro.perf.ledger` itself, pointing the author
+at ``record_run()``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import Rule, register
+
+#: The one module allowed to touch ledger files directly.
+_BLESSED = "perf/ledger.py"
+
+#: Call shapes that write data: plain names and attribute tails.
+_WRITE_NAMES = {"open"}
+_WRITE_ATTRS = {"dump", "dumps", "open", "write", "write_text"}
+
+
+def _mentions_ledger(node: ast.expr) -> bool:
+    """Whether any sub-expression names a ledger."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            if "ledger" in sub.value.lower():
+                return True
+        if isinstance(sub, ast.Name) and "ledger" in sub.id.lower():
+            return True
+        if isinstance(sub, ast.Attribute) and "ledger" in sub.attr.lower():
+            return True
+    return False
+
+
+def _is_write_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in _WRITE_NAMES
+    if isinstance(func, ast.Attribute):
+        return func.attr in _WRITE_ATTRS
+    return False
+
+
+@register
+class AdHocLedgerWriteRule(Rule):
+    """RPL501: ledger records go through ``repro.perf.record_run()``."""
+
+    code = "RPL501"
+    name = "perf.ledger-discipline"
+    summary = (
+        "ad-hoc write to a perf ledger; all records must go through "
+        "repro.perf.record_run() so the schema stays uniform"
+    )
+
+    @classmethod
+    def applies_to(cls, module_path: str) -> bool:
+        # Everywhere *except* the blessed writer module.
+        return module_path != _BLESSED
+
+    def run(self) -> None:
+        self.visit(self.ctx.tree)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag writes whose receiver or arguments name a ledger."""
+        if _is_write_call(node):
+            receiver = (
+                node.func.value
+                if isinstance(node.func, ast.Attribute)
+                else None
+            )
+            targets = list(node.args) + [kw.value for kw in node.keywords]
+            if receiver is not None:
+                targets.append(receiver)
+            if any(_mentions_ledger(t) for t in targets):
+                self.report(
+                    node,
+                    "ad-hoc ledger write; append run records through "
+                    "repro.perf.record_run() instead of dumping JSON "
+                    "directly, so every record carries the shared schema",
+                )
+        self.generic_visit(node)

@@ -36,11 +36,17 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.obs.export import (
+    EPOCH_METADATA_NAME,
     chrome_trace,
     load_chrome_trace,
+    load_spans,
+    merge_trace_files,
+    merge_traces,
     prometheus_text,
     read_jsonl,
     span_tree,
+    spans_from_chrome,
+    trace_lanes,
     validate_chrome_trace,
     write_chrome_trace,
     write_jsonl,
@@ -50,6 +56,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    histogram_quantile,
     merge_snapshots,
 )
 from repro.obs.profile import PhaseStat, format_breakdown, phase_breakdown
@@ -140,6 +147,7 @@ def capture(trace: bool = True) -> Iterator[ObsSession]:
 
 __all__ = [
     "Counter",
+    "EPOCH_METADATA_NAME",
     "Gauge",
     "Histogram",
     "InstantRecord",
@@ -157,12 +165,18 @@ __all__ = [
     "disable",
     "enable",
     "format_breakdown",
+    "histogram_quantile",
     "load_chrome_trace",
+    "load_spans",
     "merge_snapshots",
+    "merge_trace_files",
+    "merge_traces",
     "phase_breakdown",
     "prometheus_text",
     "read_jsonl",
     "span_tree",
+    "spans_from_chrome",
+    "trace_lanes",
     "validate_chrome_trace",
     "write_chrome_trace",
     "write_jsonl",

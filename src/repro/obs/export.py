@@ -19,7 +19,7 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.errors import ObsError
 from repro.obs.metrics import MetricsRegistry
@@ -30,10 +30,21 @@ from repro.obs.trace import InstantRecord, SpanRecord, Tracer
 _REQUIRED_EVENT_KEYS = {"ph", "name", "ts", "pid", "tid"}
 
 
+EPOCH_METADATA_NAME = "trace_epoch_us"
+"""Metadata-event name carrying a trace's ``perf_counter`` epoch.
+
+``time.perf_counter`` shares one monotonic origin across the processes
+of a machine, so a per-worker trace stamped with its tracer's epoch can
+be shifted onto a fleet-wide common timeline by :func:`merge_traces`.
+"""
+
+
 def chrome_trace(
     tracer: Tracer,
     metrics: MetricsRegistry | Mapping[str, Any] | None = None,
     process_name: str = "repro",
+    pid: int = 0,
+    epoch_us: float | None = None,
 ) -> dict[str, Any]:
     """The tracer's records as a Chrome ``trace_event`` JSON object.
 
@@ -44,17 +55,34 @@ def chrome_trace(
             appended as ``"C"`` (counter-track) events so Perfetto plots
             them alongside the spans.
         process_name: The ``process_name`` metadata label.
+        pid: Process id stamped on every event — each distinct pid is
+            one lane ("process") in trace viewers, which is how
+            fleet-worker traces stay separable after a merge.
+        epoch_us: Tracer epoch (``tracer.epoch_s * 1e6``) recorded as a
+            ``trace_epoch_us`` metadata event so :func:`merge_traces`
+            can align this trace with traces from other processes.
     """
     events: list[dict[str, Any]] = [
         {
             "ph": "M",
             "name": "process_name",
-            "pid": 0,
+            "pid": pid,
             "tid": 0,
             "ts": 0,
             "args": {"name": process_name},
         }
     ]
+    if epoch_us is not None:
+        events.append(
+            {
+                "ph": "M",
+                "name": EPOCH_METADATA_NAME,
+                "pid": pid,
+                "tid": 0,
+                "ts": 0,
+                "args": {"epoch_us": epoch_us},
+            }
+        )
     last_us = 0.0
     for s in tracer.spans:
         events.append(
@@ -64,7 +92,7 @@ def chrome_trace(
                 "cat": s.cat,
                 "ts": s.start_us,
                 "dur": s.dur_us,
-                "pid": 0,
+                "pid": pid,
                 "tid": 0,
                 "args": dict(s.args),
             }
@@ -78,7 +106,7 @@ def chrome_trace(
                 "name": i.name,
                 "cat": i.cat,
                 "ts": i.ts_us,
-                "pid": 0,
+                "pid": pid,
                 "tid": 0,
                 "args": dict(i.args),
             }
@@ -94,7 +122,7 @@ def chrome_trace(
                         "name": name,
                         "cat": "metrics",
                         "ts": last_us,
-                        "pid": 0,
+                        "pid": pid,
                         "tid": 0,
                         "args": {"value": value},
                     }
@@ -134,10 +162,24 @@ def write_chrome_trace(
     path: str | Path,
     tracer: Tracer,
     metrics: MetricsRegistry | Mapping[str, Any] | None = None,
+    process_name: str = "repro",
+    pid: int = 0,
+    epoch_us: float | None = None,
 ) -> Path:
     """Serialise :func:`chrome_trace` to ``path``; returns the path."""
     path = Path(path)
-    path.write_text(json.dumps(chrome_trace(tracer, metrics)) + "\n")
+    path.write_text(
+        json.dumps(
+            chrome_trace(
+                tracer,
+                metrics,
+                process_name=process_name,
+                pid=pid,
+                epoch_us=epoch_us,
+            )
+        )
+        + "\n"
+    )
     return path
 
 
@@ -153,6 +195,161 @@ def load_chrome_trace(path: str | Path) -> dict[str, Any]:
         raise ObsError(f"{path} is not JSON: {exc}") from exc
     validate_chrome_trace(data)
     return data
+
+
+# -- multi-process trace merging ------------------------------------------
+
+
+def _trace_epoch_us(data: Mapping[str, Any]) -> float | None:
+    """The ``trace_epoch_us`` metadata value of one trace, if stamped."""
+    for event in data.get("traceEvents", []):
+        if event.get("ph") == "M" and event.get("name") == EPOCH_METADATA_NAME:
+            value = event.get("args", {}).get("epoch_us")
+            if isinstance(value, (int, float)) and math.isfinite(value):
+                return float(value)
+    return None
+
+
+def merge_traces(traces: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
+    """Stitch per-process Chrome traces into one multi-lane timeline.
+
+    Each input keeps its own lane (``pid``); events of epoch-stamped
+    traces (see :data:`EPOCH_METADATA_NAME`) are shifted so every lane
+    shares the earliest input's t=0, turning a grid of per-worker fleet
+    traces into a single inspectable artifact.  Lanes are labelled
+    ``process_name`` metadata: one per distinct pid, listing the job
+    names that ran there (pool workers run several jobs per process).
+
+    Args:
+        traces: Parsed ``trace_event`` objects (e.g. from
+            :func:`load_chrome_trace`).
+
+    Raises:
+        ObsError: On an empty input list or a trace without a
+            ``traceEvents`` list.
+    """
+    if not traces:
+        raise ObsError("merge_traces needs at least one trace")
+    epochs = [_trace_epoch_us(t) for t in traces]
+    stamped = [e for e in epochs if e is not None]
+    base_us = min(stamped) if stamped else 0.0
+
+    merged: list[dict[str, Any]] = []
+    lane_names: dict[int, list[str]] = {}
+    for data, epoch in zip(traces, epochs):
+        events = data.get("traceEvents")
+        if not isinstance(events, list):
+            raise ObsError("chrome trace must carry a 'traceEvents' list")
+        offset_us = (epoch - base_us) if epoch is not None else 0.0
+        for event in events:
+            pid = int(event.get("pid", 0))
+            if event.get("ph") == "M":
+                if event.get("name") == "process_name":
+                    name = str(event.get("args", {}).get("name", ""))
+                    names = lane_names.setdefault(pid, [])
+                    if name and name not in names:
+                        names.append(name)
+                # Per-trace metadata (process_name, trace_epoch_us) is
+                # re-emitted once per lane below.
+                continue
+            shifted = dict(event)
+            shifted["ts"] = float(event.get("ts", 0.0)) + offset_us
+            merged.append(shifted)
+            lane_names.setdefault(pid, [])
+
+    events_out: list[dict[str, Any]] = []
+    for pid in sorted(lane_names):
+        label = " | ".join(lane_names[pid]) or f"pid {pid}"
+        events_out.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "ts": 0,
+                "args": {"name": label},
+            }
+        )
+    events_out.extend(sorted(merged, key=lambda e: (e["ts"], e.get("pid", 0))))
+    return {"traceEvents": events_out, "displayTimeUnit": "ms"}
+
+
+def merge_trace_files(
+    paths: Sequence[str | Path], out: str | Path | None = None
+) -> dict[str, Any]:
+    """Load, merge, and optionally write a set of Chrome trace files.
+
+    Args:
+        paths: Trace files (each validated on load).
+        out: When given, the merged trace is validated and written here.
+
+    Raises:
+        ObsError: On unreadable/invalid inputs or an empty path list.
+    """
+    merged = merge_traces([load_chrome_trace(p) for p in paths])
+    validate_chrome_trace(merged)
+    if out is not None:
+        Path(out).write_text(json.dumps(merged) + "\n")
+    return merged
+
+
+def trace_lanes(data: Mapping[str, Any]) -> list[int]:
+    """The distinct pids (viewer lanes) of a trace, sorted."""
+    return sorted(
+        {int(e.get("pid", 0)) for e in data.get("traceEvents", [])}
+    )
+
+
+def spans_from_chrome(data: Mapping[str, Any]) -> list[SpanRecord]:
+    """Reconstruct span records from a Chrome trace's complete events.
+
+    Only ``"ph": "X"`` events carry durations; uids are synthesised in
+    event order and the parent/depth structure is not recovered (the
+    JSONL format is the lossless one).  Good enough for offline
+    re-profiling: :func:`repro.obs.profile.phase_breakdown` needs only
+    names and durations.
+    """
+    spans: list[SpanRecord] = []
+    for k, event in enumerate(data.get("traceEvents", [])):
+        if event.get("ph") != "X":
+            continue
+        spans.append(
+            SpanRecord(
+                uid=k,
+                parent_uid=None,
+                name=str(event.get("name", "")),
+                cat=str(event.get("cat", "default")),
+                start_us=float(event.get("ts", 0.0)),
+                dur_us=float(event.get("dur", 0.0)),
+                depth=0,
+                args=dict(event.get("args", {})),
+            )
+        )
+    return spans
+
+
+def load_spans(path: str | Path) -> list[SpanRecord]:
+    """Span records from a saved trace file, Chrome or JSONL format.
+
+    Sniffs the format: a JSON object with ``traceEvents`` is a Chrome
+    trace (spans reconstructed from its complete events), anything else
+    is treated as a :func:`write_jsonl` dump.
+
+    Raises:
+        ObsError: When the file parses as neither format.
+    """
+    text = Path(path).read_text()
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError:
+            data = None
+        if isinstance(data, dict) and "traceEvents" in data:
+            validate_chrome_trace(data)
+            return spans_from_chrome(data)
+    spans, _instants, _metrics = read_jsonl(path)
+    return spans
 
 
 # -- JSONL ----------------------------------------------------------------

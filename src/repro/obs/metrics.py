@@ -189,6 +189,51 @@ class MetricsRegistry:
         return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
 
+def histogram_quantile(
+    histogram: Mapping[str, Any], q: float
+) -> float | None:
+    """Estimate the ``q``-quantile of a snapshotted histogram.
+
+    Works on the plain-data form :meth:`MetricsRegistry.snapshot`
+    produces (``bounds`` / non-cumulative ``bucket_counts`` / ``count`` /
+    ``min`` / ``max``), which is what travels in ledger records and fleet
+    snapshots.  The estimate interpolates linearly inside the bucket
+    containing the target rank (the Prometheus convention); observations
+    in the ``+Inf`` overflow bucket resolve to the recorded ``max``.
+
+    Returns:
+        The estimate, or ``None`` for an empty histogram.
+
+    Raises:
+        ObsError: If ``q`` is outside ``[0, 1]``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ObsError(f"quantile must be in [0, 1]: {q}")
+    count = int(histogram.get("count", 0))
+    if count <= 0:
+        return None
+    bounds = [float(b) for b in histogram["bounds"]]
+    bucket_counts = [int(n) for n in histogram["bucket_counts"]]
+    lo = histogram.get("min")
+    hi = histogram.get("max")
+    rank = q * count
+    seen = 0.0
+    for i, n in enumerate(bucket_counts):
+        if n == 0:
+            continue
+        if seen + n >= rank:
+            if i >= len(bounds):  # +Inf overflow bucket
+                return float(hi) if hi is not None else bounds[-1]
+            lower = bounds[i - 1] if i > 0 else (
+                float(lo) if lo is not None else 0.0
+            )
+            lower = min(lower, bounds[i])
+            fraction = (rank - seen) / n
+            return lower + fraction * (bounds[i] - lower)
+        seen += n
+    return float(hi) if hi is not None else bounds[-1]
+
+
 def merge_snapshots(snapshots: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
     """Fold per-job metric snapshots into one grid-wide snapshot.
 

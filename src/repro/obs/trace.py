@@ -155,6 +155,17 @@ class Tracer:
     # -- introspection ---------------------------------------------------
 
     @property
+    def epoch_s(self) -> float:
+        """The tracer's t=0 in the ``time.perf_counter`` domain.
+
+        ``perf_counter`` shares one monotonic origin across all processes
+        of a machine (Linux: ``CLOCK_MONOTONIC``), so per-worker traces
+        stamped with their epoch can be shifted onto one common timeline
+        by :func:`repro.obs.export.merge_traces`.
+        """
+        return self._t0
+
+    @property
     def open_depth(self) -> int:
         """How many spans are currently open (0 when balanced)."""
         return len(self._stack)
@@ -210,6 +221,11 @@ class NullTracer:
     def instant(self, name: str, cat: str = "default", **args: Any) -> None:
         """No-op."""
         return None
+
+    @property
+    def epoch_s(self) -> float:
+        """Always 0.0 — the null tracer has no timeline."""
+        return 0.0
 
     @property
     def open_depth(self) -> int:

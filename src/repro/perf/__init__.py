@@ -1,0 +1,82 @@
+"""repro.perf — the performance ledger and regression gate.
+
+Every measured execution (``repro run`` / ``compare`` / ``fleet``
+invocations, each benchmark) appends a :class:`RunRecord` through
+:func:`record_run` to an append-only JSONL ledger
+(``.repro/perf-ledger.jsonl`` by default, ``REPRO_PERF_LEDGER`` to
+override).  :func:`compare_records` then tests the latest samples
+against history — bootstrap median-shift CIs when there are enough
+samples, a plain threshold rule when there are not — and ``repro perf
+gate`` turns the verdicts into an exit code for CI.
+
+Module map:
+
+* :mod:`repro.perf.ledger`  — ``RunRecord`` / ``Ledger`` /
+  ``record_run`` / snapshot flattening
+* :mod:`repro.perf.regress` — ``compare_records`` / ``gate`` /
+  text-json-github renderers
+
+Schema and gate semantics live in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from repro.perf.ledger import (
+    DEFAULT_LEDGER_PATH,
+    LEDGER_ENV_VAR,
+    LEDGER_SCHEMA_VERSION,
+    Ledger,
+    RunRecord,
+    git_sha,
+    group_samples,
+    metrics_from_snapshot,
+    new_run_id,
+    read_ledger,
+    record_run,
+    resolve_ledger_path,
+    split_latest,
+)
+from repro.perf.regress import (
+    DEFAULT_BOOTSTRAP_ITERS,
+    DEFAULT_CONFIDENCE,
+    DEFAULT_THRESHOLD,
+    MIN_BOOTSTRAP_SAMPLES,
+    GateResult,
+    MetricVerdict,
+    PerfComparison,
+    compare_records,
+    gate,
+    metric_polarity,
+    render_github,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "DEFAULT_BOOTSTRAP_ITERS",
+    "DEFAULT_CONFIDENCE",
+    "DEFAULT_LEDGER_PATH",
+    "DEFAULT_THRESHOLD",
+    "GateResult",
+    "LEDGER_ENV_VAR",
+    "LEDGER_SCHEMA_VERSION",
+    "Ledger",
+    "MIN_BOOTSTRAP_SAMPLES",
+    "MetricVerdict",
+    "PerfComparison",
+    "RunRecord",
+    "compare_records",
+    "gate",
+    "git_sha",
+    "group_samples",
+    "metric_polarity",
+    "metrics_from_snapshot",
+    "new_run_id",
+    "read_ledger",
+    "record_run",
+    "render_github",
+    "render_json",
+    "render_text",
+    "resolve_ledger_path",
+    "split_latest",
+]

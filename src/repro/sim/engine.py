@@ -19,6 +19,7 @@ rather than queueing unboundedly.
 from __future__ import annotations
 
 import math
+import time
 from typing import Callable, Mapping
 
 from repro.errors import GovernorError, SimulationError
@@ -41,6 +42,13 @@ from repro.workload.task import Job
 from repro.workload.trace import Trace
 
 GovernorFactory = Callable[[Cluster], Governor]
+
+DECISION_LATENCY_BUCKETS = (
+    1e-7, 3e-7, 1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2,
+)
+"""Bucket bounds (seconds) for the per-decision governor latency
+histogram — log-ish spacing from 100 ns to 10 ms, bracketing both a
+table lookup and a full RL forward pass."""
 
 
 class Simulator:
@@ -179,6 +187,13 @@ class Simulator:
         # active, so the disabled path costs one local truthiness check
         # per probe and the simulated numbers are untouched either way.
         tracer = OBS.tracer if OBS.enabled else None
+        decision_hist = (
+            OBS.metrics.histogram(
+                "sim.decision_latency_s", DECISION_LATENCY_BUCKETS
+            )
+            if OBS.enabled
+            else None
+        )
         run_span = (
             tracer.begin(
                 "engine.run", cat="engine",
@@ -201,7 +216,11 @@ class Simulator:
             transition_energy: dict[str, float] = {name: 0.0 for name in queues}
             for cluster in chip:
                 name = cluster.spec.name
+                if decision_hist is not None:
+                    decide_t0 = time.perf_counter()
                 decision = self.governors[name].decide_traced(obs[name], tracer)
+                if decision_hist is not None:
+                    decision_hist.observe(time.perf_counter() - decide_t0)
                 try:
                     decision = int(decision)
                 except (TypeError, ValueError):

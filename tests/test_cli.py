@@ -202,6 +202,25 @@ class TestObservabilityCLI:
         assert "engine.phase.governor" in stdout
         assert out.is_file()
 
+    def test_profile_from_saved_trace(self, capsys, tmp_path):
+        """Offline re-profiling: no simulation, just the saved spans."""
+        out = tmp_path / "prof.json"
+        assert main([
+            "profile", "--chip", "tiny", "--scenario", "idle",
+            "--duration", "2.0", "--trace-out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        code = main(["profile", "--from-trace", str(out)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "engine phase breakdown" in stdout
+        assert "engine.phase.governor" in stdout
+
+    def test_trace_without_scenario_or_merge_is_error(self, capsys):
+        code = main(["trace"])
+        assert code == 1
+        assert "scenario" in capsys.readouterr().err
+
     def test_log_level_flag_emits_diagnostics(self, capsys):
         code = main([
             "run", "--chip", "tiny", "--scenario", "idle",

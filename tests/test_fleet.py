@@ -558,6 +558,87 @@ class TestFleetMetrics:
         assert merged["counters"]["sim.runs"] == 2.0
 
 
+class TestFleetTracing:
+    def _traced_spec(self, tmp_path, scenarios=("idle", "audio_playback")):
+        return FleetSpec(scenarios=scenarios,
+                         governors=("ondemand", "powersave"),
+                         seeds=(1,), chips=("tiny",),
+                         trace_dir=str(tmp_path), **FAST)
+
+    def test_four_job_fleet_merges_to_one_lane_per_worker(self, tmp_path):
+        """The acceptance check: >= 4 traced jobs stitch into one valid
+        Chrome trace with one lane per worker pid."""
+        from repro.fleet import trace_paths
+        from repro.obs import merge_trace_files, trace_lanes, validate_chrome_trace
+
+        spec = self._traced_spec(tmp_path)
+        result = run_fleet(spec, jobs=2)
+        assert len(result.successes) == 4
+        paths = trace_paths(result.successes)
+        assert len(paths) == 4
+        assert all(Path(p).is_file() for p in paths)
+        worker_pids = {s.metrics["meta"]["pid"] for s in result.successes}
+        merged = merge_trace_files(paths, out=tmp_path / "merged.json")
+        validate_chrome_trace(merged)
+        assert set(trace_lanes(merged)) == worker_pids
+        # Every lane carries engine spans, not just metadata.
+        span_pids = {e["pid"] for e in merged["traceEvents"]
+                     if e.get("ph") == "X" and
+                     e["name"].startswith("engine.")}
+        assert span_pids == worker_pids
+
+    def test_trace_dir_implies_metrics_with_meta(self, tmp_path):
+        spec = JobSpec(scenario="idle", governor="ondemand", chip="tiny",
+                       duration_s=1.0, trace_dir=str(tmp_path))
+        measurement = execute_job(spec)
+        assert measurement.trace_path is not None
+        assert Path(measurement.trace_path).parent == tmp_path
+        assert measurement.metrics["meta"]["job_id"] == spec.job_id
+        assert measurement.metrics["meta"]["pid"] > 0
+
+    def test_trace_path_travels_on_events(self, tmp_path):
+        spec = self._traced_spec(tmp_path, scenarios=("idle",))
+        log = EventLog()
+        result = run_fleet(spec, jobs=1, on_event=log)
+        done = log.of_type(JobDone)
+        assert {d.trace_path for d in done} == \
+            {s.trace_path for s in result.successes}
+
+    def test_trace_dir_round_trips_spec_mapping(self, tmp_path):
+        spec = self._traced_spec(tmp_path, scenarios=("idle",))
+        again = FleetSpec.from_mapping(spec.to_mapping())
+        assert again.trace_dir == str(tmp_path)
+        assert all(j.trace_dir == str(tmp_path) for j in again.expand())
+
+    def test_no_trace_dir_means_no_trace_path(self):
+        spec = JobSpec(scenario="idle", governor="ondemand", chip="tiny",
+                       duration_s=1.0, collect_metrics=True)
+        assert execute_job(spec).trace_path is None
+
+    def test_cli_trace_dir_then_merge(self, capsys, tmp_path):
+        from repro.cli import main
+        from repro.obs import load_chrome_trace
+
+        trace_dir = tmp_path / "traces"
+        code = main([
+            "fleet", "--chip", "tiny", "--scenarios", "idle",
+            "--governors", "ondemand,powersave", "--seeds", "1,2",
+            "--duration", "1.0", "--jobs", "2", "--quiet",
+            "--trace-dir", str(trace_dir),
+        ])
+        assert code == 0
+        assert "4 per-job trace(s)" in capsys.readouterr().out
+        traces = sorted(trace_dir.glob("*.json"))
+        assert len(traces) == 4
+        merged = tmp_path / "merged.json"
+        code = main([
+            "trace", "--merge", *map(str, traces), "--out", str(merged),
+        ])
+        assert code == 0
+        assert "lane(s)" in capsys.readouterr().out
+        load_chrome_trace(merged)  # validates
+
+
 class TestProgressRendering:
     def test_format_event_prefixes_timestamp(self):
         line = format_event(FleetStarted(n_jobs=2, workers=1),

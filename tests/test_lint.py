@@ -92,6 +92,7 @@ class TestSelection:
         expected = {
             "RPL001", "RPL002", "RPL003", "RPL101", "RPL102",
             "RPL201", "RPL202", "RPL203", "RPL301", "RPL401", "RPL402",
+            "RPL501",
         }
         assert set(all_rules()) == expected
 
@@ -460,6 +461,85 @@ class TestExceptionPolicy:
     def test_outside_fleet_unflagged(self):
         r = lint("try:\n    run()\nexcept:\n    pass\n", "analysis/x.py")
         assert codes(r) == []
+
+
+# ---------------------------------------------------------------------------
+# RPL5xx: performance-ledger discipline
+# ---------------------------------------------------------------------------
+
+
+class TestLedgerDiscipline:
+    def test_ad_hoc_open_append_flagged(self):
+        r = lint(
+            """\
+            import json
+
+            def save(payload):
+                with open(".repro/perf-ledger.jsonl", "a") as fh:
+                    json.dump(payload, fh)
+            """,
+            "analysis/report.py",
+        )
+        assert "RPL501" in codes(r)
+
+    def test_json_dump_to_ledger_variable_flagged(self):
+        r = lint(
+            """\
+            import json
+
+            def save(ledger_file, payload):
+                json.dump(payload, ledger_file)
+            """,
+            "cli.py",
+        )
+        assert codes(r) == ["RPL501"]
+
+    def test_write_text_on_ledger_path_flagged(self):
+        r = lint(
+            "def f(ledger_path, line):\n"
+            "    ledger_path.write_text(line)\n",
+            "experiments/e1.py",
+        )
+        assert codes(r) == ["RPL501"]
+
+    def test_blessed_writer_module_exempt(self):
+        r = lint(
+            """\
+            import json
+
+            def append(self, record):
+                with self.path.open("a") as fh:
+                    fh.write(json.dumps(record) + "\\n")
+            """,
+            "perf/ledger.py",
+        )
+        assert codes(r) == []
+
+    def test_non_ledger_writes_unflagged(self):
+        r = lint(
+            """\
+            import json
+
+            def save(path, payload):
+                with open(path, "w") as fh:
+                    json.dump(payload, fh)
+            """,
+            "analysis/export.py",
+        )
+        assert codes(r) == []
+
+    def test_record_run_call_is_the_sanctioned_path(self):
+        r = lint(
+            "from repro.perf import record_run\n"
+            "record_run('bench', 'e4', {'x': 1.0})\n",
+            "benchmarks_helper.py",
+        )
+        assert codes(r) == []
+
+    def test_catalogue_lists_rpl501(self):
+        assert "RPL501" in all_rules()
+        assert any(line.startswith("RPL501") for line in
+                   rule_catalogue().splitlines())
 
 
 # ---------------------------------------------------------------------------

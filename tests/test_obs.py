@@ -16,6 +16,7 @@ from repro.obs import (
     disable,
     enable,
     format_breakdown,
+    histogram_quantile,
     merge_snapshots,
     phase_breakdown,
 )
@@ -155,6 +156,74 @@ class TestMetrics:
                                   "max": None}}}
         with pytest.raises(ObsError, match="bounds differ"):
             merge_snapshots([a, b])
+
+    def test_merge_empty_input_is_empty_snapshot(self):
+        assert merge_snapshots([]) == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+
+    def test_merge_disjoint_metric_sets_union(self):
+        a = {"counters": {"jobs": 1.0}, "gauges": {"qos": 0.8}}
+        b = {"counters": {"retries": 2.0}, "gauges": {"temp": 40.0}}
+        merged = merge_snapshots([a, b])
+        assert merged["counters"] == {"jobs": 1.0, "retries": 2.0}
+        # Each gauge saw exactly one job, so averages are identities.
+        assert merged["gauges"]["qos"] == 0.8
+        assert merged["gauges"]["temp"] == 40.0
+        assert merged["gauges"]["qos.jobs"] == 1.0
+        assert merged["gauges"]["temp.jobs"] == 1.0
+
+    def test_merge_histogram_min_max_ignore_empty_jobs(self):
+        def snap(values):
+            reg = MetricsRegistry()
+            h = reg.histogram("h", buckets=(1.0, 10.0))
+            for v in values:
+                h.observe(v)
+            return reg.snapshot()
+
+        merged = merge_snapshots([snap([]), snap([0.5, 5.0]), snap([])])
+        h = merged["histograms"]["h"]
+        assert h["count"] == 2
+        assert h["min"] == 0.5 and h["max"] == 5.0
+        empty = merge_snapshots([snap([]), snap([])])["histograms"]["h"]
+        assert empty["min"] is None and empty["max"] is None
+
+
+class TestHistogramQuantile:
+    def _snapshot(self, values, buckets=(1.0, 10.0, 100.0)):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=buckets)
+        for v in values:
+            h.observe(v)
+        return reg.snapshot()["histograms"]["h"]
+
+    def test_interpolates_inside_bucket(self):
+        # 10 observations spread over (1, 10]: the median interpolates
+        # halfway into that bucket.
+        h = self._snapshot([2.0] * 10)
+        assert 1.0 < histogram_quantile(h, 0.5) <= 10.0
+
+    def test_extremes_use_recorded_min_max(self):
+        h = self._snapshot([0.2, 0.4, 500.0])
+        # The overflow (+Inf) bucket resolves to the recorded max...
+        assert histogram_quantile(h, 1.0) == 500.0
+        # ...and the first bucket's lower edge is the recorded min.
+        assert histogram_quantile(h, 0.0) >= 0.0
+
+    def test_empty_histogram_is_none(self):
+        assert histogram_quantile(self._snapshot([]), 0.5) is None
+
+    def test_out_of_range_q_raises(self):
+        h = self._snapshot([1.0])
+        with pytest.raises(ObsError, match="quantile"):
+            histogram_quantile(h, 1.5)
+        with pytest.raises(ObsError, match="quantile"):
+            histogram_quantile(h, -0.1)
+
+    def test_monotone_in_q(self):
+        h = self._snapshot([0.5, 2.0, 3.0, 20.0, 150.0])
+        qs = [histogram_quantile(h, q) for q in (0.1, 0.5, 0.9, 0.99)]
+        assert qs == sorted(qs)
 
 
 class TestHub:

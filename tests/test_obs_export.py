@@ -10,14 +10,20 @@ from repro.core.trainer import train_policy
 from repro.errors import ObsError
 from repro.governors import create
 from repro.obs import (
+    EPOCH_METADATA_NAME,
     MetricsRegistry,
     Tracer,
     capture,
     chrome_trace,
     load_chrome_trace,
+    load_spans,
+    merge_trace_files,
+    merge_traces,
     prometheus_text,
     read_jsonl,
     span_tree,
+    spans_from_chrome,
+    trace_lanes,
     validate_chrome_trace,
     write_chrome_trace,
     write_jsonl,
@@ -167,3 +173,118 @@ class TestPrometheus:
         reg.counter("sim.opp-switches").inc()
         text = prometheus_text(reg.snapshot(), prefix="x")
         assert "x_sim_opp_switches 1" in text
+
+    def test_overflow_observations_land_in_inf_bucket(self):
+        """Observations above the top bound appear only in +Inf, and the
+        cumulative counts still total the observation count."""
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 100.0, 200.0):
+            h.observe(v)
+        lines = prometheus_text(reg).splitlines()
+        assert 'repro_lat_bucket{le="1"} 1' in lines
+        assert 'repro_lat_bucket{le="10"} 2' in lines
+        assert 'repro_lat_bucket{le="+Inf"} 4' in lines
+        assert "repro_lat_count 4" in lines
+
+    def test_hostile_metric_names_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter('evil"name{}\\').inc()
+        reg.gauge("0starts.with-digit").set(1.0)
+        text = prometheus_text(reg)
+        for line in text.splitlines():
+            name = line.split()[1] if line.startswith("#") else line.split()[0]
+            name = name.split("{")[0]
+            assert name[0].isalpha() or name[0] == "_"
+            assert all(c.isalnum() or c == "_" for c in name)
+
+
+def _trace_with_epoch(pid: int, epoch_us: float, name: str):
+    tracer = Tracer()
+    with tracer.span(f"{name}.work"):
+        pass
+    return chrome_trace(tracer, process_name=name, pid=pid, epoch_us=epoch_us)
+
+
+class TestTraceMerge:
+    def test_epoch_shift_aligns_lanes(self):
+        """The later-starting trace's events shift right by the epoch
+        difference; the earliest trace defines t=0."""
+        early = _trace_with_epoch(100, 1_000_000.0, "job-a")
+        late = _trace_with_epoch(200, 1_000_500.0, "job-b")
+        original = {e["pid"]: e["ts"]
+                    for t in (early, late)
+                    for e in t["traceEvents"] if e["ph"] == "X"}
+        merged = merge_traces([early, late])
+        validate_chrome_trace(merged)
+        spans = {e["pid"]: e for e in merged["traceEvents"]
+                 if e["ph"] == "X"}
+        assert spans[100]["ts"] == pytest.approx(original[100])
+        assert spans[200]["ts"] == pytest.approx(original[200] + 500.0)
+        assert trace_lanes(merged) == [100, 200]
+
+    def test_lane_labels_collect_job_names(self):
+        a = _trace_with_epoch(7, 0.0, "job-a")
+        b = _trace_with_epoch(7, 0.0, "job-b")  # same pool worker
+        merged = merge_traces([a, b])
+        labels = [e["args"]["name"] for e in merged["traceEvents"]
+                  if e["ph"] == "M" and e["name"] == "process_name"]
+        assert labels == ["job-a | job-b"]
+
+    def test_unstamped_traces_keep_their_timestamps(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        plain = chrome_trace(tracer, pid=3)  # no epoch metadata
+        merged = merge_traces([plain])
+        (span,) = [e for e in merged["traceEvents"] if e["ph"] == "X"]
+        assert span["ts"] == pytest.approx(tracer.spans[0].start_us)
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ObsError, match="at least one"):
+            merge_traces([])
+        with pytest.raises(ObsError, match="traceEvents"):
+            merge_traces([{"not": "a trace"}])
+
+    def test_merge_trace_files_round_trip(self, tmp_path):
+        paths = []
+        for k in range(2):
+            data = _trace_with_epoch(k + 1, k * 100.0, f"job-{k}")
+            p = tmp_path / f"t{k}.json"
+            p.write_text(json.dumps(data))
+            paths.append(p)
+        out = tmp_path / "merged.json"
+        merged = merge_trace_files(paths, out=out)
+        assert trace_lanes(merged) == [1, 2]
+        reloaded = load_chrome_trace(out)
+        assert trace_lanes(reloaded) == [1, 2]
+
+
+class TestLoadSpans:
+    def test_sniffs_chrome_format(self, tmp_path):
+        tracer, metrics = _sample_tracer_and_metrics()
+        path = write_chrome_trace(tmp_path / "t.json", tracer, metrics)
+        spans = load_spans(path)
+        assert [s.name for s in spans] == [s.name for s in tracer.spans]
+        assert [s.dur_us for s in spans] == [s.dur_us for s in tracer.spans]
+
+    def test_sniffs_jsonl_format(self, tmp_path):
+        tracer, metrics = _sample_tracer_and_metrics()
+        path = write_jsonl(tmp_path / "t.jsonl", tracer, metrics)
+        assert load_spans(path) == tracer.spans
+
+    def test_spans_from_chrome_skips_non_complete_events(self):
+        tracer, metrics = _sample_tracer_and_metrics()
+        data = chrome_trace(tracer, metrics)
+        spans = spans_from_chrome(data)
+        assert len(spans) == 3  # instants and counter events dropped
+
+    def test_garbage_raises(self, tmp_path):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("neither format")
+        with pytest.raises(ObsError):
+            load_spans(bad)
+
+    def test_epoch_metadata_name_is_stable(self):
+        # Saved traces embed this name; renaming it orphans old files.
+        assert EPOCH_METADATA_NAME == "trace_epoch_us"
