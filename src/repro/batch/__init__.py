@@ -1,0 +1,24 @@
+"""Batched multi-rollout simulation backend.
+
+:class:`BatchEngine` runs many (scenario, seed, governor) rollouts in
+one process, vectorising the chip/power/QoS models for table-free
+governors while remaining **bit-identical** to the reference
+:class:`repro.sim.engine.Simulator` — see :mod:`repro.batch.engine` for
+how, and :mod:`repro.batch.plans` for which rollouts qualify.
+"""
+
+from repro.batch.engine import BatchEngine, run_batch, run_fixed_opp
+from repro.batch.plans import (
+    TABLE_FREE_GOVERNORS,
+    fixed_opp_index,
+    is_vectorisable,
+)
+
+__all__ = [
+    "BatchEngine",
+    "TABLE_FREE_GOVERNORS",
+    "fixed_opp_index",
+    "is_vectorisable",
+    "run_batch",
+    "run_fixed_opp",
+]

@@ -1,0 +1,70 @@
+"""Decision plans: which rollouts the batch backend can vectorise.
+
+A governor is *table-free* when its decision sequence is known before
+the rollout starts.  The three classic fixed-OPP kernel governors
+qualify — ``performance`` pins the top operating point, ``powersave``
+the bottom, ``userspace`` a fixed index (the middle of the table under
+its default construction) — because their ``decide`` methods ignore the
+observation entirely.  For those, the whole
+decide → observe → decide feedback loop collapses to a constant, and
+the per-interval engine machinery (governor dispatch, observation
+construction, per-interval power evaluation) can be replaced by the
+vectorised fast path in :mod:`repro.batch.engine`.
+
+Everything else — reactive governors like ``ondemand``, the online
+Q-learning policy, checkpoints — is genuinely sequential: interval
+``t``'s decision depends on interval ``t-1``'s observation, so those
+rollouts run through the reference :class:`repro.sim.engine.Simulator`
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.fleet.spec import JobSpec
+from repro.soc.opp import OPPTable
+
+#: Fixed-OPP index per table-free governor, given the cluster's OPP
+#: table.  Each entry mirrors the governor's ``decide`` exactly:
+#: ``performance`` returns ``n_opps - 1`` (== ``max_index``),
+#: ``powersave`` returns 0, and a default-constructed ``userspace``
+#: resolves to ``max_index // 2`` at reset.
+_FIXED_OPP_PLANS: dict[str, Callable[[OPPTable], int]] = {
+    "performance": lambda table: table.max_index,
+    "powersave": lambda table: 0,
+    "userspace": lambda table: table.max_index // 2,
+}
+
+TABLE_FREE_GOVERNORS = frozenset(_FIXED_OPP_PLANS)
+"""Governor names whose decisions are observation-independent."""
+
+
+def fixed_opp_index(governor: str, table: OPPTable) -> int | None:
+    """The constant OPP index ``governor`` would hold, or ``None``.
+
+    ``None`` means the governor is not table-free (its decisions depend
+    on observations) and the rollout must run sequentially.
+    """
+    plan = _FIXED_OPP_PLANS.get(governor)
+    if plan is None:
+        return None
+    return table.clamp_index(plan(table))
+
+
+def is_vectorisable(spec: JobSpec) -> bool:
+    """Whether the batch fast path can run this job.
+
+    Requires a table-free governor and the plain simulation substrate —
+    no full-system extras (thermals/idle/transition costs change the
+    per-interval coupling), no per-execution artefacts (metric
+    snapshots, trace files), and no non-serialisable escape hatches.
+    """
+    return (
+        spec.governor in TABLE_FREE_GOVERNORS
+        and not spec.full_system
+        and not spec.collect_metrics
+        and spec.trace_dir is None
+        and spec.chip_obj is None
+        and spec.policy_config is None
+    )

@@ -1,0 +1,35 @@
+"""Content-addressed caching of completed simulation runs.
+
+See :mod:`repro.cache.store` for the key composition and invalidation
+rules.  The public surface:
+
+* :class:`RunCache` — probe/store/stats/clear access to one cache root,
+* :func:`cache_key` / :func:`cacheable` — the content hash and the
+  "is this job's result reusable" predicate,
+* :func:`resolve_cache_dir` — explicit path > ``REPRO_CACHE_DIR`` env >
+  ``.repro/cache`` resolution.
+"""
+
+from repro.cache.store import (
+    CACHE_ENV_VAR,
+    CACHE_SCHEMA_VERSION,
+    DEFAULT_CACHE_DIR,
+    CacheEntry,
+    CacheStats,
+    RunCache,
+    cache_key,
+    cacheable,
+    resolve_cache_dir,
+)
+
+__all__ = [
+    "CACHE_ENV_VAR",
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "CacheEntry",
+    "CacheStats",
+    "RunCache",
+    "cache_key",
+    "cacheable",
+    "resolve_cache_dir",
+]

@@ -42,6 +42,7 @@ import argparse
 import json
 import logging
 import sys
+import time
 from contextlib import contextmanager
 
 from repro.analysis.sweep import run_baseline, sweep
@@ -507,8 +508,14 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         if line:
             print(line, file=sys.stderr)
 
+    cache = None
+    if args.cache:
+        from repro.cache import RunCache
+
+        cache = RunCache(args.cache_dir)
     with _obs_session(args.trace, None) as session:
-        result = run_fleet(spec, jobs=args.jobs, on_event=progress)
+        result = run_fleet(spec, jobs=args.jobs, on_event=progress,
+                           cache=cache)
     print(result_table(result.successes))
     failures = failure_table(result.failures)
     if failures:
@@ -563,6 +570,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             {
                 "jobs_total": float(len(result.successes) + len(result.failures)),
                 "jobs_failed": float(len(result.failures)),
+                "cache_hits": float(result.cache_hits),
+                "cache_misses": float(result.cache_misses),
                 "wall_s": result.wall_s,
             },
             {
@@ -589,6 +598,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                 "energy_per_qos_j": s.energy_per_qos_j,
                 "wall_s": s.wall_s,
                 "attempts": s.attempts,
+                "cached": s.cached,
             }
             for s in result.successes
         ]
@@ -609,6 +619,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                     "failures": failed,
                     "workers": result.workers,
                     "wall_s": result.wall_s,
+                    "cache_hits": result.cache_hits,
                 },
                 fh,
                 indent=2,
@@ -712,6 +723,54 @@ def _render_comparison(comparison, args: argparse.Namespace) -> None:
                 comparison, verbose=getattr(args, "verbose", False)
             )
         )
+
+
+def _cmd_cache_list(args: argparse.Namespace) -> int:
+    from repro.cache import RunCache
+
+    cache = RunCache(args.cache_dir)
+    entries = cache.list_entries()
+    rows = [
+        (
+            e.key[:12],
+            e.job_id,
+            e.engine_version,
+            time.strftime("%Y-%m-%dT%H:%M:%S", time.localtime(e.created_s)),
+            e.size_bytes,
+        )
+        for e in entries
+    ]
+    print(
+        format_table(
+            ["key", "job", "engine", "created", "bytes"],
+            rows,
+            title=f"run cache at {cache.root} ({len(entries)} entr"
+                  f"{'y' if len(entries) == 1 else 'ies'})",
+        )
+    )
+    return 0
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    from repro.cache import RunCache
+    from repro.sim.engine import ENGINE_VERSION
+
+    stats = RunCache(args.cache_dir).stats()
+    print(f"cache dir:      {stats.root}")
+    print(f"entries:        {stats.entries}")
+    print(f"total bytes:    {stats.total_bytes}")
+    print(f"engine version: {ENGINE_VERSION}")
+    return 0
+
+
+def _cmd_cache_clear(args: argparse.Namespace) -> int:
+    from repro.cache import RunCache
+
+    cache = RunCache(args.cache_dir)
+    removed = cache.clear()
+    print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} "
+          f"from {cache.root}")
+    return 0
 
 
 def _cmd_perf_list(args: argparse.Namespace) -> int:
@@ -902,6 +961,14 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="FILE",
                          help="append per-job rows + the grid summary to "
                               "the performance ledger")
+    fleet_p.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                         default=False,
+                         help="serve repeat jobs from the content-addressed "
+                              "run cache and store fresh results "
+                              "(--no-cache: off, the default)")
+    fleet_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="run-cache directory (default: "
+                              "$REPRO_CACHE_DIR or .repro/cache)")
     fleet_p.set_defaults(func=_cmd_fleet)
 
     lat_p = sub.add_parser("latency", parents=[common],
@@ -993,6 +1060,32 @@ def build_parser() -> argparse.ArgumentParser:
     check_p.add_argument("--list-rules", action="store_true",
                          help="print the rule catalogue and exit")
     check_p.set_defaults(func=_cmd_check)
+
+    cache_p = sub.add_parser(
+        "cache", parents=[common],
+        help="content-addressed run cache: list, stats, clear",
+    )
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+
+    cache_common = argparse.ArgumentParser(add_help=False)
+    cache_common.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="run-cache directory (default: $REPRO_CACHE_DIR or "
+             ".repro/cache)",
+    )
+
+    cache_sub.add_parser(
+        "list", parents=[common, cache_common],
+        help="show stored entries (key, job, engine version, age)",
+    ).set_defaults(func=_cmd_cache_list)
+    cache_sub.add_parser(
+        "stats", parents=[common, cache_common],
+        help="entry count, total bytes, current engine version",
+    ).set_defaults(func=_cmd_cache_stats)
+    cache_sub.add_parser(
+        "clear", parents=[common, cache_common],
+        help="delete every cached entry",
+    ).set_defaults(func=_cmd_cache_clear)
 
     perf_p = sub.add_parser(
         "perf", parents=[common],

@@ -50,6 +50,13 @@ class PerfError(ReproError):
     the measured code, not an error."""
 
 
+class CacheError(ReproError):
+    """The run cache was misused (an unserialisable spec was hashed, a
+    cache directory could not be created, or an entry is malformed) —
+    distinct from a cache *miss*, which is a normal outcome reported as
+    ``None``, not an error."""
+
+
 class LintError(ReproError):
     """The static-analysis engine was misconfigured (unknown rule code,
     unparsable input, malformed baseline) — distinct from a finding,

@@ -45,6 +45,7 @@ from repro.fleet.events import (
     FleetFinished,
     FleetProgress,
     FleetStarted,
+    JobCached,
     JobDone,
     JobFailed,
     JobQueued,
@@ -73,6 +74,7 @@ __all__ = [
     "FleetResult",
     "FleetSpec",
     "FleetStarted",
+    "JobCached",
     "JobDone",
     "JobFailed",
     "JobFailure",

@@ -146,4 +146,9 @@ def fleet_summary(result: "FleetResult") -> str:
             f"sim rate: {sim_s / result.wall_s:.1f} simulated s "
             "per wall s (evaluation traces, fleet-wide)"
         )
+    if result.cache_hits:
+        lines.append(
+            f"cache:    {result.cache_hits} of {result.n_jobs} jobs "
+            "served from the run cache (no simulation)"
+        )
     return "\n".join(lines)

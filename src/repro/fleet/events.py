@@ -45,6 +45,26 @@ class JobQueued(FleetEvent):
 
 
 @dataclass(frozen=True)
+class JobCached(FleetEvent):
+    """A job's result was served from the run cache — no simulation ran.
+
+    Emitted instead of :class:`JobQueued`/:class:`JobDone` for cache
+    hits; the job still contributes a normal
+    :class:`~repro.fleet.worker.JobSuccess` outcome (with
+    ``cached=True``) so aggregation is oblivious to where rows came
+    from.
+
+    Attributes:
+        wall_s: Cache-probe wall-clock seconds (microseconds, not a
+            simulation's).
+    """
+
+    index: int
+    job_id: str
+    wall_s: float
+
+
+@dataclass(frozen=True)
 class JobDone(FleetEvent):
     """A job finished successfully.
 
@@ -170,6 +190,8 @@ def _format_event_body(event: FleetEvent) -> str | None:
     if isinstance(event, FleetStarted):
         plural = "es" if event.workers != 1 else ""
         return f"fleet: {event.n_jobs} jobs on {event.workers} process{plural}"
+    if isinstance(event, JobCached):
+        return f"cache {event.job_id}  hit ({event.wall_s * 1e3:.2f} ms)"
     if isinstance(event, JobDone):
         return (
             f"done  {event.job_id}  "

@@ -32,6 +32,7 @@ from repro.fleet.events import (
     FleetFinished,
     FleetProgress,
     FleetStarted,
+    JobCached,
     JobDone,
     JobFailed,
     JobQueued,
@@ -49,6 +50,7 @@ from repro.fleet.worker import (
 
 if TYPE_CHECKING:
     from repro.analysis.sweep import SweepResult
+    from repro.cache import RunCache
 
 
 def resolve_workers(jobs: int | None) -> int:
@@ -86,6 +88,16 @@ class FleetResult:
     @property
     def n_jobs(self) -> int:
         return len(self.outcomes)
+
+    @property
+    def cache_hits(self) -> int:
+        """Jobs served from the run cache instead of simulated."""
+        return sum(1 for s in self.successes if s.cached)
+
+    @property
+    def cache_misses(self) -> int:
+        """Jobs that actually executed (everything not a cache hit)."""
+        return self.n_jobs - self.cache_hits
 
     @property
     def serial_wall_estimate_s(self) -> float:
@@ -128,6 +140,19 @@ class FleetResult:
         return to_sweep_result(self.successes, seed=seed)
 
 
+def _resolve_cache(cache: "RunCache | bool | None") -> "RunCache | None":
+    """Normalise the ``cache`` argument: ``True`` opens the default
+    store, ``False``/``None`` disables caching, a :class:`RunCache`
+    instance is used as-is."""
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        from repro.cache import RunCache
+
+        return RunCache()
+    return cache
+
+
 def run_fleet(
     spec: FleetSpec | Sequence[JobSpec],
     jobs: int | None = None,
@@ -135,6 +160,7 @@ def run_fleet(
     retries: int | None = None,
     on_event: Callable[[FleetEvent], None] | None = None,
     job_fn: Callable[[JobSpec], JobMeasurement] = execute_job,
+    cache: "RunCache | bool | None" = None,
 ) -> FleetResult:
     """Execute a grid of simulation jobs, possibly in parallel.
 
@@ -150,6 +176,13 @@ def run_fleet(
         on_event: Telemetry callback (:mod:`repro.fleet.events`).
         job_fn: Measurement function executed per job; must be a
             module-level (picklable) callable for ``jobs > 1``.
+        cache: Content-addressed run cache (:mod:`repro.cache`).
+            ``True`` opens the default store; a :class:`RunCache`
+            instance pins a specific directory.  Cacheable jobs whose
+            result is already stored are served without dispatching a
+            worker (a :class:`~repro.fleet.events.JobCached` event
+            instead of queue/done), and fresh successes are stored for
+            the next run.  ``None``/``False`` (default) disables both.
 
     Returns:
         A :class:`FleetResult` with one outcome per job in grid order.
@@ -168,16 +201,75 @@ def run_fleet(
     if not specs:
         raise ReproError("fleet needs at least one job")
 
-    workers = min(jobs, len(specs))
-    emit = on_event or (lambda event: None)
+    store = _resolve_cache(cache)
     start = time.perf_counter()
-    emit(FleetStarted(n_jobs=len(specs), workers=workers))
 
-    if workers <= 1:
-        outcomes = _run_serial(specs, timeout_s, retries, emit, job_fn, start)
+    # Cache probe: hits become ready-made outcomes before any worker
+    # spawns; only the misses are dispatched.
+    outcomes: list[JobOutcome] = []
+    indexed: list[tuple[int, JobSpec]] = []
+    if store is None:
+        indexed = list(enumerate(specs))
     else:
-        outcomes = _run_pool(specs, workers, timeout_s, retries, emit, job_fn,
-                             start)
+        for index, job_spec in enumerate(specs):
+            probe_start = time.perf_counter()
+            measurement = store.probe(job_spec)
+            if measurement is None:
+                indexed.append((index, job_spec))
+                continue
+            outcomes.append(
+                JobSuccess(
+                    spec=job_spec,
+                    index=index,
+                    energy_j=measurement.energy_j,
+                    mean_qos=measurement.mean_qos,
+                    deadline_miss_rate=measurement.deadline_miss_rate,
+                    energy_per_qos_j=measurement.energy_per_qos_j,
+                    sim_duration_s=measurement.sim_duration_s,
+                    wall_s=time.perf_counter() - probe_start,
+                    attempts=0,
+                    cached=True,
+                )
+            )
+
+    workers = max(1, min(jobs, len(indexed) if store is not None else len(specs)))
+    emit = on_event or (lambda event: None)
+    emit(FleetStarted(n_jobs=len(specs), workers=workers))
+    for hit in outcomes:
+        emit(JobCached(index=hit.index, job_id=hit.job_id, wall_s=hit.wall_s))
+    if outcomes:
+        emit(
+            FleetProgress(
+                done=len(outcomes),
+                failed=0,
+                total=len(specs),
+                elapsed_s=time.perf_counter() - start,
+            )
+        )
+
+    if indexed:
+        if workers <= 1:
+            fresh = _run_serial(indexed, timeout_s, retries, emit, job_fn,
+                                start, total=len(specs),
+                                base_done=len(outcomes))
+        else:
+            fresh = _run_pool(indexed, workers, timeout_s, retries, emit,
+                              job_fn, start, total=len(specs),
+                              base_done=len(outcomes))
+        if store is not None:
+            for outcome in fresh:
+                if isinstance(outcome, JobSuccess):
+                    store.store(
+                        outcome.spec,
+                        JobMeasurement(
+                            energy_j=outcome.energy_j,
+                            mean_qos=outcome.mean_qos,
+                            deadline_miss_rate=outcome.deadline_miss_rate,
+                            energy_per_qos_j=outcome.energy_per_qos_j,
+                            sim_duration_s=outcome.sim_duration_s,
+                        ),
+                    )
+        outcomes.extend(fresh)
 
     outcomes.sort(key=lambda o: o.index)
     result = FleetResult(
@@ -227,16 +319,24 @@ def _report(
 
 
 def _run_serial(
-    specs: list[JobSpec],
+    indexed: list[tuple[int, JobSpec]],
     timeout_s: float | None,
     retries: int,
     emit: Callable[[FleetEvent], None],
     job_fn: Callable[[JobSpec], JobMeasurement],
     start: float,
+    total: int | None = None,
+    base_done: int = 0,
 ) -> list[JobOutcome]:
+    """Run ``(grid index, spec)`` pairs in-process.
+
+    ``total``/``base_done`` fold pre-resolved jobs (cache hits) into the
+    progress totals so a partially-cached fleet still counts to 100 %.
+    """
+    total = len(indexed) if total is None else total
     outcomes: list[JobOutcome] = []
     failed = 0
-    for index, job_spec in enumerate(specs):
+    for index, job_spec in indexed:
         emit(JobQueued(index=index, job_id=job_spec.job_id))
         attempt = 1
         while True:
@@ -253,9 +353,9 @@ def _run_serial(
         failed += isinstance(outcome, JobFailure)
         emit(
             FleetProgress(
-                done=len(outcomes) - failed,
+                done=base_done + len(outcomes) - failed,
                 failed=failed,
-                total=len(specs),
+                total=total,
                 elapsed_s=time.perf_counter() - start,
             )
         )
@@ -263,14 +363,18 @@ def _run_serial(
 
 
 def _run_pool(
-    specs: list[JobSpec],
+    indexed: list[tuple[int, JobSpec]],
     workers: int,
     timeout_s: float | None,
     retries: int,
     emit: Callable[[FleetEvent], None],
     job_fn: Callable[[JobSpec], JobMeasurement],
     start: float,
+    total: int | None = None,
+    base_done: int = 0,
 ) -> list[JobOutcome]:
+    total = len(indexed) if total is None else total
+    spec_by_index = dict(indexed)
     outcomes: list[JobOutcome] = []
     failed = 0
     with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -278,7 +382,7 @@ def _run_pool(
         def submit(index: int, attempt: int) -> Future:
             future = pool.submit(
                 run_job,
-                specs[index],
+                spec_by_index[index],
                 index=index,
                 attempt=attempt,
                 timeout_s=timeout_s,
@@ -289,7 +393,7 @@ def _run_pool(
             return future
 
         pending: set[Future] = set()
-        for index, job_spec in enumerate(specs):
+        for index, job_spec in indexed:
             emit(JobQueued(index=index, job_id=job_spec.job_id))
             pending.add(submit(index, attempt=1))
 
@@ -302,7 +406,7 @@ def _run_pool(
                     outcome = future.result()
                 except Exception as exc:  # pool-level (e.g. pickling) error
                     outcome = JobFailure(
-                        spec=specs[index],
+                        spec=spec_by_index[index],
                         index=index,
                         error_type=type(exc).__name__,
                         error=str(exc),
@@ -314,7 +418,7 @@ def _run_pool(
                     emit(
                         JobRetried(
                             index=index,
-                            job_id=specs[index].job_id,
+                            job_id=spec_by_index[index].job_id,
                             attempt=attempt + 1,
                         )
                     )
@@ -324,9 +428,9 @@ def _run_pool(
                 failed += isinstance(outcome, JobFailure)
                 emit(
                     FleetProgress(
-                        done=len(outcomes) - failed,
+                        done=base_done + len(outcomes) - failed,
                         failed=failed,
-                        total=len(specs),
+                        total=total,
                         elapsed_s=time.perf_counter() - start,
                     )
                 )

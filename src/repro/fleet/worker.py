@@ -69,6 +69,9 @@ class JobSuccess:
         index: Position in the expanded grid (aggregation sort key).
         wall_s: Wall-clock seconds of the successful attempt.
         attempts: 1-based number of attempts used.
+        cached: Whether the result came from the run cache
+            (:mod:`repro.cache`) instead of a fresh simulation; cached
+            rows carry the cache-probe wall time, not a simulation's.
     """
 
     spec: JobSpec
@@ -82,6 +85,7 @@ class JobSuccess:
     attempts: int = 1
     metrics: dict | None = None
     trace_path: str | None = None
+    cached: bool = False
 
     @property
     def job_id(self) -> str:
@@ -290,22 +294,35 @@ def _write_job_trace(spec: JobSpec, session: ObsSession) -> str:
     return str(path)
 
 
-def _execute_job_inner(spec: JobSpec) -> JobMeasurement:
+def simulate_spec(spec: JobSpec) -> SimulationResult:
+    """Run one spec's simulation from scratch (the measurement core).
+
+    This is the reference execution every alternative backend is held
+    to: :mod:`repro.batch` falls back to it for rollouts its fast path
+    cannot express, and its fast path must reproduce this function's
+    numbers bit for bit.
+
+    Raises:
+        ReproError: For unknown chips/scenarios/governors.
+    """
     chip = _build_chip(spec)
     scenario = get_scenario(spec.scenario)
     eval_trace = scenario.trace(spec.duration_s, seed=spec.seed)
     power_model = PowerModel()
     if spec.is_rl:
-        run = _run_rl(spec, chip, eval_trace, power_model)
-    elif spec.is_checkpoint:
-        run = _run_checkpoint(spec, chip, eval_trace, power_model)
-    else:
-        governor_name = spec.governor
-        create(governor_name)  # fail fast on unknown names
-        run = _make_simulator(
-            spec, chip, eval_trace,
-            lambda cluster: create(governor_name), power_model,
-        ).run()
+        return _run_rl(spec, chip, eval_trace, power_model)
+    if spec.is_checkpoint:
+        return _run_checkpoint(spec, chip, eval_trace, power_model)
+    governor_name = spec.governor
+    create(governor_name)  # fail fast on unknown names
+    return _make_simulator(
+        spec, chip, eval_trace,
+        lambda cluster: create(governor_name), power_model,
+    ).run()
+
+
+def _execute_job_inner(spec: JobSpec) -> JobMeasurement:
+    run = simulate_spec(spec)
     return JobMeasurement(
         energy_j=run.total_energy_j,
         mean_qos=run.qos.mean_qos,

@@ -9,9 +9,11 @@ Rule code families:
 * ``RPL4xx`` — exception policy (:mod:`repro.lint.rules.exceptions`)
 * ``RPL5xx`` — performance-ledger discipline
   (:mod:`repro.lint.rules.perfledger`)
+* ``RPL6xx`` — run-cache discipline (:mod:`repro.lint.rules.cachedir`)
 """
 
 from repro.lint.rules import (  # noqa: F401
+    cachedir,
     determinism,
     exceptions,
     fixedpoint,

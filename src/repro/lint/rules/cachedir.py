@@ -1,0 +1,108 @@
+"""Run-cache discipline rule (RPL601).
+
+The run cache (:mod:`repro.cache`) is content-addressed: every entry
+file is named by the sha256 of its job spec and engine version, written
+atomically, and validated on read.  A direct write into the cache
+directory bypasses all three properties — the entry's name no longer
+proves its content, a half-written file can be probed mid-write, and a
+schema drift turns into silently-wrong sweep rows instead of a clean
+miss.
+
+**RPL601** flags write-ish calls (``json.dump``/``json.dumps``,
+``open``, ``write_text``, ``.open``, ``.write``) whose receiver or
+arguments name the cache directory — a string constant containing
+``".repro/cache"``, the ``REPRO_CACHE_DIR`` variable, or a
+``cache_dir``/``cache_path``/``cache_root``-ish name — anywhere outside
+:mod:`repro.cache.store` itself, pointing the author at
+``RunCache.store()``.  The deliberately narrow name patterns keep
+unrelated caches (functools memoisation, CPU caches) out of scope;
+this mirrors RPL501's ledger discipline.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import Rule, register
+
+#: The one module allowed to touch cache entry files directly.
+_BLESSED = "cache/store.py"
+
+#: Call shapes that write data: plain names and attribute tails.
+_WRITE_NAMES = {"open"}
+_WRITE_ATTRS = {"dump", "dumps", "open", "write", "write_text"}
+
+#: Identifier fragments that mean "the run-cache directory" (not just
+#: any cache): the env var, the default path, and dir/path/root names.
+_NAME_FRAGMENTS = ("cache_dir", "cache_path", "cache_root")
+_STRING_FRAGMENTS = (".repro/cache", "repro_cache_dir")
+
+
+def _mentions_cache_dir(node: ast.expr) -> bool:
+    """Whether any sub-expression names the run-cache directory."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            text = sub.value.lower()
+            if any(fragment in text for fragment in _STRING_FRAGMENTS):
+                return True
+        if isinstance(sub, ast.Name):
+            name = sub.id.lower()
+            if any(fragment in name for fragment in _NAME_FRAGMENTS):
+                return True
+            if name == "repro_cache_dir" or name == "cache_env_var":
+                return True
+        if isinstance(sub, ast.Attribute):
+            attr = sub.attr.lower()
+            if any(fragment in attr for fragment in _NAME_FRAGMENTS):
+                return True
+    return False
+
+
+def _is_write_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in _WRITE_NAMES
+    if isinstance(func, ast.Attribute):
+        return func.attr in _WRITE_ATTRS
+    return False
+
+
+@register
+class AdHocCacheWriteRule(Rule):
+    """RPL601: cache entries go through ``repro.cache.RunCache``."""
+
+    code = "RPL601"
+    name = "cache.store-discipline"
+    summary = (
+        "ad-hoc write into the run-cache directory; entries must go "
+        "through repro.cache.RunCache so keys stay content-addressed "
+        "and writes atomic"
+    )
+
+    @classmethod
+    def applies_to(cls, module_path: str) -> bool:
+        # Everywhere *except* the blessed store module.
+        return module_path != _BLESSED
+
+    def run(self) -> None:
+        self.visit(self.ctx.tree)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag writes whose receiver or arguments name the cache dir."""
+        if _is_write_call(node):
+            receiver = (
+                node.func.value
+                if isinstance(node.func, ast.Attribute)
+                else None
+            )
+            targets = list(node.args) + [kw.value for kw in node.keywords]
+            if receiver is not None:
+                targets.append(receiver)
+            if any(_mentions_cache_dir(t) for t in targets):
+                self.report(
+                    node,
+                    "ad-hoc run-cache write; store results through "
+                    "repro.cache.RunCache.store() so entry names stay "
+                    "content hashes and writes stay atomic",
+                )
+        self.generic_visit(node)

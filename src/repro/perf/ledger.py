@@ -8,7 +8,11 @@ carry the run id, git SHA, wall-clock timestamp, the identity config
 (scenario/governor/seed/chip/...), and a flat metric dict, so the
 regression engine in :mod:`repro.perf.regress` can reduce repeated
 samples per ``(config key, metric)`` and test the trajectory across
-commits.
+commits.  Cache-aware fleets (``repro fleet --cache``) fold run-cache
+effectiveness into the same stream: the grid summary record carries
+``cache_hits``/``cache_misses``, and per-job ``cache.*`` counters from
+the observability registry flow through
+:func:`metrics_from_snapshot` like any other counter.
 
 The ledger lives at ``.repro/perf-ledger.jsonl`` by default; override
 with the ``REPRO_PERF_LEDGER`` environment variable or an explicit

@@ -87,8 +87,17 @@ class EpsilonGreedy:
             return int(self._rng.integers(self.n_actions))
         return int(np.argmax(q_row))
 
-    def reset(self, *, keep_schedule: bool = True) -> None:
-        """Reset the decision counter (and thus epsilon) unless asked to
-        keep the schedule position across episodes."""
+    def reset(self, *, keep_schedule: bool = False) -> None:
+        """Reset the decision counter (and thus epsilon) back to the
+        schedule start.
+
+        Pass ``keep_schedule=True`` to preserve the schedule position
+        across episodes (a no-op on the counter), which is how the
+        online policies keep exploration decaying over a device's whole
+        lifetime rather than restarting every trace — they simply never
+        call ``reset``.  The former default silently kept the schedule,
+        contradicting this docstring; a bare ``reset()`` now does what
+        it says.
+        """
         if not keep_schedule:
             self._step = 0

@@ -98,11 +98,19 @@ class NStepQAgent:
             return 0.0
         return self._apply(next_state)
 
-    def _apply(self, bootstrap_state: int) -> float:
+    def _apply(self, bootstrap_state: int, terminal: bool = False) -> float:
         g = 0.0
         for k, (_, _, r) in enumerate(self._window):
             g += (self.gamma**k) * r
-        g += (self.gamma ** len(self._window)) * self.table.max(bootstrap_state)
+        # At a true episode end there is no future return to estimate:
+        # the terminal state's value is 0 by definition, so the
+        # bootstrap term is dropped rather than read from the table
+        # (which would let optimistic initial values leak into every
+        # end-of-trace update).
+        if not terminal:
+            g += (self.gamma ** len(self._window)) * self.table.max(
+                bootstrap_state
+            )
         s0, a0, _ = self._window.popleft()
         q = self.table.get(s0, a0)
         td_error = g - q
@@ -111,12 +119,21 @@ class NStepQAgent:
         self.td_stats.push(td_error)
         return td_error
 
-    def flush(self, final_state: int) -> int:
-        """Drain the window at episode end, bootstrapping from
-        ``final_state``.  Returns the number of updates applied."""
+    def flush(self, final_state: int, terminal: bool = False) -> int:
+        """Drain the window at episode end.  Returns the number of
+        updates applied.
+
+        Args:
+            final_state: The state the episode ended in.
+            terminal: ``True`` when the episode genuinely ended there
+                (the remaining updates use pure truncated returns, no
+                bootstrap); ``False`` (default) when the episode was
+                merely cut off by the horizon and the value of
+                ``final_state`` still estimates the continuation.
+        """
         applied = 0
         while self._window:
-            self._apply(final_state)
+            self._apply(final_state, terminal=terminal)
             applied += 1
         return applied
 

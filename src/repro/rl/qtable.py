@@ -61,10 +61,37 @@ class QTable:
         self._check(state)
         return self.values[state].copy()
 
+    def rows(self, states: "np.ndarray | list[int]") -> np.ndarray:
+        """A copied ``(len(states), n_actions)`` block of Q-rows.
+
+        The batched counterpart of :meth:`row` — one fancy-indexed read
+        instead of a Python loop, for vectorised rollout evaluation and
+        batch policy export.  States may repeat and appear in any order.
+
+        Raises:
+            PolicyError: If any state is out of range.
+        """
+        index = np.asarray(states, dtype=np.intp)
+        if index.ndim != 1:
+            raise PolicyError(f"states must be one-dimensional: {index.shape}")
+        if index.size and (
+            int(index.min()) < 0 or int(index.max()) >= self.n_states
+        ):
+            raise PolicyError(
+                f"state out of range [0, {self.n_states}): "
+                f"{index.min()}..{index.max()}"
+            )
+        return self.values[index].copy()
+
     def argmax(self, state: int) -> int:
         """Greedy action for ``state`` (lowest index wins ties)."""
         self._check(state)
         return int(np.argmax(self.values[state]))
+
+    def argmax_many(self, states: "np.ndarray | list[int]") -> np.ndarray:
+        """Greedy actions for a batch of states (lowest index wins ties,
+        matching :meth:`argmax` element for element)."""
+        return np.argmax(self.rows(states), axis=1)
 
     def max(self, state: int) -> float:
         """The greedy action's value for ``state``."""

@@ -43,6 +43,16 @@ from repro.workload.trace import Trace
 
 GovernorFactory = Callable[[Cluster], Governor]
 
+ENGINE_VERSION = "5.0"
+"""Version of the simulated-numbers contract.
+
+Bump whenever a change alters the numbers any (chip, trace, governor)
+run produces — power-model arithmetic, drain order, scheduler
+behaviour, QoS scoring.  The run cache (:mod:`repro.cache`) folds this
+into every cache key, so stale results self-invalidate on upgrade; the
+batch backend (:mod:`repro.batch`) replicates exactly this version's
+float-operation sequence."""
+
 DECISION_LATENCY_BUCKETS = (
     1e-7, 3e-7, 1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2,
 )

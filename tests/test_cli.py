@@ -238,6 +238,51 @@ class TestObservabilityCLI:
         assert code == 0
         assert "INFO" not in capsys.readouterr().err
 
+    def test_fleet_cache_round_trip_and_cache_commands(self, capsys,
+                                                       tmp_path):
+        import json
+
+        flags = [
+            "fleet", "--chip", "tiny", "--scenarios", "idle",
+            "--governors", "performance,powersave", "--seeds", "1",
+            "--duration", "1.0", "--jobs", "1", "--quiet",
+            "--cache", "--cache-dir", str(tmp_path / "cache"),
+        ]
+        out_a, out_b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(flags + ["--out", str(out_a)]) == 0
+        capsys.readouterr()
+        assert main(flags + ["--out", str(out_b)]) == 0
+        stdout = capsys.readouterr().out
+        assert "2 of 2 jobs served from the run cache" in stdout
+
+        cold = json.loads(out_a.read_text())
+        warm = json.loads(out_b.read_text())
+        assert cold["cache_hits"] == 0 and warm["cache_hits"] == 2
+        assert all(row["cached"] for row in warm["rows"])
+        for a, b in zip(cold["rows"], warm["rows"]):
+            assert b["energy_per_qos_j"] == a["energy_per_qos_j"]
+
+        dir_flag = ["--cache-dir", str(tmp_path / "cache")]
+        assert main(["cache", "list"] + dir_flag) == 0
+        assert "tiny/idle/performance/s1" in capsys.readouterr().out
+        assert main(["cache", "stats"] + dir_flag) == 0
+        assert "entries:        2" in capsys.readouterr().out
+        assert main(["cache", "clear"] + dir_flag) == 0
+        assert "removed 2" in capsys.readouterr().out
+
+    def test_fleet_no_cache_is_the_default(self, capsys, tmp_path,
+                                           monkeypatch):
+        from repro.cache import CACHE_ENV_VAR
+
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "untouched"))
+        code = main([
+            "fleet", "--chip", "tiny", "--scenarios", "idle",
+            "--governors", "performance", "--seeds", "1",
+            "--duration", "1.0", "--jobs", "1", "--quiet",
+        ])
+        assert code == 0
+        assert not (tmp_path / "untouched").exists()
+
     def test_fleet_progress_none_is_silent(self, capsys, tmp_path):
         code = main([
             "fleet", "--chip", "tiny", "--scenarios", "idle",

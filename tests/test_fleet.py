@@ -79,6 +79,26 @@ def _quick(spec: JobSpec) -> JobMeasurement:
     return _measurement()
 
 
+def _flaky_with_metrics(spec: JobSpec) -> JobMeasurement:
+    """Flaky-via-marker variant whose success carries a metric snapshot,
+    so metric-merge double counting would be visible.  Jobs without the
+    ``flaky:`` governor prefix succeed on the first attempt."""
+    if spec.governor.startswith("flaky:"):
+        marker = Path(spec.governor.removeprefix("flaky:"))
+        if not marker.exists():
+            marker.write_text("attempted")
+            raise RuntimeError("first attempt always fails")
+    m = _measurement()
+    return JobMeasurement(
+        energy_j=m.energy_j,
+        mean_qos=m.mean_qos,
+        deadline_miss_rate=m.deadline_miss_rate,
+        energy_per_qos_j=m.energy_per_qos_j,
+        sim_duration_s=m.sim_duration_s,
+        metrics={"counters": {"sim.intervals": 100.0}},
+    )
+
+
 class TestJobSpec:
     def test_job_id(self):
         spec = JobSpec(scenario="gaming", governor="ondemand", seed=7,
@@ -264,6 +284,35 @@ class TestRunner:
         assert outcome.attempts == 2
         assert log.count(JobRetried) == 1
         assert log.count(JobFailed) == 1
+
+    def test_flaky_retry_counts_exactly_once(self, tmp_path):
+        """A job that fails attempt 1 and succeeds attempt 2 contributes
+        exactly one outcome — no phantom rows in the sweep aggregation,
+        no double-summed counters in the metric merge."""
+        marker = tmp_path / "attempted"
+        grid = [
+            JobSpec(scenario="s", governor="steady-a"),
+            JobSpec(scenario="s", governor=f"flaky:{marker}"),
+            JobSpec(scenario="s", governor="steady-b"),
+        ]
+        for jobs in (1, 2):
+            if marker.exists():
+                marker.unlink()
+            log = EventLog()
+            result = run_fleet(grid, jobs=jobs, retries=1, on_event=log,
+                               job_fn=_flaky_with_metrics)
+            assert log.count(JobFailed) == 1
+            assert log.count(JobRetried) == 1
+            # One outcome per grid job, each index exactly once.
+            assert len(result.outcomes) == 3
+            assert [o.index for o in result.outcomes] == [0, 1, 2]
+            assert all(isinstance(o, JobSuccess) for o in result.outcomes)
+            assert [s.attempts for s in result.successes] == [1, 2, 1]
+            # Aggregations see the job once, not per attempt.
+            rows = to_sweep_result(result.successes).rows
+            assert [r.governor for r in rows] == [s.governor for s in grid]
+            merged = merge_job_metrics(result.successes)
+            assert merged["counters"]["sim.intervals"] == 300.0
 
     def test_no_retry_by_default(self):
         result = run_fleet([JobSpec(scenario="s", governor="g")], jobs=1,

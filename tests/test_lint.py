@@ -92,7 +92,7 @@ class TestSelection:
         expected = {
             "RPL001", "RPL002", "RPL003", "RPL101", "RPL102",
             "RPL201", "RPL202", "RPL203", "RPL301", "RPL401", "RPL402",
-            "RPL501",
+            "RPL501", "RPL601",
         }
         assert set(all_rules()) == expected
 
@@ -539,6 +539,87 @@ class TestLedgerDiscipline:
     def test_catalogue_lists_rpl501(self):
         assert "RPL501" in all_rules()
         assert any(line.startswith("RPL501") for line in
+                   rule_catalogue().splitlines())
+
+
+# ---------------------------------------------------------------------------
+# RPL6xx: run-cache discipline
+# ---------------------------------------------------------------------------
+
+
+class TestCacheDiscipline:
+    def test_open_under_default_cache_dir_flagged(self):
+        r = lint(
+            """\
+            import json
+
+            def sneak(key, payload):
+                with open(f".repro/cache/{key}.json", "w") as fh:
+                    json.dump(payload, fh)
+            """,
+            "analysis/export.py",
+        )
+        assert "RPL601" in codes(r)
+
+    def test_write_text_on_cache_dir_variable_flagged(self):
+        r = lint(
+            "def f(cache_dir, key, body):\n"
+            "    (cache_dir / key).write_text(body)\n",
+            "fleet/runner.py",
+        )
+        assert codes(r) == ["RPL601"]
+
+    def test_json_dump_to_cache_path_flagged(self):
+        r = lint(
+            """\
+            import json
+
+            def save(cache_path, payload):
+                json.dump(payload, cache_path)
+            """,
+            "cli.py",
+        )
+        assert codes(r) == ["RPL601"]
+
+    def test_blessed_store_module_exempt(self):
+        r = lint(
+            """\
+            import json
+
+            def store(self, entry):
+                tmp = self.cache_dir / "x.tmp"
+                tmp.write_text(json.dumps(entry))
+            """,
+            "cache/store.py",
+        )
+        assert codes(r) == []
+
+    def test_unrelated_caches_unflagged(self):
+        # functools-style memo caches and generic writes stay in scope
+        # of nothing: only the run-cache directory names trigger.
+        r = lint(
+            """\
+            import json
+
+            def save(path, cache):
+                with open(path, "w") as fh:
+                    json.dump(cache, fh)
+            """,
+            "analysis/export.py",
+        )
+        assert codes(r) == []
+
+    def test_runcache_store_is_the_sanctioned_path(self):
+        r = lint(
+            "from repro.cache import RunCache\n"
+            "RunCache().store(spec, measurement)\n",
+            "fleet/runner.py",
+        )
+        assert codes(r) == []
+
+    def test_catalogue_lists_rpl601(self):
+        assert "RPL601" in all_rules()
+        assert any(line.startswith("RPL601") for line in
                    rule_catalogue().splitlines())
 
 
