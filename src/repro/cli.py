@@ -8,7 +8,13 @@ Subcommands:
 * ``compare`` — the headline comparison (RL vs. baselines) on one scenario.
 * ``fleet`` — run a scenarios x governors x seeds grid across worker
   processes (see ``docs/fleet.md``).
-* ``latency`` — the software-vs-hardware decision-latency table.
+* ``latency`` — the software-vs-hardware decision-latency table
+  (``--format json`` adds the typical/best-case speedups plus the
+  paper's claims for programmatic comparison).
+* ``serve`` — the long-running policy-decision service: boot a trained
+  checkpoint and answer JSONL decision/simulation requests with
+  backpressure and graceful drain (see ``docs/serving.md``).
+* ``decide`` — one-shot serve client: observations in, decisions out.
 * ``trace`` — run instrumented and write a Chrome ``trace_event`` file
   (plus RL convergence instants) loadable in Perfetto.
 * ``profile`` — characterise a scenario or a trace CSV, and print the
@@ -241,7 +247,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
             f"E/QoS = {record.energy_per_qos_j * 1e3:8.3f} mJ/unit  "
             f"QoS = {record.mean_qos:.3f}"
         )
-    path = save_policies(training.policies, args.out)
+    path = save_policies(training.policies, args.save or args.out)
     print(f"checkpoint saved to {path}")
     return 0
 
@@ -308,16 +314,157 @@ def _cmd_latency(args: argparse.Namespace) -> int:
     for cluster in chip:
         for opp in cluster.spec.opp_table:
             cmp = compare_latency(opp.freq_hz, label=f"{cluster.spec.name}@{opp.freq_mhz:.0f}MHz")
-            rows.append(
-                (cmp.label, cmp.software_s * 1e6, cmp.hardware_s * 1e6, cmp.speedup)
-            )
+            rows.append(cmp)
+    if args.format == "json":
+        from repro.experiments.latency import (
+            PAPER_BEST_CASE_SPEEDUP,
+            PAPER_TYPICAL_SPEEDUP,
+            e4_decision_latency,
+        )
+
+        e4 = e4_decision_latency(chip=chip)
+        payload = {
+            "chip": args.chip,
+            "rows": [
+                {
+                    "label": r.label,
+                    "software_s": r.software_s,
+                    "hardware_s": r.hardware_s,
+                    "speedup": r.speedup,
+                }
+                for r in rows
+            ],
+            "typical_speedup": e4.typical.speedup,
+            "best_case_speedup": e4.best_case.speedup,
+            "paper": {
+                "typical_speedup": PAPER_TYPICAL_SPEEDUP,
+                "best_case_speedup": PAPER_BEST_CASE_SPEEDUP,
+            },
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
     print(
         format_table(
             ["CPU operating point", "SW [us]", "HW [us]", "speedup"],
-            rows,
+            [
+                (r.label, r.software_s * 1e6, r.hardware_s * 1e6, r.speedup)
+                for r in rows
+            ],
             title="decision latency, software vs hardware policy",
         )
     )
+    return 0
+
+
+def _serve_config(args: argparse.Namespace):
+    from repro.serve import ServeConfig
+
+    return ServeConfig(
+        workers=args.workers,
+        queue_size=args.queue_size,
+        default_deadline_s=args.deadline,
+        drain_timeout_s=args.drain_timeout,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """The policy-decision daemon: JSONL requests in, JSONL replies out.
+
+    Replies and only replies go to stdout (completion order, correlated
+    by ``request_id``); status and stats go to stderr so the reply
+    stream stays machine-parseable.
+    """
+    import asyncio
+
+    from repro.serve import PolicyServer, serve_jsonl
+
+    server = PolicyServer.from_checkpoint(
+        args.checkpoint, chip=args.chip, config=_serve_config(args)
+    )
+    stream = open(args.requests) if args.requests else sys.stdin
+
+    def write_reply(mapping: dict) -> None:
+        print(json.dumps(mapping), flush=True)
+
+    try:
+        with _obs_session(None, args.metrics, trace=False,
+                          force=_ledger_requested(args)) as session:
+            async def _run() -> int:
+                await server.start()
+                return await serve_jsonl(server, stream.readline, write_reply)
+
+            submitted = asyncio.run(_run())
+    finally:
+        if args.requests:
+            stream.close()
+    stats = server.stats
+    print(
+        f"serve: {submitted} submitted, {stats.served} served "
+        f"({stats.served_decisions} decisions, "
+        f"{stats.served_simulations} simulations), "
+        f"{stats.rejected} rejected",
+        file=sys.stderr,
+    )
+    if session is not None and args.metrics:
+        from repro import obs
+
+        with open(args.metrics, "w") as fh:
+            fh.write(obs.prometheus_text(session.metrics))
+        print(f"metrics written to {args.metrics}", file=sys.stderr)
+    if _ledger_requested(args) and session is not None:
+        from repro import perf
+
+        record = perf.record_run(
+            "serve", "jsonl",
+            perf.metrics_from_snapshot(session.metrics.snapshot()),
+            {
+                "chip": args.chip,
+                "workers": args.workers,
+                "queue_size": args.queue_size,
+            },
+            path=_ledger_path(args),
+        )
+        print(
+            f"ledger: recorded serve:jsonl ({len(record.metrics)} metrics, "
+            f"run {record.run_id}) to "
+            f"{perf.resolve_ledger_path(_ledger_path(args))}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_decide(args: argparse.Namespace) -> int:
+    """One-shot client: answer request mappings from a flag or a file."""
+    import asyncio
+
+    from repro.serve import (
+        PolicyServer,
+        reply_to_mapping,
+        request_from_mapping,
+        serve_once,
+    )
+
+    server = PolicyServer.from_checkpoint(
+        args.checkpoint, chip=args.chip, config=_serve_config(args)
+    )
+    payloads = []
+    if args.observation:
+        payloads.append(
+            {"kind": "decision", "observation": json.loads(args.observation)}
+        )
+    if args.requests:
+        with open(args.requests) as fh:
+            payloads.extend(
+                json.loads(line) for line in fh if line.strip()
+            )
+    if not payloads:
+        raise ReproError(
+            "nothing to decide: pass --observation JSON and/or --requests FILE"
+        )
+    requests = [request_from_mapping(p, server.chip) for p in payloads]
+    replies = asyncio.run(serve_once(server, requests))
+    for reply in replies:
+        print(json.dumps(reply_to_mapping(reply)))
     return 0
 
 
@@ -889,6 +1036,10 @@ def build_parser() -> argparse.ArgumentParser:
     train_p.add_argument("--episodes", type=int, default=15)
     train_p.add_argument("--duration", type=float, default=20.0)
     train_p.add_argument("--out", default="rl-checkpoint")
+    train_p.add_argument("--save", default=None, metavar="PATH",
+                         help="checkpoint directory (overrides --out); the "
+                              "manifest stamps the engine version, and "
+                              "'repro serve' refuses stale stamps")
     train_p.set_defaults(func=_cmd_train)
 
     cmp_p = sub.add_parser("compare", parents=[common],
@@ -974,7 +1125,54 @@ def build_parser() -> argparse.ArgumentParser:
     lat_p = sub.add_parser("latency", parents=[common],
                            help="SW vs HW decision latency table")
     lat_p.add_argument("--chip", default="exynos5422", choices=sorted(PRESETS))
+    lat_p.add_argument("--format", default="text", choices=("text", "json"),
+                       help="json adds the typical/best-case speedups and "
+                            "the paper's claims for programmatic comparison")
     lat_p.set_defaults(func=_cmd_latency)
+
+    serve_common = argparse.ArgumentParser(add_help=False)
+    serve_common.add_argument("--checkpoint", required=True, metavar="DIR",
+                              help="policy checkpoint directory "
+                                   "(from 'repro train --save')")
+    serve_common.add_argument("--chip", default="exynos5422",
+                              choices=sorted(PRESETS))
+    serve_common.add_argument("--workers", type=int, default=2,
+                              help="concurrent request handlers")
+    serve_common.add_argument("--queue-size", type=int, default=64,
+                              help="queue bound; a full queue rejects with "
+                                   "'overloaded' instead of buffering")
+    serve_common.add_argument("--deadline", type=float, default=None,
+                              metavar="S",
+                              help="default per-request deadline [s]")
+    serve_common.add_argument("--drain-timeout", type=float, default=30.0,
+                              metavar="S",
+                              help="max wait for queued work at shutdown")
+
+    serve_p = sub.add_parser(
+        "serve", parents=[common, serve_common],
+        help="policy-decision service: JSONL requests in, replies out",
+    )
+    serve_p.add_argument("--requests", default=None, metavar="FILE",
+                         help="read JSONL requests from FILE instead of "
+                              "stdin (EOF drains and shuts down)")
+    serve_p.add_argument("--metrics", default=None, metavar="FILE",
+                         help="write a Prometheus-format metrics snapshot")
+    serve_p.add_argument("--ledger", nargs="?", const="", default=None,
+                         metavar="FILE",
+                         help="append serve latency percentiles to the "
+                              "performance ledger")
+    serve_p.set_defaults(func=_cmd_serve)
+
+    dec_p = sub.add_parser(
+        "decide", parents=[common, serve_common],
+        help="one-shot client: observation(s) in, decision(s) out",
+    )
+    dec_p.add_argument("--observation", default=None, metavar="JSON",
+                       help="observation fields as a JSON object; "
+                            "unspecified fields default from the chip")
+    dec_p.add_argument("--requests", default=None, metavar="FILE",
+                       help="JSONL request file (same format as 'serve')")
+    dec_p.set_defaults(func=_cmd_decide)
 
     trace_p = sub.add_parser(
         "trace", parents=[common],

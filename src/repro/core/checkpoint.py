@@ -4,6 +4,12 @@ A checkpoint is a directory: one JSON manifest with the policy
 configuration and geometry, plus one ``.npz`` Q-table per cluster.  This
 is what a deployment would flash/ship: the learned table plus the exact
 featurisation that indexes it.
+
+Manifest format 2 stamps the simulation engine version
+(:data:`repro.sim.engine.ENGINE_VERSION`) the tables were trained
+under; loading under a different engine contract is refused, because a
+Q-table indexed by one engine's numerics can be silently wrong under
+another's.  Format-1 checkpoints (pre-stamp) still load.
 """
 
 from __future__ import annotations
@@ -17,10 +23,14 @@ from repro.core.policy import RLPowerManagementPolicy
 from repro.errors import PolicyError
 from repro.rl.exploration import EpsilonSchedule
 from repro.rl.qtable import QTable
+from repro.sim.engine import ENGINE_VERSION
 from repro.soc.chip import Chip
 
 _MANIFEST = "policy.json"
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+#: Manifest formats this loader still understands.  Format 1 predates
+#: the engine-version stamp, so it loads without the staleness check.
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def _config_to_dict(config: PolicyConfig) -> dict:
@@ -53,7 +63,11 @@ def save_policies(
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    manifest: dict = {"version": _FORMAT_VERSION, "clusters": {}}
+    manifest: dict = {
+        "version": _FORMAT_VERSION,
+        "engine_version": ENGINE_VERSION,
+        "clusters": {},
+    }
     for name, policy in policies.items():
         if policy.agent is None or policy.featurizer is None:
             raise PolicyError(f"policy for cluster {name!r} has not been trained")
@@ -94,9 +108,16 @@ def load_policies(
         manifest = json.loads(manifest_path.read_text())
     except json.JSONDecodeError as exc:
         raise PolicyError(f"corrupt checkpoint manifest: {exc}") from exc
-    if manifest.get("version") != _FORMAT_VERSION:
+    if manifest.get("version") not in _SUPPORTED_VERSIONS:
         raise PolicyError(
             f"unsupported checkpoint version {manifest.get('version')!r}"
+        )
+    saved_engine = manifest.get("engine_version")
+    if manifest["version"] >= 2 and saved_engine != ENGINE_VERSION:
+        raise PolicyError(
+            f"checkpoint at {directory} was trained under engine version "
+            f"{saved_engine!r} but this build runs {ENGINE_VERSION!r}; "
+            "retrain (repro train --save) before serving it"
         )
 
     clusters: dict = manifest["clusters"]

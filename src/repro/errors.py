@@ -57,6 +57,19 @@ class CacheError(ReproError):
     ``None``, not an error."""
 
 
+class ServeError(ReproError):
+    """The policy-decision service was misconfigured (bad serve config,
+    a malformed request payload, a submit after shutdown) — distinct
+    from a *rejection*, which is a normal backpressure/deadline outcome
+    reported as a response, not an exception."""
+
+
+class ServeOverloaded(ServeError):
+    """The serve queue hit its bound; raised internally by the queue
+    backend and converted into an explicit ``overloaded`` rejection at
+    the submission boundary."""
+
+
 class LintError(ReproError):
     """The static-analysis engine was misconfigured (unknown rule code,
     unparsable input, malformed baseline) — distinct from a finding,

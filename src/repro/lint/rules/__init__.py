@@ -10,9 +10,12 @@ Rule code families:
 * ``RPL5xx`` — performance-ledger discipline
   (:mod:`repro.lint.rules.perfledger`)
 * ``RPL6xx`` — run-cache discipline (:mod:`repro.lint.rules.cachedir`)
+* ``RPL7xx`` — serve-loop discipline
+  (:mod:`repro.lint.rules.asyncblocking`)
 """
 
 from repro.lint.rules import (  # noqa: F401
+    asyncblocking,
     cachedir,
     determinism,
     exceptions,

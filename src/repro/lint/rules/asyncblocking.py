@@ -1,0 +1,99 @@
+"""Serve-loop discipline rule (RPL701).
+
+The policy server answers decision requests on the asyncio event loop
+itself — that is what keeps service latency in the microsecond band the
+paper's latency argument is about.  One blocking call inside an async
+handler stalls *every* queued request behind it: a ``time.sleep`` or a
+synchronous file read in the hot path turns the bounded-queue
+backpressure story into head-of-line blocking.
+
+**RPL701** flags, inside ``async def`` bodies anywhere under
+:mod:`repro.serve`:
+
+* calls resolving to ``time.sleep`` (use ``asyncio.sleep``);
+* synchronous file I/O — bare ``open(...)`` and read/write attribute
+  calls (``read_text``, ``write_text``, ``read_bytes``,
+  ``write_bytes``, ``.open``) — ship it to a thread with
+  ``loop.run_in_executor`` instead, the way simulation jobs and stdin
+  reads already are.
+
+Nested synchronous ``def`` bodies are not scanned: defining a helper is
+fine, the rule is about what the event loop executes directly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Rule, register
+
+#: Dotted origins that park the event loop outright.
+_SLEEP_ORIGINS = {"time.sleep"}
+
+#: Attribute tails that mean synchronous file I/O on the receiver.
+_FILE_IO_ATTRS = {"read_text", "write_text", "read_bytes", "write_bytes", "open"}
+
+
+def _direct_calls(root: ast.AsyncFunctionDef) -> Iterator[ast.Call]:
+    """Calls the event loop would execute directly in ``root``'s body.
+
+    Descends statements and expressions but not nested function
+    definitions — sync helpers run only if called, and nested async
+    defs get their own visit.
+    """
+    stack: list[ast.AST] = list(root.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class AsyncBlockingCallRule(Rule):
+    """RPL701: no blocking calls inside ``repro.serve`` async handlers."""
+
+    code = "RPL701"
+    name = "serve.async-blocking"
+    summary = (
+        "blocking call (time.sleep / sync file I/O) inside an async "
+        "handler in repro.serve; it stalls every queued request"
+    )
+    scope = ("serve/",)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        """Check every call made directly by an async function body."""
+        for call in _direct_calls(node):
+            self._check(call)
+        self.generic_visit(node)
+
+    def _check(self, call: ast.Call) -> None:
+        origin = self.ctx.imports.resolve(call.func)
+        if origin in _SLEEP_ORIGINS:
+            self.report(
+                call,
+                "time.sleep parks the serve event loop; use "
+                "await asyncio.sleep(...)",
+            )
+            return
+        if isinstance(call.func, ast.Name) and call.func.id == "open":
+            self.report(
+                call,
+                "sync open() blocks the serve event loop; move the I/O "
+                "to a thread via loop.run_in_executor",
+            )
+            return
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in _FILE_IO_ATTRS
+        ):
+            self.report(
+                call,
+                f"sync file I/O (.{call.func.attr}) blocks the serve "
+                "event loop; move it to a thread via loop.run_in_executor",
+            )

@@ -1,0 +1,54 @@
+"""``repro.serve`` — the long-running policy-decision service.
+
+Loads a trained policy snapshot and serves observation→action decision
+requests and whole simulation jobs from a bounded queue with explicit
+backpressure, per-request deadlines, and graceful drain-on-shutdown.
+See ``docs/serving.md`` for the architecture and SLOs.
+"""
+
+from repro.serve.client import serve_jsonl, serve_once
+from repro.serve.config import ServeConfig
+from repro.serve.protocol import (
+    REJECT_DEADLINE,
+    REJECT_ERROR,
+    REJECT_OVERLOADED,
+    REJECT_SHUTDOWN,
+    DecisionReply,
+    DecisionRequest,
+    Rejection,
+    Reply,
+    Request,
+    SimulationReply,
+    SimulationRequest,
+    observation_from_mapping,
+    reply_to_mapping,
+    request_from_mapping,
+)
+from repro.serve.queue import InProcessQueue, QueueBackend
+from repro.serve.server import PolicyServer, ServerStats
+from repro.serve.session import DecisionSession
+
+__all__ = [
+    "REJECT_DEADLINE",
+    "REJECT_ERROR",
+    "REJECT_OVERLOADED",
+    "REJECT_SHUTDOWN",
+    "DecisionReply",
+    "DecisionRequest",
+    "DecisionSession",
+    "InProcessQueue",
+    "PolicyServer",
+    "QueueBackend",
+    "Rejection",
+    "Reply",
+    "Request",
+    "ServeConfig",
+    "ServerStats",
+    "SimulationReply",
+    "SimulationRequest",
+    "observation_from_mapping",
+    "reply_to_mapping",
+    "request_from_mapping",
+    "serve_jsonl",
+    "serve_once",
+]

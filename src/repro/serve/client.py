@@ -1,0 +1,122 @@
+"""Client-side helpers: one-shot serving and the JSONL stdio loop.
+
+Two entry points sit on top of :class:`~repro.serve.server.PolicyServer`:
+
+* :func:`serve_once` — boot, answer a batch of requests, drain, return
+  the replies in submission order.  Backs ``repro decide`` and any test
+  that wants request/reply semantics without managing the lifecycle.
+* :func:`serve_jsonl` — the daemon loop behind ``repro serve``: read
+  one JSON request per line, stream one JSON reply per completion.
+  Line reads go through the event loop's executor so a slow producer
+  never blocks the worker pool (the no-blocking-calls discipline RPL701
+  enforces on this package).
+
+Replies stream in *completion* order; clients correlate through
+``request_id``, which every reply echoes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Callable, Sequence
+
+from repro.errors import ReproError, ServeError
+from repro.serve.protocol import (
+    REJECT_ERROR,
+    Rejection,
+    Reply,
+    Request,
+    reply_to_mapping,
+    request_from_mapping,
+)
+from repro.serve.server import PolicyServer
+
+
+async def serve_once(
+    server: PolicyServer, requests: Sequence[Request]
+) -> list[Reply]:
+    """Start ``server``, answer ``requests``, drain, and shut down.
+
+    Returns the replies in submission order (unlike the streaming loop,
+    which replies in completion order).
+    """
+    await server.start()
+    try:
+        futures = [server.submit(request) for request in requests]
+        return [await future for future in futures]
+    finally:
+        await server.shutdown()
+
+
+async def serve_jsonl(
+    server: PolicyServer,
+    read_line: Callable[[], str],
+    write_reply: Callable[[dict[str, Any]], None],
+) -> int:
+    """Pump JSONL requests into a started server until EOF, then drain.
+
+    Args:
+        server: A server whose :meth:`~PolicyServer.start` has already
+            run (the CLI owns the lifecycle so it can report stats).
+        read_line: Blocking line reader (e.g. ``sys.stdin.readline``);
+            an empty string means EOF.  Called via the executor so the
+            event loop — and the decision path — never blocks on input.
+        write_reply: Sink for one reply mapping; called from the event
+            loop in completion order.
+
+    Returns:
+        The number of requests submitted (malformed lines are answered
+        with an ``error`` rejection and not counted).
+    """
+    loop = asyncio.get_running_loop()
+    submitted = 0
+    in_flight: set["asyncio.Future[Reply]"] = set()
+
+    def _emit(future: "asyncio.Future[Reply]") -> None:
+        in_flight.discard(future)
+        if not future.cancelled():
+            write_reply(reply_to_mapping(future.result()))
+
+    while True:
+        line = await loop.run_in_executor(None, read_line)
+        if not line:
+            break
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+            if not isinstance(data, dict):
+                raise ServeError("a request line must be a JSON object")
+            request = request_from_mapping(data, server.chip)
+        except (json.JSONDecodeError, ReproError) as exc:
+            request_id = ""
+            if isinstance(data := _maybe_mapping(line), dict):
+                request_id = str(data.get("request_id", ""))
+            write_reply(
+                reply_to_mapping(
+                    Rejection(
+                        request_id=request_id,
+                        reason=REJECT_ERROR,
+                        detail=f"malformed request line: {exc}",
+                    )
+                )
+            )
+            continue
+        future = server.submit(request)
+        submitted += 1
+        in_flight.add(future)
+        future.add_done_callback(_emit)
+    await server.shutdown(drain=True)
+    if in_flight:
+        await asyncio.gather(*in_flight, return_exceptions=True)
+    return submitted
+
+
+def _maybe_mapping(line: str) -> Any:
+    """Best-effort parse of a rejected line, to recover a request_id."""
+    try:
+        return json.loads(line)
+    except json.JSONDecodeError:
+        return None

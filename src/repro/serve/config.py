@@ -1,0 +1,51 @@
+"""Runtime configuration of the policy-decision service."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ServeError
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """All tunables of a :class:`~repro.serve.server.PolicyServer`.
+
+    Attributes:
+        workers: Concurrent worker tasks draining the request queue.
+            Decision requests are microseconds of pure CPU and run on
+            the event loop; simulation jobs are shipped to an executor,
+            so ``workers`` bounds how many simulations run at once.
+        queue_size: Bound of the request queue.  A full queue rejects
+            new submissions with an explicit ``overloaded`` response
+            instead of buffering without limit — that is the
+            backpressure contract.
+        default_deadline_s: Deadline applied to requests that do not
+            carry their own; ``None`` means no deadline.  A request
+            still queued when its deadline passes is answered with a
+            ``deadline`` rejection, not silently computed late.
+        drain_timeout_s: Upper bound on how long a graceful shutdown
+            waits for queued work to finish before cancelling the
+            remainder.
+    """
+
+    workers: int = 2
+    queue_size: int = 64
+    default_deadline_s: float | None = None
+    drain_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ServeError(f"need at least one worker: {self.workers}")
+        if self.queue_size < 1:
+            raise ServeError(
+                f"queue bound must be positive: {self.queue_size}"
+            )
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise ServeError(
+                f"default deadline must be positive: {self.default_deadline_s}"
+            )
+        if self.drain_timeout_s <= 0:
+            raise ServeError(
+                f"drain timeout must be positive: {self.drain_timeout_s}"
+            )

@@ -1,0 +1,240 @@
+"""Request/response types of the policy-decision service.
+
+Two request kinds travel through the queue:
+
+* :class:`DecisionRequest` — one observation → one OPP decision, the
+  online analogue of a single governor step.
+* :class:`SimulationRequest` — a whole simulation job, delegated to the
+  fleet measurement core (:func:`repro.fleet.worker.simulate_spec`).
+
+Every request is answered with exactly one reply: a
+:class:`DecisionReply`, a :class:`SimulationReply`, or a
+:class:`Rejection` (backpressure, deadline, shutdown, or a handler
+error).  Rejections are *responses*, not exceptions — a loaded service
+saying "no" is a normal outcome the client must handle.
+
+All types round-trip through plain JSON-serialisable mappings
+(:func:`request_from_mapping` / :func:`reply_to_mapping`) so a future
+remote queue backend can ship them without new serialisation code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Mapping, Union
+
+from repro.errors import ServeError
+from repro.fleet.spec import JobSpec
+from repro.sim.telemetry import ClusterObservation, initial_observation
+from repro.soc.chip import Chip
+
+#: Reasons a request can be rejected instead of answered.
+REJECT_OVERLOADED = "overloaded"
+REJECT_DEADLINE = "deadline"
+REJECT_SHUTDOWN = "shutdown"
+REJECT_ERROR = "error"
+
+_INT_OBS_FIELDS = {
+    "opp_index", "n_opps", "queue_jobs", "deadline_misses", "completions"
+}
+
+
+@dataclass(frozen=True)
+class DecisionRequest:
+    """One observation → action decision.
+
+    Attributes:
+        observation: The cluster observation to decide on; its
+            ``cluster`` field routes it to the right per-cluster policy.
+        session: Decision-session id.  Each session owns its own
+            featurizer/predictor state, so interleaved clients do not
+            perturb each other's state encoding; requests of one session
+            must arrive in time order for bit-identity with the offline
+            governor.
+        request_id: Client-chosen correlation id, echoed on the reply.
+        deadline_s: Seconds (from submission) after which the request
+            should be rejected rather than served late; ``None`` falls
+            back to the server's default.
+    """
+
+    observation: ClusterObservation
+    session: str = "default"
+    request_id: str = ""
+    deadline_s: float | None = None
+
+
+@dataclass(frozen=True)
+class SimulationRequest:
+    """A whole simulation job (the batch workload, served online).
+
+    Attributes:
+        spec: The fleet job spec to execute; results are bit-identical
+            to ``repro fleet`` running the same spec.
+        request_id: Client-chosen correlation id, echoed on the reply.
+        deadline_s: Same semantics as on :class:`DecisionRequest`.
+    """
+
+    spec: JobSpec
+    request_id: str = ""
+    deadline_s: float | None = None
+
+
+Request = Union[DecisionRequest, SimulationRequest]
+
+
+@dataclass(frozen=True)
+class DecisionReply:
+    """A served decision.
+
+    Attributes:
+        request_id: Echo of the request's correlation id.
+        cluster: The cluster decided for.
+        opp_index: The chosen OPP index (the governor's output).
+        latency_s: Submit-to-reply service latency in seconds.
+    """
+
+    request_id: str
+    cluster: str
+    opp_index: int
+    latency_s: float
+
+
+@dataclass(frozen=True)
+class SimulationReply:
+    """A served simulation job (one sweep-row worth of metrics)."""
+
+    request_id: str
+    job_id: str
+    energy_j: float
+    mean_qos: float
+    deadline_miss_rate: float
+    energy_per_qos_j: float
+    latency_s: float
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """A request the service explicitly declined to serve.
+
+    Attributes:
+        request_id: Echo of the request's correlation id.
+        reason: One of ``overloaded`` (queue bound hit), ``deadline``
+            (expired while queued), ``shutdown`` (submitted after drain
+            began), or ``error`` (the handler raised).
+        detail: Human-readable explanation.
+    """
+
+    request_id: str
+    reason: str
+    detail: str = ""
+
+
+Reply = Union[DecisionReply, SimulationReply, Rejection]
+
+
+def observation_from_mapping(
+    data: Mapping[str, Any], chip: Chip | None = None
+) -> ClusterObservation:
+    """Build an observation from a (possibly partial) mapping.
+
+    A ``cluster`` name is always required.  When ``chip`` is given, the
+    OPP-table geometry and current operating point seed the defaults, so
+    a client may send only the signal fields it cares about
+    (``utilization``, ``qos_slack``, ...); without a chip every field
+    must be present.
+
+    Raises:
+        ServeError: On unknown keys, a missing cluster, or missing
+            fields when no chip provides defaults.
+    """
+    known = {f.name for f in fields(ClusterObservation)}
+    unknown = set(data) - known
+    if unknown:
+        raise ServeError(
+            f"unknown observation fields {sorted(unknown)}; "
+            f"known: {sorted(known)}"
+        )
+    if "cluster" not in data:
+        raise ServeError("an observation needs a 'cluster' name")
+    name = str(data["cluster"])
+    if chip is not None:
+        if name not in chip.cluster_names:
+            raise ServeError(
+                f"unknown cluster {name!r}; chip has {list(chip.cluster_names)}"
+            )
+        cluster = chip.cluster(name)
+        base = asdict(
+            initial_observation(
+                name,
+                cluster.opp_index,
+                len(cluster.spec.opp_table),
+                cluster.freq_hz,
+                cluster.spec.opp_table.max_freq_hz,
+                0.01,
+            )
+        )
+    else:
+        missing = known - set(data) - {"temp_c"}
+        if missing:
+            raise ServeError(
+                f"observation missing fields {sorted(missing)} "
+                "(pass a chip for defaults, or send them all)"
+            )
+        base = {"temp_c": None}
+    merged: dict[str, Any] = {**base, **dict(data)}
+    for key, value in merged.items():
+        if key == "cluster" or value is None:
+            continue
+        merged[key] = int(value) if key in _INT_OBS_FIELDS else float(value)
+    merged["cluster"] = name
+    return ClusterObservation(**merged)
+
+
+def request_from_mapping(
+    data: Mapping[str, Any], chip: Chip | None = None
+) -> Request:
+    """Parse one request mapping (e.g. a JSONL line).
+
+    The ``kind`` key picks the request type: ``"decision"`` (default)
+    or ``"simulate"``.
+
+    Raises:
+        ServeError: On an unknown kind or a malformed payload.
+    """
+    kind = str(data.get("kind", "decision"))
+    request_id = str(data.get("request_id", ""))
+    deadline = data.get("deadline_s")
+    deadline_s = float(deadline) if deadline is not None else None
+    if deadline_s is not None and deadline_s <= 0:
+        raise ServeError(f"deadline must be positive: {deadline_s}")
+    if kind == "decision":
+        payload = data.get("observation")
+        if not isinstance(payload, Mapping):
+            raise ServeError("a decision request needs an 'observation' mapping")
+        return DecisionRequest(
+            observation=observation_from_mapping(payload, chip),
+            session=str(data.get("session", "default")),
+            request_id=request_id,
+            deadline_s=deadline_s,
+        )
+    if kind == "simulate":
+        payload = data.get("spec")
+        if not isinstance(payload, Mapping):
+            raise ServeError("a simulate request needs a 'spec' mapping")
+        return SimulationRequest(
+            spec=JobSpec.from_mapping(payload),
+            request_id=request_id,
+            deadline_s=deadline_s,
+        )
+    raise ServeError(
+        f"unknown request kind {kind!r}; expected 'decision' or 'simulate'"
+    )
+
+
+def reply_to_mapping(reply: Reply) -> dict[str, Any]:
+    """The JSON-serialisable form of a reply, tagged with its kind."""
+    if isinstance(reply, DecisionReply):
+        return {"kind": "decision", **asdict(reply)}
+    if isinstance(reply, SimulationReply):
+        return {"kind": "simulation", **asdict(reply)}
+    return {"kind": "rejection", **asdict(reply)}

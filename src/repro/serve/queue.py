@@ -1,0 +1,93 @@
+"""The pluggable request queue behind the policy server.
+
+The server talks to its queue only through the :class:`QueueBackend`
+protocol — put without blocking (full means *reject now*, that is the
+backpressure contract), awaitable get, task accounting, and an
+awaitable drain barrier.  :class:`InProcessQueue` is the asyncio
+implementation every test and the CLI daemon use; a redis-style remote
+backend slots in behind the same five methods without the server
+changing (the cog-style worker lifecycle: setup → serve → drain →
+shutdown).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Protocol, runtime_checkable
+
+from repro.errors import ServeError, ServeOverloaded
+
+
+@runtime_checkable
+class QueueBackend(Protocol):
+    """What the server requires of a queue implementation.
+
+    Items are opaque to the backend; the in-process backend passes
+    object references, a remote backend would serialise the protocol
+    mappings (:mod:`repro.serve.protocol`).
+    """
+
+    def put_nowait(self, item: Any) -> None:
+        """Enqueue ``item`` or raise :class:`ServeOverloaded` when full."""
+        ...
+
+    async def get(self) -> Any:
+        """Wait for and return the next item."""
+        ...
+
+    def task_done(self) -> None:
+        """Mark the most recently gotten item as fully processed."""
+        ...
+
+    async def join(self) -> None:
+        """Wait until every enqueued item has been marked done."""
+        ...
+
+    def depth(self) -> int:
+        """Number of items currently queued (not yet gotten)."""
+        ...
+
+
+class InProcessQueue:
+    """A bounded ``asyncio.Queue`` satisfying :class:`QueueBackend`.
+
+    Args:
+        maxsize: Queue bound; a full queue makes :meth:`put_nowait`
+            raise :class:`ServeOverloaded` so the caller can reject the
+            request explicitly instead of buffering unboundedly.
+    """
+
+    def __init__(self, maxsize: int = 64) -> None:
+        if maxsize < 1:
+            raise ServeError(f"queue bound must be positive: {maxsize}")
+        self.maxsize = maxsize
+        self._queue: asyncio.Queue[Any] = asyncio.Queue(maxsize=maxsize)
+
+    def put_nowait(self, item: Any) -> None:
+        """Enqueue without waiting.
+
+        Raises:
+            ServeOverloaded: When the queue is at its bound.
+        """
+        try:
+            self._queue.put_nowait(item)
+        except asyncio.QueueFull:
+            raise ServeOverloaded(
+                f"queue full ({self.maxsize} pending requests)"
+            ) from None
+
+    async def get(self) -> Any:
+        """Wait for and return the next item."""
+        return await self._queue.get()
+
+    def task_done(self) -> None:
+        """Mark the most recently gotten item as fully processed."""
+        self._queue.task_done()
+
+    async def join(self) -> None:
+        """Wait until every enqueued item has been marked done."""
+        await self._queue.join()
+
+    def depth(self) -> int:
+        """Number of items currently queued (not yet gotten)."""
+        return self._queue.qsize()

@@ -1,0 +1,380 @@
+"""The asyncio policy server: worker pool, backpressure, deadlines, drain.
+
+:class:`PolicyServer` boots from a trained policy snapshot
+(:mod:`repro.core.checkpoint`) and serves the two request kinds of
+:mod:`repro.serve.protocol` from a bounded queue:
+
+* decision requests are answered on the event loop itself — one greedy
+  table lookup is microseconds of pure CPU, and keeping it inline is
+  what makes the service latency comparable to the paper's
+  software-policy decision path;
+* simulation requests are shipped to an executor thread around
+  :func:`repro.fleet.worker.simulate_spec`, the same measurement core
+  the fleet uses, so a served job is bit-identical to a batch row.
+
+Lifecycle (the cog-style setup → serve → drain → shutdown):
+
+    server = PolicyServer.from_checkpoint("ckpt", chip="exynos5422")
+    await server.start()
+    reply = await server.request(DecisionRequest(observation=obs))
+    await server.shutdown()            # drains queued work first
+
+Backpressure is explicit: a full queue answers ``overloaded``
+immediately instead of buffering, an expired deadline answers
+``deadline`` instead of serving late, and submissions after shutdown
+answer ``shutdown``.  Per-request latency lands in the
+``serve.decision_latency_s`` / ``serve.simulation_latency_s``
+histograms and the queue depth in the ``serve.queue_depth`` gauge when
+an observability session is active (see ``docs/serving.md``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.policy import RLPowerManagementPolicy
+from repro.errors import ReproError, ServeError, ServeOverloaded
+from repro.obs import OBS
+from repro.serve.config import ServeConfig
+from repro.serve.protocol import (
+    REJECT_DEADLINE,
+    REJECT_ERROR,
+    REJECT_OVERLOADED,
+    REJECT_SHUTDOWN,
+    DecisionReply,
+    DecisionRequest,
+    Rejection,
+    Reply,
+    Request,
+    SimulationReply,
+    SimulationRequest,
+)
+from repro.serve.queue import InProcessQueue, QueueBackend
+from repro.serve.session import DecisionSession
+from repro.soc.chip import Chip
+from repro.soc.presets import PRESETS
+
+log = logging.getLogger("repro.serve")
+
+#: Buckets matched to decision latencies (sub-µs .. ms) — finer than the
+#: default decades so p50/p99 read out meaningfully.
+DECISION_LATENCY_BUCKETS = (
+    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4,
+    1e-3, 2e-3, 5e-3, 1e-2, 1e-1, 1.0,
+)
+
+
+@dataclass
+class ServerStats:
+    """Lifetime request accounting of one server."""
+
+    served_decisions: int = 0
+    served_simulations: int = 0
+    rejected_overloaded: int = 0
+    rejected_deadline: int = 0
+    rejected_shutdown: int = 0
+    rejected_error: int = 0
+
+    @property
+    def served(self) -> int:
+        return self.served_decisions + self.served_simulations
+
+    @property
+    def rejected(self) -> int:
+        return (
+            self.rejected_overloaded
+            + self.rejected_deadline
+            + self.rejected_shutdown
+            + self.rejected_error
+        )
+
+
+@dataclass
+class _Pending:
+    """One queued request with its reply future and timing."""
+
+    request: Request
+    future: "asyncio.Future[Reply]"
+    submitted_at: float
+    deadline_at: float | None
+
+
+class PolicyServer:
+    """A long-running policy-decision service over a pluggable queue.
+
+    Args:
+        policies: Trained per-cluster policies (the snapshot to serve).
+        chip: The chip the policies control; cluster names must match.
+        config: Worker/queue/deadline tunables.
+        queue: Queue backend; a fresh bounded
+            :class:`~repro.serve.queue.InProcessQueue` when omitted.
+
+    Raises:
+        ServeError: When the snapshot lacks a policy for one of the
+            chip's clusters.
+    """
+
+    def __init__(
+        self,
+        policies: dict[str, RLPowerManagementPolicy],
+        chip: Chip,
+        config: ServeConfig | None = None,
+        queue: QueueBackend | None = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        missing = set(chip.cluster_names) - set(policies)
+        if missing:
+            raise ServeError(f"snapshot lacks policies for {sorted(missing)}")
+        self.chip = chip
+        self.policies = policies
+        self.stats = ServerStats()
+        self._queue: QueueBackend = queue if queue is not None else (
+            InProcessQueue(self.config.queue_size)
+        )
+        self._sessions: dict[str, DecisionSession] = {}
+        self._workers: list["asyncio.Task[None]"] = []
+        self._pending: set["asyncio.Future[Reply]"] = set()
+        self._accepting = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        directory: str | Path,
+        chip: Chip | str = "exynos5422",
+        config: ServeConfig | None = None,
+        queue: QueueBackend | None = None,
+    ) -> "PolicyServer":
+        """Boot a server from a saved checkpoint directory.
+
+        The checkpoint's engine-version stamp is validated by
+        :func:`repro.core.checkpoint.load_policies` — a snapshot trained
+        under a different engine contract refuses to serve rather than
+        silently answering from a stale policy.
+
+        Raises:
+            ServeError: For an unknown chip preset.
+            PolicyError: For a missing/corrupt/stale checkpoint.
+        """
+        from repro.core.checkpoint import load_policies
+
+        if isinstance(chip, str):
+            try:
+                chip = PRESETS[chip]()
+            except KeyError:
+                raise ServeError(
+                    f"unknown chip preset {chip!r}; available: "
+                    f"{sorted(PRESETS)}"
+                ) from None
+        policies = load_policies(directory, chip=chip)
+        return cls(policies, chip, config=config, queue=queue)
+
+    async def start(self) -> None:
+        """Spawn the worker pool and begin accepting submissions."""
+        if self._workers:
+            raise ServeError("server already started")
+        self._accepting = True
+        self._workers = [
+            asyncio.create_task(self._worker_loop(i), name=f"serve-worker-{i}")
+            for i in range(self.config.workers)
+        ]
+        log.info(
+            "serve: %d worker(s), queue bound %d, %d cluster(s)",
+            self.config.workers, self.config.queue_size,
+            len(self.chip.cluster_names),
+        )
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop the server, by default finishing all queued work first.
+
+        New submissions are rejected with ``shutdown`` from the moment
+        this is called.  With ``drain`` the queue is given
+        ``config.drain_timeout_s`` to empty; anything still unanswered
+        afterwards (or immediately, without ``drain``) is resolved with
+        a ``shutdown`` rejection so no client is left hanging.
+        """
+        self._accepting = False
+        if drain and self._workers:
+            try:
+                await asyncio.wait_for(
+                    self._queue.join(), timeout=self.config.drain_timeout_s
+                )
+            except asyncio.TimeoutError:
+                log.warning(
+                    "serve: drain timed out after %.1f s with %d queued",
+                    self.config.drain_timeout_s, self._queue.depth(),
+                )
+        for worker in self._workers:
+            worker.cancel()
+        if self._workers:
+            await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        for future in list(self._pending):
+            if not future.done():
+                future.set_result(
+                    Rejection(
+                        request_id="",
+                        reason=REJECT_SHUTDOWN,
+                        detail="server shut down before the request was served",
+                    )
+                )
+        self._pending.clear()
+        log.info(
+            "serve: shutdown complete (%d served, %d rejected)",
+            self.stats.served, self.stats.rejected,
+        )
+
+    # -- submission ----------------------------------------------------
+
+    def session(self, session_id: str = "default") -> DecisionSession:
+        """The named decision session, created on first use."""
+        session = self._sessions.get(session_id)
+        if session is None:
+            session = DecisionSession(self.policies, self.chip)
+            self._sessions[session_id] = session
+        return session
+
+    def submit(self, request: Request) -> "asyncio.Future[Reply]":
+        """Enqueue a request; the returned future resolves to its reply.
+
+        Never raises for service-level conditions: overload, shutdown,
+        and deadline outcomes arrive as :class:`Rejection` replies.
+        """
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Reply]" = loop.create_future()
+        if not self._accepting:
+            self._reject(future, request, REJECT_SHUTDOWN,
+                         "server is not accepting requests")
+            return future
+        deadline_s = request.deadline_s
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        item = _Pending(
+            request=request,
+            future=future,
+            submitted_at=loop.time(),
+            deadline_at=(
+                loop.time() + deadline_s if deadline_s is not None else None
+            ),
+        )
+        try:
+            self._queue.put_nowait(item)
+        except ServeOverloaded as exc:
+            self._reject(future, request, REJECT_OVERLOADED, str(exc))
+            return future
+        self._pending.add(future)
+        future.add_done_callback(self._pending.discard)
+        if OBS.enabled:
+            OBS.metrics.counter("serve.requests").inc()
+            OBS.metrics.gauge("serve.queue_depth").set(self._queue.depth())
+        return future
+
+    async def request(self, request: Request) -> Reply:
+        """Submit and wait for the reply (the one-call client path)."""
+        return await self.submit(request)
+
+    # -- workers -------------------------------------------------------
+
+    async def _worker_loop(self, index: int) -> None:
+        while True:
+            item = await self._queue.get()
+            try:
+                await self._handle(item)
+            finally:
+                self._queue.task_done()
+                if OBS.enabled:
+                    OBS.metrics.gauge("serve.queue_depth").set(
+                        self._queue.depth()
+                    )
+
+    async def _handle(self, item: _Pending) -> None:
+        loop = asyncio.get_running_loop()
+        request = item.request
+        if item.deadline_at is not None and loop.time() > item.deadline_at:
+            self._reject(
+                item.future, request, REJECT_DEADLINE,
+                f"deadline of {request.deadline_s or self.config.default_deadline_s} s "
+                "expired while queued",
+            )
+            return
+        try:
+            if isinstance(request, DecisionRequest):
+                reply = self._serve_decision(request, item, loop)
+            else:
+                reply = await self._serve_simulation(request, item, loop)
+        except asyncio.CancelledError:
+            raise
+        except ReproError as exc:
+            self._reject(item.future, request, REJECT_ERROR, str(exc))
+            return
+        if not item.future.done():
+            item.future.set_result(reply)
+
+    def _serve_decision(
+        self, request: DecisionRequest, item: _Pending,
+        loop: asyncio.AbstractEventLoop,
+    ) -> DecisionReply:
+        opp_index = self.session(request.session).decide(request.observation)
+        latency_s = loop.time() - item.submitted_at
+        self.stats.served_decisions += 1
+        if OBS.enabled:
+            OBS.metrics.histogram(
+                "serve.decision_latency_s", DECISION_LATENCY_BUCKETS
+            ).observe(latency_s)
+            OBS.metrics.counter("serve.decisions").inc()
+        return DecisionReply(
+            request_id=request.request_id,
+            cluster=request.observation.cluster,
+            opp_index=opp_index,
+            latency_s=latency_s,
+        )
+
+    async def _serve_simulation(
+        self, request: SimulationRequest, item: _Pending,
+        loop: asyncio.AbstractEventLoop,
+    ) -> SimulationReply:
+        from repro.fleet.worker import simulate_spec
+
+        result = await loop.run_in_executor(None, simulate_spec, request.spec)
+        latency_s = loop.time() - item.submitted_at
+        self.stats.served_simulations += 1
+        if OBS.enabled:
+            OBS.metrics.histogram("serve.simulation_latency_s").observe(
+                latency_s
+            )
+            OBS.metrics.counter("serve.simulations").inc()
+        return SimulationReply(
+            request_id=request.request_id,
+            job_id=request.spec.job_id,
+            energy_j=result.total_energy_j,
+            mean_qos=result.qos.mean_qos,
+            deadline_miss_rate=result.qos.deadline_miss_rate,
+            energy_per_qos_j=result.energy_per_qos_j,
+            latency_s=latency_s,
+        )
+
+    def _reject(
+        self, future: "asyncio.Future[Reply]", request: Request,
+        reason: str, detail: str,
+    ) -> None:
+        counter = {
+            REJECT_OVERLOADED: "rejected_overloaded",
+            REJECT_DEADLINE: "rejected_deadline",
+            REJECT_SHUTDOWN: "rejected_shutdown",
+            REJECT_ERROR: "rejected_error",
+        }[reason]
+        setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+        if OBS.enabled:
+            OBS.metrics.counter(f"serve.{counter}").inc()
+        if not future.done():
+            future.set_result(
+                Rejection(
+                    request_id=request.request_id,
+                    reason=reason,
+                    detail=detail,
+                )
+            )

@@ -1,0 +1,85 @@
+"""Per-client decision state on top of a shared policy snapshot.
+
+A trained policy is not a pure observation→action function: its state
+featurisation runs a workload predictor (an EWMA over past load), so a
+decision depends on the *sequence* of observations seen so far.  The
+server therefore scopes that sequence state into
+:class:`DecisionSession` objects — each session owns fresh featurizers
+(one per cluster) while sharing the loaded, read-only Q-tables — so
+interleaved clients cannot perturb each other's state encoding, and one
+session's decision stream is bit-identical to the offline governor fed
+the same observations.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import RLPowerManagementPolicy
+from repro.core.state import StateFeaturizer
+from repro.errors import ServeError
+from repro.sim.telemetry import ClusterObservation
+from repro.soc.chip import Chip
+
+
+def _clone_for_evaluation(
+    source: RLPowerManagementPolicy, chip: Chip, name: str
+) -> RLPowerManagementPolicy:
+    """An evaluation-mode policy sharing ``source``'s learned tables.
+
+    The clone gets a fresh featurizer (its own predictor state) but the
+    *same* agent object — greedy evaluation never writes the table, so
+    sharing is safe and keeps session creation cheap.
+
+    Raises:
+        ServeError: If the source policy has not been trained.
+    """
+    if source.featurizer is None or source.agent is None:
+        raise ServeError(
+            f"policy for cluster {name!r} has no trained table to serve"
+        )
+    clone = type(source)(source.config, online=False)
+    clone.featurizer = StateFeaturizer(source.config, source.featurizer.n_opps)
+    clone.agent = source.agent
+    clone.reset(chip.cluster(name))
+    return clone
+
+
+class DecisionSession:
+    """One client's decision stream over the shared policy snapshot.
+
+    Args:
+        policies: The loaded per-cluster policies (the snapshot).
+        chip: The chip whose clusters the policies are bound to.
+
+    Requests of one session must be submitted in time order; the
+    featurizer's predictor is advanced exactly once per decision, the
+    same contract the simulation engine honours.
+    """
+
+    def __init__(
+        self, policies: dict[str, RLPowerManagementPolicy], chip: Chip
+    ) -> None:
+        self._policies = {
+            name: _clone_for_evaluation(policy, chip, name)
+            for name, policy in policies.items()
+        }
+        self.decisions = 0
+
+    @property
+    def clusters(self) -> list[str]:
+        """Cluster names this session can decide for."""
+        return sorted(self._policies)
+
+    def decide(self, obs: ClusterObservation) -> int:
+        """The greedy OPP decision for one observation.
+
+        Raises:
+            ServeError: For a cluster the snapshot has no policy for.
+        """
+        policy = self._policies.get(obs.cluster)
+        if policy is None:
+            raise ServeError(
+                f"no policy for cluster {obs.cluster!r}; "
+                f"snapshot serves {self.clusters}"
+            )
+        self.decisions += 1
+        return policy.decide(obs)

@@ -1,5 +1,7 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -53,6 +55,18 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "speedup" in out
 
+    def test_latency_json(self, capsys):
+        assert main(["latency", "--chip", "tiny", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["chip"] == "tiny"
+        assert payload["rows"] and {"label", "software_s", "hardware_s",
+                                    "speedup"} <= set(payload["rows"][0])
+        assert payload["typical_speedup"] > 1.0
+        assert payload["best_case_speedup"] > payload["typical_speedup"]
+        assert payload["paper"] == {
+            "typical_speedup": 3.92, "best_case_speedup": 40.0,
+        }
+
     def test_compare_quick(self, capsys):
         code = main([
             "compare", "--chip", "tiny", "--scenario", "audio_playback",
@@ -78,6 +92,17 @@ class TestCommands:
         ])
         assert code == 0
         assert "rl-policy" in capsys.readouterr().out
+
+    def test_train_save_flag_overrides_out(self, capsys, tmp_path):
+        ckpt = tmp_path / "saved"
+        code = main([
+            "train", "--chip", "tiny", "--scenario", "audio_playback",
+            "--episodes", "2", "--duration", "2.0", "--save", str(ckpt),
+        ])
+        assert code == 0
+        assert str(ckpt) in capsys.readouterr().out
+        manifest = json.loads((ckpt / "policy.json").read_text())
+        assert manifest["engine_version"]
 
     def test_profile_scenario(self, capsys):
         code = main(["profile", "--scenario", "audio_playback", "--duration", "5.0"])

@@ -92,7 +92,7 @@ class TestSelection:
         expected = {
             "RPL001", "RPL002", "RPL003", "RPL101", "RPL102",
             "RPL201", "RPL202", "RPL203", "RPL301", "RPL401", "RPL402",
-            "RPL501", "RPL601",
+            "RPL501", "RPL601", "RPL701",
         }
         assert set(all_rules()) == expected
 
@@ -620,6 +620,112 @@ class TestCacheDiscipline:
     def test_catalogue_lists_rpl601(self):
         assert "RPL601" in all_rules()
         assert any(line.startswith("RPL601") for line in
+                   rule_catalogue().splitlines())
+
+
+# ---------------------------------------------------------------------------
+# Serve-loop discipline (RPL701)
+# ---------------------------------------------------------------------------
+
+
+class TestServeDiscipline:
+    def test_time_sleep_in_async_handler_flagged(self):
+        r = lint(
+            """\
+            import time
+
+            async def handle(request):
+                time.sleep(0.1)
+            """,
+            "serve/server.py",
+        )
+        assert codes(r) == ["RPL701"]
+
+    def test_from_import_sleep_flagged(self):
+        r = lint(
+            "from time import sleep\n"
+            "async def handle(request):\n"
+            "    sleep(1)\n",
+            "serve/client.py",
+        )
+        assert codes(r) == ["RPL701"]
+
+    def test_sync_open_in_async_handler_flagged(self):
+        r = lint(
+            "async def handle(path):\n"
+            "    with open(path) as fh:\n"
+            "        return fh.read()\n",
+            "serve/server.py",
+        )
+        assert codes(r) == ["RPL701"]
+
+    def test_path_write_text_flagged(self):
+        r = lint(
+            "async def dump(path, body):\n"
+            "    path.write_text(body)\n",
+            "serve/server.py",
+        )
+        assert codes(r) == ["RPL701"]
+
+    def test_asyncio_sleep_unflagged(self):
+        r = lint(
+            "import asyncio\n"
+            "async def handle(request):\n"
+            "    await asyncio.sleep(0.1)\n",
+            "serve/server.py",
+        )
+        assert codes(r) == []
+
+    def test_executor_offload_is_the_sanctioned_path(self):
+        r = lint(
+            """\
+            import asyncio
+
+            async def handle(spec):
+                loop = asyncio.get_running_loop()
+                return await loop.run_in_executor(None, simulate, spec)
+            """,
+            "serve/server.py",
+        )
+        assert codes(r) == []
+
+    def test_sync_function_bodies_unflagged(self):
+        r = lint(
+            "import time\n"
+            "def warmup():\n"
+            "    time.sleep(0.1)\n",
+            "serve/server.py",
+        )
+        assert codes(r) == []
+
+    def test_nested_sync_helper_unflagged(self):
+        r = lint(
+            """\
+            async def handle(path):
+                def emit(line):
+                    open(path, "a").write(line)
+                return emit
+            """,
+            "serve/client.py",
+        )
+        assert codes(r) == []
+
+    def test_outside_serve_scope_unflagged(self):
+        r = lint(
+            "import time\n"
+            "async def handle(request):\n"
+            "    time.sleep(0.1)\n",
+            "fleet/runner.py",
+        )
+        assert codes(r) == []
+
+    def test_serve_package_is_clean(self):
+        result = check_paths([SRC / "repro" / "serve"], select=["RPL701"])
+        assert result.findings == []
+
+    def test_catalogue_lists_rpl701(self):
+        assert "RPL701" in all_rules()
+        assert any(line.startswith("RPL701") for line in
                    rule_catalogue().splitlines())
 
 

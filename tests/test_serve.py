@@ -1,0 +1,635 @@
+"""The policy-decision service: protocol, sessions, server, CLI."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+import pytest
+
+from repro.cli import main
+from repro.core.checkpoint import load_policies, save_policies
+from repro.core.trainer import train_policy
+from repro.errors import PolicyError, ServeError, ServeOverloaded
+from repro.fleet.spec import JobSpec
+from repro.serve import (
+    REJECT_DEADLINE,
+    REJECT_ERROR,
+    REJECT_OVERLOADED,
+    REJECT_SHUTDOWN,
+    DecisionReply,
+    DecisionRequest,
+    InProcessQueue,
+    PolicyServer,
+    QueueBackend,
+    Rejection,
+    ServeConfig,
+    SimulationReply,
+    SimulationRequest,
+    observation_from_mapping,
+    reply_to_mapping,
+    request_from_mapping,
+    serve_once,
+)
+from repro.soc.presets import tiny_test_chip
+from test_trainer import tiny_scenario
+
+
+@pytest.fixture(scope="module")
+def trained():
+    chip = tiny_test_chip()
+    result = train_policy(
+        chip, tiny_scenario(), episodes=3, episode_duration_s=3.0
+    )
+    return chip, result.policies
+
+
+@pytest.fixture(scope="module")
+def checkpoint(trained, tmp_path_factory):
+    _, policies = trained
+    directory = tmp_path_factory.mktemp("serve-ckpt")
+    save_policies(policies, directory)
+    return directory
+
+
+def make_server(trained, **config: Any) -> PolicyServer:
+    chip, policies = trained
+    return PolicyServer(policies, tiny_test_chip(), ServeConfig(**config))
+
+
+def obs_for(chip, **fields: Any):
+    payload = {"cluster": chip.cluster_names[0], **fields}
+    return observation_from_mapping(payload, chip)
+
+
+def sim_spec(**overrides: Any) -> JobSpec:
+    base: dict[str, Any] = {
+        "scenario": "gaming",
+        "governor": "ondemand",
+        "chip": "tiny",
+        "duration_s": 2.0,
+        "seed": 7,
+    }
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+# ---------------------------------------------------------------------------
+# Protocol
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_observation_defaults_from_chip(self):
+        chip = tiny_test_chip()
+        obs = observation_from_mapping(
+            {"cluster": chip.cluster_names[0], "utilization": 0.5}, chip
+        )
+        assert obs.utilization == 0.5
+        assert obs.n_opps == len(chip.cluster(obs.cluster).spec.opp_table)
+
+    def test_observation_unknown_field_rejected(self):
+        chip = tiny_test_chip()
+        with pytest.raises(ServeError, match="unknown observation fields"):
+            observation_from_mapping(
+                {"cluster": chip.cluster_names[0], "bogus": 1}, chip
+            )
+
+    def test_observation_unknown_cluster_rejected(self):
+        with pytest.raises(ServeError, match="unknown cluster"):
+            observation_from_mapping({"cluster": "nope"}, tiny_test_chip())
+
+    def test_observation_without_chip_requires_all_fields(self):
+        with pytest.raises(ServeError, match="missing fields"):
+            observation_from_mapping({"cluster": "cpu", "utilization": 0.5})
+
+    def test_request_kind_routing(self):
+        chip = tiny_test_chip()
+        decision = request_from_mapping(
+            {"observation": {"cluster": chip.cluster_names[0]}}, chip
+        )
+        assert isinstance(decision, DecisionRequest)
+        simulate = request_from_mapping(
+            {"kind": "simulate",
+             "spec": {"scenario": "gaming", "governor": "ondemand"}},
+        )
+        assert isinstance(simulate, SimulationRequest)
+
+    def test_request_unknown_kind_rejected(self):
+        with pytest.raises(ServeError, match="unknown request kind"):
+            request_from_mapping({"kind": "dance"})
+
+    def test_request_bad_deadline_rejected(self):
+        chip = tiny_test_chip()
+        with pytest.raises(ServeError, match="deadline"):
+            request_from_mapping(
+                {"observation": {"cluster": chip.cluster_names[0]},
+                 "deadline_s": -1},
+                chip,
+            )
+
+    def test_reply_mappings_are_json_round_trippable(self):
+        replies = [
+            DecisionReply("r1", "cpu", 2, 1e-4),
+            Rejection("r2", REJECT_OVERLOADED, "full"),
+        ]
+        for reply in replies:
+            data = json.loads(json.dumps(reply_to_mapping(reply)))
+            assert data["request_id"] == reply.request_id
+            assert data["kind"] in ("decision", "simulation", "rejection")
+
+
+# ---------------------------------------------------------------------------
+# Queue backend
+# ---------------------------------------------------------------------------
+
+
+class RecordingQueue:
+    """A delegating backend proving the server sticks to the protocol."""
+
+    def __init__(self, maxsize: int) -> None:
+        self.inner = InProcessQueue(maxsize)
+        self.puts = 0
+        self.gets = 0
+
+    def put_nowait(self, item: Any) -> None:
+        self.inner.put_nowait(item)
+        self.puts += 1
+
+    async def get(self) -> Any:
+        item = await self.inner.get()
+        self.gets += 1
+        return item
+
+    def task_done(self) -> None:
+        self.inner.task_done()
+
+    async def join(self) -> None:
+        await self.inner.join()
+
+    def depth(self) -> int:
+        return self.inner.depth()
+
+
+class TestQueueBackend:
+    def test_in_process_queue_satisfies_protocol(self):
+        assert isinstance(InProcessQueue(4), QueueBackend)
+
+    def test_full_queue_raises_overloaded(self):
+        q = InProcessQueue(1)
+        q.put_nowait("a")
+        with pytest.raises(ServeOverloaded, match="queue full"):
+            q.put_nowait("b")
+
+    def test_non_positive_bound_rejected(self):
+        with pytest.raises(ServeError):
+            InProcessQueue(0)
+
+    def test_custom_backend_slots_in(self, trained):
+        chip, policies = trained
+        queue = RecordingQueue(8)
+        server = PolicyServer(
+            policies, tiny_test_chip(), ServeConfig(workers=1), queue=queue
+        )
+        request = DecisionRequest(observation=obs_for(server.chip))
+        replies = asyncio.run(serve_once(server, [request]))
+        assert isinstance(replies[0], DecisionReply)
+        assert queue.puts == 1 and queue.gets == 1
+
+
+# ---------------------------------------------------------------------------
+# Server integration
+# ---------------------------------------------------------------------------
+
+
+class TestServer:
+    def test_serves_decision_requests(self, trained):
+        server = make_server(trained, workers=2)
+        requests = [
+            DecisionRequest(observation=obs_for(server.chip), request_id=f"r{i}")
+            for i in range(6)
+        ]
+        replies = asyncio.run(serve_once(server, requests))
+        assert [r.request_id for r in replies] == [f"r{i}" for i in range(6)]
+        assert all(isinstance(r, DecisionReply) for r in replies)
+        assert all(r.latency_s >= 0 for r in replies)
+        assert server.stats.served_decisions == 6
+
+    def test_concurrent_decisions_and_simulations(self, trained):
+        server = make_server(trained, workers=2, queue_size=32)
+        requests: list[Any] = [
+            SimulationRequest(spec=sim_spec(), request_id="sim"),
+        ]
+        requests += [
+            DecisionRequest(
+                observation=obs_for(server.chip, utilization=i / 10),
+                request_id=f"d{i}",
+            )
+            for i in range(8)
+        ]
+        replies = asyncio.run(serve_once(server, requests))
+        sim_reply = replies[0]
+        assert isinstance(sim_reply, SimulationReply)
+        assert sim_reply.energy_j > 0
+        assert sim_reply.job_id == sim_spec().job_id
+        assert all(isinstance(r, DecisionReply) for r in replies[1:])
+        assert server.stats.served == 9
+
+    def test_simulation_matches_fleet_worker(self, trained):
+        from repro.fleet.worker import simulate_spec
+
+        server = make_server(trained, workers=1)
+        spec = sim_spec()
+        [reply] = asyncio.run(
+            serve_once(server, [SimulationRequest(spec=spec)])
+        )
+        offline = simulate_spec(spec)
+        assert reply.energy_j == offline.total_energy_j
+        assert reply.mean_qos == offline.qos.mean_qos
+
+    def test_backpressure_rejects_when_queue_full(self, trained):
+        server = make_server(trained, workers=1, queue_size=2)
+
+        async def run():
+            await server.start()
+            # Submit without yielding: the workers have not run yet, so
+            # the queue fills deterministically and the overflow rejects.
+            futures = [
+                server.submit(
+                    DecisionRequest(
+                        observation=obs_for(server.chip), request_id=f"r{i}"
+                    )
+                )
+                for i in range(5)
+            ]
+            replies = [await f for f in futures]
+            await server.shutdown()
+            return replies
+
+        replies = asyncio.run(run())
+        served = [r for r in replies if isinstance(r, DecisionReply)]
+        rejected = [r for r in replies if isinstance(r, Rejection)]
+        assert len(served) == 2 and len(rejected) == 3
+        assert all(r.reason == REJECT_OVERLOADED for r in rejected)
+        assert all("queue full" in r.detail for r in rejected)
+        assert server.stats.rejected_overloaded == 3
+
+    def test_deadline_expired_while_queued_rejected(self, trained):
+        server = make_server(trained, workers=1)
+
+        async def run():
+            await server.start()
+            future = server.submit(
+                DecisionRequest(
+                    observation=obs_for(server.chip), deadline_s=1e-9
+                )
+            )
+            reply = await future
+            await server.shutdown()
+            return reply
+
+        reply = asyncio.run(run())
+        assert isinstance(reply, Rejection)
+        assert reply.reason == REJECT_DEADLINE
+        assert server.stats.rejected_deadline == 1
+
+    def test_default_deadline_from_config(self, trained):
+        server = make_server(trained, workers=1, default_deadline_s=1e-9)
+        [reply] = asyncio.run(
+            serve_once(
+                server, [DecisionRequest(observation=obs_for(server.chip))]
+            )
+        )
+        assert isinstance(reply, Rejection)
+        assert reply.reason == REJECT_DEADLINE
+
+    def test_graceful_shutdown_drains_queued_work(self, trained):
+        server = make_server(trained, workers=1, queue_size=16)
+
+        async def run():
+            await server.start()
+            futures = [
+                server.submit(
+                    DecisionRequest(
+                        observation=obs_for(server.chip), request_id=f"r{i}"
+                    )
+                )
+                for i in range(8)
+            ]
+            # Shut down immediately: drain must finish the queued work.
+            await server.shutdown(drain=True)
+            return [await f for f in futures]
+
+        replies = asyncio.run(run())
+        assert all(isinstance(r, DecisionReply) for r in replies)
+        assert server.stats.served_decisions == 8
+
+    def test_shutdown_without_drain_rejects_queued_work(self, trained):
+        server = make_server(trained, workers=1, queue_size=16)
+
+        async def run():
+            await server.start()
+            futures = [
+                server.submit(
+                    DecisionRequest(observation=obs_for(server.chip))
+                )
+                for i in range(4)
+            ]
+            await server.shutdown(drain=False)
+            return [await f for f in futures]
+
+        replies = asyncio.run(run())
+        assert all(isinstance(r, Rejection) for r in replies)
+        assert all(r.reason == REJECT_SHUTDOWN for r in replies)
+
+    def test_submit_after_shutdown_rejected(self, trained):
+        server = make_server(trained, workers=1)
+
+        async def run():
+            await server.start()
+            await server.shutdown()
+            return await server.submit(
+                DecisionRequest(observation=obs_for(server.chip))
+            )
+
+        reply = asyncio.run(run())
+        assert isinstance(reply, Rejection)
+        assert reply.reason == REJECT_SHUTDOWN
+
+    def test_handler_error_becomes_error_rejection(self, trained):
+        from repro.sim.telemetry import initial_observation
+
+        server = make_server(trained, workers=1)
+        rogue = initial_observation("nope", 0, 4, 1e8, 1e9, 0.01)
+        [reply] = asyncio.run(
+            serve_once(server, [DecisionRequest(observation=rogue)])
+        )
+        assert isinstance(reply, Rejection)
+        assert reply.reason == REJECT_ERROR
+        assert "no policy for cluster" in reply.detail
+
+    def test_missing_cluster_policy_rejected_at_boot(self, trained):
+        _, policies = trained
+        with pytest.raises(ServeError, match="lacks policies"):
+            PolicyServer({}, tiny_test_chip())
+
+    def test_decision_metrics_recorded(self, trained):
+        from repro import obs
+
+        server = make_server(trained, workers=1)
+        requests = [
+            DecisionRequest(observation=obs_for(server.chip))
+            for _ in range(4)
+        ]
+        with obs.capture(trace=False) as session:
+            asyncio.run(serve_once(server, requests))
+        snap = session.metrics.snapshot()
+        hist = snap["histograms"]["serve.decision_latency_s"]
+        assert hist["count"] == 4
+        assert snap["counters"]["serve.requests"] == 4
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity with the offline policy
+# ---------------------------------------------------------------------------
+
+
+class TestOfflineEquivalence:
+    def observations(self, chip):
+        utils = [0.1, 0.9, 0.4, 0.7, 0.2, 1.0, 0.6, 0.3, 0.8, 0.5]
+        return [
+            obs_for(chip, utilization=u, max_core_utilization=u,
+                    qos_slack=0.5 - u / 2)
+            for u in utils
+        ]
+
+    def test_served_decisions_match_offline_policy(self, checkpoint, trained):
+        chip = tiny_test_chip()
+        name = chip.cluster_names[0]
+
+        offline = load_policies(checkpoint, chip=chip)[name]
+        offline.reset(chip.cluster(name))
+        expected = [offline.decide(o) for o in self.observations(chip)]
+
+        server = PolicyServer.from_checkpoint(
+            checkpoint, chip=tiny_test_chip(), config=ServeConfig(workers=1)
+        )
+        requests = [
+            DecisionRequest(observation=o)
+            for o in self.observations(tiny_test_chip())
+        ]
+        replies = asyncio.run(serve_once(server, requests))
+        assert [r.opp_index for r in replies] == expected
+
+    def test_sessions_are_isolated(self, trained):
+        server = make_server(trained, workers=1)
+        chip = server.chip
+        seq = self.observations(chip)
+        # Interleave two sessions fed the same sequence: isolation means
+        # both decide exactly as a lone session would.
+        requests = []
+        for o in seq:
+            requests.append(DecisionRequest(observation=o, session="a"))
+            requests.append(DecisionRequest(observation=o, session="b"))
+        replies = asyncio.run(serve_once(server, requests))
+        a = [r.opp_index for r in replies[0::2]]
+        b = [r.opp_index for r in replies[1::2]]
+
+        lone = make_server(trained, workers=1)
+        lone_replies = asyncio.run(
+            serve_once(lone, [DecisionRequest(observation=o) for o in seq])
+        )
+        expected = [r.opp_index for r in lone_replies]
+        assert a == expected and b == expected
+
+    def test_serving_does_not_mutate_the_snapshot(self, trained):
+        chip, policies = trained
+        name = tiny_test_chip().cluster_names[0]
+        before = policies[name].agent.table.values.copy()
+        server = make_server(trained, workers=1)
+        asyncio.run(
+            serve_once(
+                server,
+                [DecisionRequest(observation=o)
+                 for o in self.observations(server.chip)],
+            )
+        )
+        assert (policies[name].agent.table.values == before).all()
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint engine-version gate
+# ---------------------------------------------------------------------------
+
+
+class TestEngineVersionGate:
+    def test_manifest_stamps_engine_version(self, checkpoint):
+        from repro.sim.engine import ENGINE_VERSION
+
+        manifest = json.loads((checkpoint / "policy.json").read_text())
+        assert manifest["version"] == 2
+        assert manifest["engine_version"] == ENGINE_VERSION
+
+    def test_stale_engine_version_refused(self, trained, tmp_path):
+        _, policies = trained
+        save_policies(policies, tmp_path)
+        manifest = json.loads((tmp_path / "policy.json").read_text())
+        manifest["engine_version"] = "0.1"
+        (tmp_path / "policy.json").write_text(json.dumps(manifest))
+        with pytest.raises(PolicyError, match="engine version '0.1'"):
+            load_policies(tmp_path)
+        with pytest.raises(PolicyError, match="retrain"):
+            PolicyServer.from_checkpoint(tmp_path, chip=tiny_test_chip())
+
+    def test_format_1_checkpoints_still_load(self, trained, tmp_path):
+        _, policies = trained
+        save_policies(policies, tmp_path)
+        manifest = json.loads((tmp_path / "policy.json").read_text())
+        manifest["version"] = 1
+        del manifest["engine_version"]
+        (tmp_path / "policy.json").write_text(json.dumps(manifest))
+        loaded = load_policies(tmp_path, chip=tiny_test_chip())
+        assert set(loaded) == set(policies)
+
+    def test_unknown_chip_preset_rejected(self, checkpoint):
+        with pytest.raises(ServeError, match="unknown chip preset"):
+            PolicyServer.from_checkpoint(checkpoint, chip="snapdragon")
+
+
+# ---------------------------------------------------------------------------
+# CLI: repro serve / repro decide
+# ---------------------------------------------------------------------------
+
+
+class TestServeCli:
+    def write_requests(self, path, chip):
+        lines = [
+            {"kind": "decision", "request_id": f"d{i}",
+             "observation": {"cluster": chip.cluster_names[0],
+                             "utilization": i / 4}}
+            for i in range(4)
+        ]
+        path.write_text("".join(json.dumps(line) + "\n" for line in lines))
+        return path
+
+    def test_serve_answers_jsonl_requests(self, checkpoint, tmp_path, capsys):
+        requests = self.write_requests(
+            tmp_path / "requests.jsonl", tiny_test_chip()
+        )
+        rc = main([
+            "serve", "--checkpoint", str(checkpoint), "--chip", "tiny",
+            "--requests", str(requests),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        replies = [json.loads(line) for line in out.splitlines() if line]
+        assert len(replies) == 4
+        assert {r["kind"] for r in replies} == {"decision"}
+        assert sorted(r["request_id"] for r in replies) == (
+            ["d0", "d1", "d2", "d3"]
+        )
+
+    def test_serve_malformed_line_answered_with_rejection(
+        self, checkpoint, tmp_path, capsys
+    ):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text('{"kind": "dance", "request_id": "x"}\nnot json\n')
+        rc = main([
+            "serve", "--checkpoint", str(checkpoint), "--chip", "tiny",
+            "--requests", str(requests),
+        ])
+        assert rc == 0
+        replies = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines() if line
+        ]
+        assert len(replies) == 2
+        assert all(r["kind"] == "rejection" for r in replies)
+        assert replies[0]["request_id"] == "x"
+
+    def test_serve_survives_bad_simulate_spec(
+        self, checkpoint, tmp_path, capsys
+    ):
+        # A bad JobSpec raises ReproError (not ServeError) during
+        # parsing; it must answer as a rejection, not kill the daemon.
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            json.dumps({
+                "kind": "simulate", "request_id": "s-bad",
+                "spec": {"job_id": "nope", "scenario": "idle",
+                         "governor": "ondemand"},
+            }) + "\n"
+            + json.dumps({
+                "kind": "decision", "request_id": "d-after",
+                "observation": {"cluster": tiny_test_chip().cluster_names[0],
+                                "utilization": 0.5},
+            }) + "\n"
+        )
+        rc = main([
+            "serve", "--checkpoint", str(checkpoint), "--chip", "tiny",
+            "--requests", str(requests),
+        ])
+        assert rc == 0
+        replies = {
+            r["request_id"]: r
+            for r in (json.loads(line)
+                      for line in capsys.readouterr().out.splitlines() if line)
+        }
+        assert replies["s-bad"]["kind"] == "rejection"
+        assert "unknown job spec keys" in replies["s-bad"]["detail"]
+        assert replies["d-after"]["kind"] == "decision"
+
+    def test_serve_writes_metrics_and_ledger(
+        self, checkpoint, tmp_path, capsys
+    ):
+        requests = self.write_requests(
+            tmp_path / "requests.jsonl", tiny_test_chip()
+        )
+        metrics = tmp_path / "metrics.prom"
+        ledger = tmp_path / "ledger.jsonl"
+        rc = main([
+            "serve", "--checkpoint", str(checkpoint), "--chip", "tiny",
+            "--requests", str(requests),
+            "--metrics", str(metrics), "--ledger", str(ledger),
+        ])
+        assert rc == 0
+        assert "repro_serve_decision_latency_s" in metrics.read_text()
+        record = json.loads(ledger.read_text().splitlines()[0])
+        assert record["kind"] == "serve"
+        assert "serve.decision_latency_s.p99" in record["metrics"]
+
+    def test_decide_one_shot(self, checkpoint, capsys):
+        chip = tiny_test_chip()
+        rc = main([
+            "decide", "--checkpoint", str(checkpoint), "--chip", "tiny",
+            "--observation",
+            json.dumps({"cluster": chip.cluster_names[0],
+                        "utilization": 0.8}),
+        ])
+        assert rc == 0
+        reply = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert reply["kind"] == "decision"
+        assert isinstance(reply["opp_index"], int)
+
+    def test_decide_requires_input(self, checkpoint, capsys):
+        rc = main([
+            "decide", "--checkpoint", str(checkpoint), "--chip", "tiny",
+        ])
+        assert rc == 1
+        assert "nothing to decide" in capsys.readouterr().err
+
+    def test_serve_stale_checkpoint_fails_clearly(
+        self, trained, tmp_path, capsys
+    ):
+        _, policies = trained
+        save_policies(policies, tmp_path)
+        manifest = json.loads((tmp_path / "policy.json").read_text())
+        manifest["engine_version"] = "0.1"
+        (tmp_path / "policy.json").write_text(json.dumps(manifest))
+        rc = main([
+            "serve", "--checkpoint", str(tmp_path), "--chip", "tiny",
+            "--requests", "/dev/null",
+        ])
+        assert rc == 1
+        assert "engine version" in capsys.readouterr().err
