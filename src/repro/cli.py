@@ -378,8 +378,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve import PolicyServer, serve_jsonl
 
+    ops_log = None
+    if args.ops_log:
+        from repro.obs import OpsLogger
+
+        ops_log = OpsLogger(args.ops_log)
     server = PolicyServer.from_checkpoint(
-        args.checkpoint, chip=args.chip, config=_serve_config(args)
+        args.checkpoint, chip=args.chip, config=_serve_config(args),
+        ops_log=ops_log,
     )
     stream = open(args.requests) if args.requests else sys.stdin
 
@@ -405,6 +411,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{stats.rejected} rejected",
         file=sys.stderr,
     )
+    if ops_log is not None:
+        print(
+            f"ops log: {ops_log.written} record(s) appended to "
+            f"{ops_log.path}",
+            file=sys.stderr,
+        )
     if session is not None and args.metrics:
         from repro import obs
 
@@ -434,9 +446,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_decide(args: argparse.Namespace) -> int:
-    """One-shot client: answer request mappings from a flag or a file."""
-    import asyncio
+    """One-shot client: answer request mappings from a flag or a file.
 
+    Every request gets a trace_id stamped client-side (unless it
+    already carries one), the replies echo it in their JSON, and a
+    stderr line summarises the correlation ids so the run can be joined
+    against server-side ops logs and merged traces.
+    """
+    import asyncio
+    from dataclasses import replace as _replace
+
+    from repro.obs import new_trace_id
     from repro.serve import (
         PolicyServer,
         reply_to_mapping,
@@ -461,10 +481,20 @@ def _cmd_decide(args: argparse.Namespace) -> int:
         raise ReproError(
             "nothing to decide: pass --observation JSON and/or --requests FILE"
         )
-    requests = [request_from_mapping(p, server.chip) for p in payloads]
+    requests = [
+        _replace(r, trace_id=r.trace_id or new_trace_id())
+        for r in (request_from_mapping(p, server.chip) for p in payloads)
+    ]
     replies = asyncio.run(serve_once(server, requests))
     for reply in replies:
         print(json.dumps(reply_to_mapping(reply)))
+    for reply in replies:
+        mapping = reply_to_mapping(reply)
+        print(
+            f"decide: {mapping['kind']} trace_id={mapping['trace_id']} "
+            f"request_id={mapping['request_id'] or '-'}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -989,6 +1019,51 @@ def _cmd_perf_gate(args: argparse.Namespace) -> int:
     return result.exit_code
 
 
+def _cmd_ops_tail(args: argparse.Namespace) -> int:
+    """Print the last N ops-log records, one JSON object per line."""
+    from repro.obs import tail_ops_log
+
+    for record in tail_ops_log(args.ops_log, n=args.lines):
+        print(json.dumps(record, sort_keys=True))
+    return 0
+
+
+def _cmd_ops_summary(args: argparse.Namespace) -> int:
+    """Aggregate an ops log: outcomes, rates, latency percentiles."""
+    from repro.obs import format_ops_summary, read_ops_log, summarize_ops
+
+    summary = summarize_ops(read_ops_log(args.ops_log))
+    if args.format == "json":
+        print(json.dumps(summary, sort_keys=True))
+    else:
+        print(format_ops_summary(summary))
+    return 0
+
+
+def _cmd_slo_gate(args: argparse.Namespace) -> int:
+    """Evaluate SLOs over an ops log; non-zero exit on budget burn."""
+    from repro.obs import (
+        DEFAULT_SLOS,
+        SLO_RENDERERS,
+        evaluate_slos,
+        load_slo_config,
+        read_ops_log,
+        slo_gate,
+    )
+
+    slos = load_slo_config(args.config) if args.config else DEFAULT_SLOS
+    report = evaluate_slos(read_ops_log(args.ops_log), slos)
+    print(SLO_RENDERERS[args.format](report))
+    result = slo_gate(report, warn_only=args.warn_only)
+    if result.report.failures and args.warn_only:
+        print(
+            f"slo gate: {len(result.report.failures)} "
+            "violation(s) (warn-only, not failing)",
+            file=sys.stderr,
+        )
+    return result.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -1161,6 +1236,10 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="FILE",
                          help="append serve latency percentiles to the "
                               "performance ledger")
+    serve_p.add_argument("--ops-log", default=None, metavar="FILE",
+                         help="append one structured JSONL record per "
+                              "request outcome (read back with 'repro ops' "
+                              "and 'repro slo gate')")
     serve_p.set_defaults(func=_cmd_serve)
 
     dec_p = sub.add_parser(
@@ -1355,6 +1434,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="report regressions but exit 0 (CI bring-up mode)",
     )
     perf_gate_p.set_defaults(func=_cmd_perf_gate)
+
+    ops_p = sub.add_parser(
+        "ops", parents=[common],
+        help="read structured ops logs written by 'repro serve --ops-log'",
+    )
+    ops_sub = ops_p.add_subparsers(dest="ops_command", required=True)
+    ops_tail_p = ops_sub.add_parser(
+        "tail", parents=[common],
+        help="print the last N records as JSON lines",
+    )
+    ops_tail_p.add_argument("ops_log", metavar="FILE",
+                            help="ops log (JSONL) to read")
+    ops_tail_p.add_argument("-n", "--lines", type=int, default=10,
+                            help="number of records to print (default: 10)")
+    ops_tail_p.set_defaults(func=_cmd_ops_tail)
+    ops_sum_p = ops_sub.add_parser(
+        "summary", parents=[common],
+        help="aggregate outcomes, rates, and latency percentiles",
+    )
+    ops_sum_p.add_argument("ops_log", metavar="FILE",
+                           help="ops log (JSONL) to read")
+    ops_sum_p.add_argument("--format", default="text",
+                           choices=("text", "json"))
+    ops_sum_p.set_defaults(func=_cmd_ops_summary)
+
+    slo_p = sub.add_parser(
+        "slo", parents=[common],
+        help="service-level objectives over ops logs",
+    )
+    slo_sub = slo_p.add_subparsers(dest="slo_command", required=True)
+    slo_gate_p = slo_sub.add_parser(
+        "gate", parents=[common],
+        help="evaluate SLO error-budget burn; non-zero exit on violation",
+    )
+    slo_gate_p.add_argument("--ops-log", required=True, metavar="FILE",
+                            help="ops log (JSONL) to evaluate")
+    slo_gate_p.add_argument("--config", default=None, metavar="FILE",
+                            help="SLO definitions JSON (default: the "
+                                 "built-in decision SLOs)")
+    slo_gate_p.add_argument("--format", default="text",
+                            choices=("text", "json", "github"),
+                            help="github emits workflow error annotations")
+    slo_gate_p.add_argument("--warn-only", action="store_true",
+                            help="report violations but exit 0 "
+                                 "(CI bring-up mode)")
+    slo_gate_p.set_defaults(func=_cmd_slo_gate)
     return parser
 
 

@@ -38,10 +38,18 @@ class FleetStarted(FleetEvent):
 
 @dataclass(frozen=True)
 class JobQueued(FleetEvent):
-    """A job was submitted to the pool."""
+    """A job was submitted to the pool.
+
+    Attributes:
+        trace_id: Correlation id from the job spec's
+            ``trace_context`` (``""`` for uncorrelated jobs) — carried
+            on every Job* event so an event stream joins against ops
+            logs and merged traces.
+    """
 
     index: int
     job_id: str
+    trace_id: str = ""
 
 
 @dataclass(frozen=True)
@@ -62,6 +70,7 @@ class JobCached(FleetEvent):
     index: int
     job_id: str
     wall_s: float
+    trace_id: str = ""
 
 
 @dataclass(frozen=True)
@@ -83,6 +92,7 @@ class JobDone(FleetEvent):
     sim_throughput: float
     metrics: Mapping[str, Any] | None = None
     trace_path: str | None = None
+    trace_id: str = ""
 
 
 @dataclass(frozen=True)
@@ -104,6 +114,7 @@ class JobFailed(FleetEvent):
     error: str
     timed_out: bool
     final: bool
+    trace_id: str = ""
 
 
 @dataclass(frozen=True)
@@ -117,6 +128,7 @@ class JobRetried(FleetEvent):
     index: int
     job_id: str
     attempt: int
+    trace_id: str = ""
 
 
 @dataclass(frozen=True)

@@ -51,6 +51,12 @@ from repro.fleet.worker import (
 if TYPE_CHECKING:
     from repro.analysis.sweep import SweepResult
     from repro.cache import RunCache
+    from repro.obs.opslog import OpsLogger
+
+
+def _trace_id(spec: JobSpec) -> str:
+    """The spec's correlation id, for stamping onto fleet events."""
+    return spec.trace_context.trace_id if spec.trace_context else ""
 
 
 def resolve_workers(jobs: int | None) -> int:
@@ -161,6 +167,7 @@ def run_fleet(
     on_event: Callable[[FleetEvent], None] | None = None,
     job_fn: Callable[[JobSpec], JobMeasurement] = execute_job,
     cache: "RunCache | bool | None" = None,
+    ops_log: "OpsLogger | None" = None,
 ) -> FleetResult:
     """Execute a grid of simulation jobs, possibly in parallel.
 
@@ -183,6 +190,10 @@ def run_fleet(
             worker (a :class:`~repro.fleet.events.JobCached` event
             instead of queue/done), and fresh successes are stored for
             the next run.  ``None``/``False`` (default) disables both.
+        ops_log: Structured ops logger
+            (:class:`repro.obs.opslog.OpsLogger`); every terminal job
+            transition (done, cached, final failure) appends one
+            ``kind="job"`` record carrying the job's trace_id.
 
     Returns:
         A :class:`FleetResult` with one outcome per job in grid order.
@@ -234,9 +245,12 @@ def run_fleet(
 
     workers = max(1, min(jobs, len(indexed) if store is not None else len(specs)))
     emit = on_event or (lambda event: None)
+    if ops_log is not None:
+        emit = _ops_logging_emit(ops_log, emit)
     emit(FleetStarted(n_jobs=len(specs), workers=workers))
     for hit in outcomes:
-        emit(JobCached(index=hit.index, job_id=hit.job_id, wall_s=hit.wall_s))
+        emit(JobCached(index=hit.index, job_id=hit.job_id, wall_s=hit.wall_s,
+                       trace_id=_trace_id(hit.spec)))
     if outcomes:
         emit(
             FleetProgress(
@@ -285,6 +299,22 @@ def run_fleet(
     return result
 
 
+def _ops_logging_emit(
+    ops_log: "OpsLogger", downstream: Callable[[FleetEvent], None]
+) -> Callable[[FleetEvent], None]:
+    """Wrap an event callback so terminal job events also append one
+    structured ops record (the only writes go through the logger)."""
+    from repro.obs.opslog import job_record_from_event
+
+    def emit(event: FleetEvent) -> None:
+        record = job_record_from_event(event)
+        if record is not None:
+            ops_log.log(record)
+        downstream(event)
+
+    return emit
+
+
 def _report(
     outcome: JobOutcome,
     attempt: int,
@@ -301,6 +331,7 @@ def _report(
                 sim_throughput=outcome.sim_throughput,
                 metrics=outcome.metrics,
                 trace_path=outcome.trace_path,
+                trace_id=_trace_id(outcome.spec),
             )
         )
         return False
@@ -313,6 +344,7 @@ def _report(
             error=f"{outcome.error_type}: {outcome.error}",
             timed_out=outcome.timed_out,
             final=final,
+            trace_id=_trace_id(outcome.spec),
         )
     )
     return not final
@@ -337,7 +369,8 @@ def _run_serial(
     outcomes: list[JobOutcome] = []
     failed = 0
     for index, job_spec in indexed:
-        emit(JobQueued(index=index, job_id=job_spec.job_id))
+        emit(JobQueued(index=index, job_id=job_spec.job_id,
+                       trace_id=_trace_id(job_spec)))
         attempt = 1
         while True:
             outcome = run_job(
@@ -348,7 +381,7 @@ def _run_serial(
                 break
             attempt += 1
             emit(JobRetried(index=index, job_id=job_spec.job_id,
-                            attempt=attempt))
+                            attempt=attempt, trace_id=_trace_id(job_spec)))
         outcomes.append(outcome)
         failed += isinstance(outcome, JobFailure)
         emit(
@@ -394,7 +427,8 @@ def _run_pool(
 
         pending: set[Future] = set()
         for index, job_spec in indexed:
-            emit(JobQueued(index=index, job_id=job_spec.job_id))
+            emit(JobQueued(index=index, job_id=job_spec.job_id,
+                           trace_id=_trace_id(job_spec)))
             pending.add(submit(index, attempt=1))
 
         while pending:
@@ -420,6 +454,7 @@ def _run_pool(
                             index=index,
                             job_id=spec_by_index[index].job_id,
                             attempt=attempt + 1,
+                            trace_id=_trace_id(spec_by_index[index]),
                         )
                     )
                     pending.add(submit(index, attempt=attempt + 1))

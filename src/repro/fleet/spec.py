@@ -23,6 +23,7 @@ from typing import Any, Mapping
 
 from repro.core.config import PolicyConfig
 from repro.errors import ReproError
+from repro.obs.context import TraceContext
 from repro.soc.chip import Chip
 
 RL_POLICY = "rl-policy"
@@ -67,6 +68,13 @@ class JobSpec:
         chip_obj: Escape hatch for non-preset chips (e.g. loaded from a
             device-tree JSON); takes precedence over ``chip``.  Not
             JSON-serialisable.
+        trace_context: Correlation identity of the request this job
+            serves (:class:`repro.obs.context.TraceContext`); the worker
+            re-binds it before executing so the job's spans, events, and
+            ops records carry the originating trace_id.  Deliberately
+            excluded from :meth:`to_mapping` and from equality — the
+            run cache keys on the spec mapping, and *who asked* must
+            never change *what is computed*.
     """
 
     scenario: str
@@ -83,6 +91,9 @@ class JobSpec:
     trace_dir: str | None = None
     policy_config: PolicyConfig | None = field(default=None, repr=False)
     chip_obj: Chip | None = field(default=None, repr=False, compare=False)
+    trace_context: TraceContext | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.scenario:
@@ -128,16 +139,24 @@ class JobSpec:
             raise ReproError(
                 "a job spec with a policy_config cannot be serialised"
             )
+        # trace_context is correlation identity, not job identity: the
+        # run cache hashes this mapping, and two requests asking for the
+        # same computation must share a cache entry.
         data = {
             f.name: getattr(self, f.name)
             for f in fields(self)
-            if f.name not in ("chip_obj", "policy_config")
+            if f.name not in ("chip_obj", "policy_config", "trace_context")
         }
         return data
 
     @classmethod
     def from_mapping(cls, data: Mapping[str, Any]) -> "JobSpec":
         """Build a spec from a mapping (e.g. parsed JSON).
+
+        A ``trace_context`` key is accepted as either a
+        :class:`~repro.obs.context.TraceContext` or its
+        ``to_mapping`` form, so explicitly-correlated requests can ship
+        specs over JSON envelopes.
 
         Raises:
             ReproError: For unknown keys.
@@ -149,7 +168,11 @@ class JobSpec:
                 f"unknown job spec keys {sorted(unknown)}; "
                 f"known: {sorted(known)}"
             )
-        return cls(**data)
+        kwargs = dict(data)
+        ctx = kwargs.get("trace_context")
+        if ctx is not None and not isinstance(ctx, TraceContext):
+            kwargs["trace_context"] = TraceContext.from_mapping(ctx)
+        return cls(**kwargs)
 
     def with_seed(self, seed: int) -> "JobSpec":
         """A copy of this spec at another evaluation seed."""

@@ -241,31 +241,53 @@ def execute_job(spec: JobSpec) -> JobMeasurement:
     pid- and epoch-stamped Chrome trace into the directory, one lane per
     worker process once merged.
 
+    When the spec carries a ``trace_context``, it is re-bound here —
+    contextvars do not cross executor threads or process pools, so this
+    is the explicit hand-off point — and a ``fleet.job`` span wraps the
+    traced execution, tagging the whole job subtree with the
+    originating trace_id.
+
     Raises:
         ReproError: For unknown chips/scenarios/governors; any simulation
             exception propagates (the runner converts it to a
             :class:`JobFailure`).
     """
-    if spec.collect_metrics or spec.trace_dir is not None:
-        from dataclasses import replace as _replace
+    from repro.obs.context import bind
 
-        from repro import obs
+    with bind(spec.trace_context):
+        if spec.collect_metrics or spec.trace_dir is not None:
+            from dataclasses import replace as _replace
 
-        want_trace = spec.trace_dir is not None
-        # A serial (in-process) fleet may already be tracing; keep its
-        # tracer wired up so per-job metric isolation doesn't eat spans.
-        outer = obs.OBS.tracer if (obs.OBS.enabled and obs.OBS.tracer.enabled) else None
-        with obs.capture(trace=want_trace) as session:
-            if outer is not None and not want_trace:
-                obs.OBS.tracer = outer
-            measurement = _execute_job_inner(spec)
-        snapshot = session.metrics.snapshot()
-        snapshot["meta"] = {"job_id": spec.job_id, "pid": os.getpid()}
-        trace_path = _write_job_trace(spec, session) if want_trace else None
-        return _replace(
-            measurement, metrics=snapshot, trace_path=trace_path
-        )
-    return _execute_job_inner(spec)
+            from repro import obs
+            from repro.obs.context import trace_args
+
+            want_trace = spec.trace_dir is not None
+            # A serial (in-process) fleet may already be tracing; keep its
+            # tracer wired up so per-job metric isolation doesn't eat spans.
+            outer = (
+                obs.OBS.tracer
+                if (obs.OBS.enabled and obs.OBS.tracer.enabled)
+                else None
+            )
+            with obs.capture(trace=want_trace) as session:
+                if outer is not None and not want_trace:
+                    obs.OBS.tracer = outer
+                tracer = obs.OBS.tracer if obs.OBS.tracer.enabled else None
+                if tracer:
+                    with tracer.span(
+                        "fleet.job", cat="fleet",
+                        job_id=spec.job_id, **trace_args(),
+                    ):
+                        measurement = _execute_job_inner(spec)
+                else:
+                    measurement = _execute_job_inner(spec)
+            snapshot = session.metrics.snapshot()
+            snapshot["meta"] = {"job_id": spec.job_id, "pid": os.getpid()}
+            trace_path = _write_job_trace(spec, session) if want_trace else None
+            return _replace(
+                measurement, metrics=snapshot, trace_path=trace_path
+            )
+        return _execute_job_inner(spec)
 
 
 def _write_job_trace(spec: JobSpec, session: ObsSession) -> str:

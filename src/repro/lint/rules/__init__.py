@@ -12,6 +12,7 @@ Rule code families:
 * ``RPL6xx`` — run-cache discipline (:mod:`repro.lint.rules.cachedir`)
 * ``RPL7xx`` — serve-loop discipline
   (:mod:`repro.lint.rules.asyncblocking`)
+* ``RPL8xx`` — ops-log discipline (:mod:`repro.lint.rules.opslog`)
 """
 
 from repro.lint.rules import (  # noqa: F401
@@ -21,6 +22,7 @@ from repro.lint.rules import (  # noqa: F401
     exceptions,
     fixedpoint,
     obsguard,
+    opslog,
     perfledger,
     units,
 )

@@ -1,0 +1,102 @@
+"""Ops-log discipline rule (RPL801).
+
+The ops log is only queryable because every line has the same shape —
+timestamp, kind, trace/request ids, outcome, latencies — which holds
+only while :class:`repro.obs.opslog.OpsLogger` is the sole writer (its
+``log()`` validates the required fields before appending).  An ad-hoc
+``json.dump`` into an ops-log file forks the schema: ``repro ops
+summary`` chokes on the line, or ``repro slo gate`` silently scopes it
+out and a violation sails through unevaluated.
+
+**RPL801** flags write-ish calls (``json.dump``/``json.dumps``,
+``open``, ``write_text``, ``.open``, ``.write``) whose arguments
+mention an ops log — a name or string constant containing ``ops_log``
+/ ``ops-log`` / ``opslog`` — anywhere outside
+:mod:`repro.obs.opslog` itself, pointing the author at
+``OpsLogger.log()``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import Rule, register
+
+#: The one module allowed to touch ops-log files directly.
+_BLESSED = "obs/opslog.py"
+
+#: Call shapes that write data: plain names and attribute tails.
+_WRITE_NAMES = {"open"}
+_WRITE_ATTRS = {"dump", "dumps", "open", "write", "write_text"}
+
+#: Spellings that identify an ops log in names and string constants.
+_MARKERS = ("ops_log", "ops-log", "opslog")
+
+
+def _names_ops_log(text: str) -> bool:
+    """Whether ``text`` spells an ops log in any accepted form."""
+    lowered = text.lower()
+    return any(marker in lowered for marker in _MARKERS)
+
+
+def _mentions_ops_log(node: ast.expr) -> bool:
+    """Whether any sub-expression names an ops log."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            if _names_ops_log(sub.value):
+                return True
+        if isinstance(sub, ast.Name) and _names_ops_log(sub.id):
+            return True
+        if isinstance(sub, ast.Attribute) and _names_ops_log(sub.attr):
+            return True
+    return False
+
+
+def _is_write_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in _WRITE_NAMES
+    if isinstance(func, ast.Attribute):
+        return func.attr in _WRITE_ATTRS
+    return False
+
+
+@register
+class AdHocOpsLogWriteRule(Rule):
+    """RPL801: ops-log records go through ``OpsLogger.log()``."""
+
+    code = "RPL801"
+    name = "obs.opslog-discipline"
+    summary = (
+        "ad-hoc write to an ops log; all records must go through "
+        "repro.obs.OpsLogger.log() so every line carries the shared "
+        "record schema"
+    )
+
+    @classmethod
+    def applies_to(cls, module_path: str) -> bool:
+        # Everywhere *except* the blessed writer module.
+        return module_path != _BLESSED
+
+    def run(self) -> None:
+        self.visit(self.ctx.tree)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag writes whose receiver or arguments name an ops log."""
+        if _is_write_call(node):
+            receiver = (
+                node.func.value
+                if isinstance(node.func, ast.Attribute)
+                else None
+            )
+            targets = list(node.args) + [kw.value for kw in node.keywords]
+            if receiver is not None:
+                targets.append(receiver)
+            if any(_mentions_ops_log(t) for t in targets):
+                self.report(
+                    node,
+                    "ad-hoc ops-log write; append records through "
+                    "repro.obs.OpsLogger.log() instead of dumping JSON "
+                    "directly, so every record carries the shared schema",
+                )
+        self.generic_visit(node)

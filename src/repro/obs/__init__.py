@@ -25,6 +25,9 @@ Module map:
 * :mod:`repro.obs.export`  — Chrome ``trace_event`` JSON, JSONL,
   Prometheus text
 * :mod:`repro.obs.profile` — ``engine.phase.*`` time breakdowns
+* :mod:`repro.obs.context` — ``TraceContext`` request correlation
+* :mod:`repro.obs.opslog`  — structured JSONL ops log (``OpsLogger``)
+* :mod:`repro.obs.runtime` — sliding windows, health indicators, SLOs
 
 Span/metric naming conventions live in ``docs/observability.md``.
 """
@@ -35,6 +38,13 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
 
+from repro.obs.context import (
+    TraceContext,
+    bind,
+    current_context,
+    new_trace_id,
+    trace_args,
+)
 from repro.obs.export import (
     EPOCH_METADATA_NAME,
     chrome_trace,
@@ -59,7 +69,35 @@ from repro.obs.metrics import (
     histogram_quantile,
     merge_snapshots,
 )
+from repro.obs.opslog import (
+    OPS_RECORD_FIELDS,
+    OpsLogger,
+    format_ops_summary,
+    job_record_from_event,
+    ops_record,
+    read_ops_log,
+    summarize_ops,
+    tail_ops_log,
+)
 from repro.obs.profile import PhaseStat, format_breakdown, phase_breakdown
+from repro.obs.runtime import (
+    DEFAULT_SLOS,
+    SLO_RENDERERS,
+    SlidingWindow,
+    SloGateResult,
+    SloReport,
+    SloSpec,
+    SloVerdict,
+    evaluate_slos,
+    gate_ops_log,
+    health_indicators,
+    load_slo_config,
+    render_slo_github,
+    render_slo_json,
+    render_slo_text,
+    slo_gate,
+    slos_from_mapping,
+)
 from repro.obs.trace import (
     NULL_TRACER,
     InstantRecord,
@@ -147,6 +185,7 @@ def capture(trace: bool = True) -> Iterator[ObsSession]:
 
 __all__ = [
     "Counter",
+    "DEFAULT_SLOS",
     "EPOCH_METADATA_NAME",
     "Gauge",
     "Histogram",
@@ -155,27 +194,55 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "OBS",
+    "OPS_RECORD_FIELDS",
     "ObsHub",
     "ObsSession",
+    "OpsLogger",
     "PhaseStat",
+    "SLO_RENDERERS",
+    "SlidingWindow",
+    "SloGateResult",
+    "SloReport",
+    "SloSpec",
+    "SloVerdict",
     "SpanRecord",
+    "TraceContext",
     "Tracer",
+    "bind",
     "capture",
     "chrome_trace",
+    "current_context",
     "disable",
     "enable",
+    "evaluate_slos",
     "format_breakdown",
+    "format_ops_summary",
+    "gate_ops_log",
+    "health_indicators",
     "histogram_quantile",
+    "job_record_from_event",
     "load_chrome_trace",
+    "load_slo_config",
     "load_spans",
     "merge_snapshots",
     "merge_trace_files",
     "merge_traces",
+    "new_trace_id",
+    "ops_record",
     "phase_breakdown",
     "prometheus_text",
     "read_jsonl",
+    "read_ops_log",
+    "render_slo_github",
+    "render_slo_json",
+    "render_slo_text",
+    "slo_gate",
+    "slos_from_mapping",
     "span_tree",
     "spans_from_chrome",
+    "summarize_ops",
+    "tail_ops_log",
+    "trace_args",
     "trace_lanes",
     "validate_chrome_trace",
     "write_chrome_trace",

@@ -458,34 +458,62 @@ def _prom_name(name: str) -> str:
     return flat
 
 
+def _prom_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: backslash,
+    double quote, and newline are the three characters with meaning
+    inside a quoted label value."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _prom_labels(labels: Mapping[str, str], extra: str = "") -> str:
+    """Render a ``{k="v",...}`` label block (empty string when bare)."""
+    parts = [
+        f'{_prom_name(str(key))}="{_prom_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
 def prometheus_text(
-    metrics: MetricsRegistry | Mapping[str, Any], prefix: str = "repro"
+    metrics: MetricsRegistry | Mapping[str, Any],
+    prefix: str = "repro",
+    labels: Mapping[str, str] | None = None,
 ) -> str:
     """A Prometheus exposition-format snapshot of a registry.
 
     Histograms follow the cumulative-bucket convention
     (``_bucket{le=...}`` plus ``_sum`` / ``_count``); all names get
-    ``prefix`` and dots become underscores.
+    ``prefix`` and dots become underscores.  ``labels`` are constant
+    labels stamped on every sample (e.g. ``{"instance": ...}``); label
+    names are sanitised like metric names and label values are escaped
+    (backslash, quote, newline) per the exposition format.
     """
     snap = metrics.snapshot() if isinstance(metrics, MetricsRegistry) else metrics
+    base = _prom_labels(labels) if labels else ""
     lines: list[str] = []
     for name, value in sorted(snap.get("counters", {}).items()):
         flat = f"{prefix}_{_prom_name(name)}"
         lines.append(f"# TYPE {flat} counter")
-        lines.append(f"{flat} {value:g}")
+        lines.append(f"{flat}{base} {value:g}")
     for name, value in sorted(snap.get("gauges", {}).items()):
         flat = f"{prefix}_{_prom_name(name)}"
         lines.append(f"# TYPE {flat} gauge")
-        lines.append(f"{flat} {value:g}")
+        lines.append(f"{flat}{base} {value:g}")
     for name, h in sorted(snap.get("histograms", {}).items()):
         flat = f"{prefix}_{_prom_name(name)}"
         lines.append(f"# TYPE {flat} histogram")
         cumulative = 0
         for bound, n in zip(h["bounds"], h["bucket_counts"]):
             cumulative += n
-            lines.append(f'{flat}_bucket{{le="{bound:g}"}} {cumulative}')
+            bucket = _prom_labels(labels or {}, extra=f'le="{bound:g}"')
+            lines.append(f"{flat}_bucket{bucket} {cumulative}")
         cumulative += h["bucket_counts"][-1]
-        lines.append(f'{flat}_bucket{{le="+Inf"}} {cumulative}')
-        lines.append(f"{flat}_sum {h['sum']:g}")
-        lines.append(f"{flat}_count {h['count']}")
+        bucket = _prom_labels(labels or {}, extra='le="+Inf"')
+        lines.append(f"{flat}_bucket{bucket} {cumulative}")
+        lines.append(f"{flat}_sum{base} {h['sum']:g}")
+        lines.append(f"{flat}_count{base} {h['count']}")
     return "\n".join(lines) + "\n"

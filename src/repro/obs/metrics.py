@@ -200,6 +200,10 @@ def histogram_quantile(
     snapshots.  The estimate interpolates linearly inside the bucket
     containing the target rank (the Prometheus convention); observations
     in the ``+Inf`` overflow bucket resolve to the recorded ``max``.
+    When the snapshot carries recorded ``min``/``max`` extremes, the
+    estimate is clamped into ``[min, max]`` — a single observation then
+    yields that exact value at every ``q`` instead of a bucket-edge
+    artefact.
 
     Returns:
         The estimate, or ``None`` for an empty histogram.
@@ -216,6 +220,14 @@ def histogram_quantile(
     bucket_counts = [int(n) for n in histogram["bucket_counts"]]
     lo = histogram.get("min")
     hi = histogram.get("max")
+
+    def _clamp(value: float) -> float:
+        if lo is not None:
+            value = max(value, float(lo))
+        if hi is not None:
+            value = min(value, float(hi))
+        return value
+
     rank = q * count
     seen = 0.0
     for i, n in enumerate(bucket_counts):
@@ -229,7 +241,7 @@ def histogram_quantile(
             )
             lower = min(lower, bounds[i])
             fraction = (rank - seen) / n
-            return lower + fraction * (bounds[i] - lower)
+            return _clamp(lower + fraction * (bounds[i] - lower))
         seen += n
     return float(hi) if hi is not None else bounds[-1]
 

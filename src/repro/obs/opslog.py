@@ -1,0 +1,287 @@
+"""The structured operational log: one JSONL record per request/job.
+
+Traces answer "where did the time in *this* request go"; the ops log
+answers "what has the service been doing" — one self-describing JSON
+object per served (or rejected) request and per fleet job, carrying the
+correlation ids, the outcome, and the two latencies that matter for the
+SLOs (service latency and queue wait).
+
+:class:`OpsLogger` is the **only** code allowed to append to an ops
+log; lint rule RPL801 enforces that, exactly as RPL501/RPL601 do for
+the perf ledger and the run cache.  Everything else in this module is
+read-side: :func:`read_ops_log`, :func:`tail_ops_log`, and
+:func:`summarize_ops` back ``repro ops tail|summary``, and the SLO
+runtime (:mod:`repro.obs.runtime`) evaluates the same records.
+
+Record schema (see ``docs/observability.md``):
+
+======================  ====================================================
+field                   meaning
+======================  ====================================================
+``ts``                  Wall-clock unix seconds when the record was logged.
+``kind``                ``decision`` / ``simulation`` / ``health`` /
+                        ``stats`` / ``job``.
+``trace_id``            End-to-end correlation id (may be ``""`` when
+                        correlation was inactive).
+``request_id``          Client correlation id (``""`` for fleet jobs).
+``outcome``             ``ok``, ``cached``, ``rejected:<reason>``, or
+                        ``failed:<error-type>``.
+``latency_s``           Submit-to-reply service latency (job wall time for
+                        fleet jobs).
+``queue_wait_s``        Seconds spent in the bounded queue before a worker
+                        picked the request up.
+======================  ====================================================
+
+Extra keys (``session``, ``cluster``, ``job_id``, ``detail``, ...) are
+allowed and preserved; the required seven always exist.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.errors import ObsError
+
+if TYPE_CHECKING:
+    from repro.fleet.events import FleetEvent
+
+#: Every ops record carries at least these keys.
+OPS_RECORD_FIELDS = (
+    "ts", "kind", "trace_id", "request_id", "outcome",
+    "latency_s", "queue_wait_s",
+)
+
+#: The record kinds the readers/SLO runtime understand.
+OPS_KINDS = ("decision", "simulation", "health", "stats", "job")
+
+
+def ops_record(
+    kind: str,
+    outcome: str,
+    latency_s: float,
+    queue_wait_s: float = 0.0,
+    trace_id: str = "",
+    request_id: str = "",
+    ts: float | None = None,
+    **extra: Any,
+) -> dict[str, Any]:
+    """A schema-complete ops record (not yet written anywhere).
+
+    Raises:
+        ObsError: On an unknown ``kind``, an empty ``outcome``, or a
+            negative latency/queue wait.
+    """
+    if kind not in OPS_KINDS:
+        raise ObsError(
+            f"unknown ops record kind {kind!r}; expected one of {OPS_KINDS}"
+        )
+    if not outcome:
+        raise ObsError("an ops record needs a non-empty outcome")
+    if latency_s < 0 or queue_wait_s < 0:
+        raise ObsError(
+            f"ops record latencies cannot be negative: "
+            f"latency_s={latency_s}, queue_wait_s={queue_wait_s}"
+        )
+    record: dict[str, Any] = {
+        "ts": time.time() if ts is None else float(ts),
+        "kind": kind,
+        "trace_id": trace_id,
+        "request_id": request_id,
+        "outcome": outcome,
+        "latency_s": float(latency_s),
+        "queue_wait_s": float(queue_wait_s),
+    }
+    record.update(extra)
+    return record
+
+
+class OpsLogger:
+    """Append-only JSONL writer — the sole blessed ops-log producer.
+
+    One logger owns one file; every :meth:`log` call validates the
+    record against the schema and appends one line, so a crash can lose
+    at most the line being written and the log stays greppable while
+    the service runs.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.written = 0
+
+    def log(self, record: Mapping[str, Any]) -> dict[str, Any]:
+        """Validate and append one record; returns the stored form.
+
+        Raises:
+            ObsError: When required fields are missing or the record is
+                not JSON-serialisable.
+        """
+        missing = [f for f in OPS_RECORD_FIELDS if f not in record]
+        if missing:
+            raise ObsError(f"ops record missing fields {missing}")
+        stored = dict(record)
+        try:
+            line = json.dumps(stored, sort_keys=True)
+        except (TypeError, ValueError) as exc:
+            raise ObsError(f"ops record is not JSON-serialisable: {exc}") from exc
+        with self.path.open("a") as fh:
+            fh.write(line + "\n")
+        self.written += 1
+        return stored
+
+
+def job_record_from_event(event: "FleetEvent") -> dict[str, Any] | None:
+    """The ops record for one fleet completion event, or ``None``.
+
+    Only terminal job transitions produce records — ``JobDone``,
+    ``JobCached``, and *final* ``JobFailed`` — so a retried job logs
+    once, with its last outcome.
+    """
+    from repro.fleet.events import JobCached, JobDone, JobFailed
+
+    if isinstance(event, JobDone):
+        return ops_record(
+            kind="job", outcome="ok", latency_s=event.wall_s,
+            trace_id=event.trace_id, job_id=event.job_id,
+        )
+    if isinstance(event, JobCached):
+        return ops_record(
+            kind="job", outcome="cached", latency_s=event.wall_s,
+            trace_id=event.trace_id, job_id=event.job_id,
+        )
+    if isinstance(event, JobFailed) and event.final:
+        return ops_record(
+            kind="job", outcome=f"failed:{event.error.split(':', 1)[0]}",
+            latency_s=0.0, trace_id=event.trace_id, job_id=event.job_id,
+            detail=event.error,
+        )
+    return None
+
+
+# -- read side -------------------------------------------------------------
+
+
+def read_ops_log(path: str | Path) -> list[dict[str, Any]]:
+    """All records of one ops log, in file order.
+
+    Raises:
+        ObsError: On an unreadable file, a non-JSON line, or a record
+            missing required fields.
+    """
+    source = Path(path)
+    try:
+        text = source.read_text()
+    except OSError as exc:
+        raise ObsError(f"cannot read ops log {source}: {exc}") from exc
+    records: list[dict[str, Any]] = []
+    for n, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObsError(f"{source}:{n} is not JSON: {exc}") from exc
+        if not isinstance(record, dict):
+            raise ObsError(f"{source}:{n} is not a JSON object")
+        missing = [f for f in OPS_RECORD_FIELDS if f not in record]
+        if missing:
+            raise ObsError(f"{source}:{n} missing fields {missing}")
+        records.append(record)
+    return records
+
+
+def tail_ops_log(path: str | Path, n: int = 10) -> list[dict[str, Any]]:
+    """The last ``n`` records of an ops log (fewer when the log is short)."""
+    if n < 1:
+        raise ObsError(f"tail needs a positive count: {n}")
+    return read_ops_log(path)[-n:]
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    """Linear-interpolation quantile of an already-sorted sample."""
+    if not 0.0 <= q <= 1.0:
+        raise ObsError(f"quantile must be in [0, 1]: {q}")
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
+
+
+def _latency_stats(values: list[float]) -> dict[str, float] | None:
+    if not values:
+        return None
+    ordered = sorted(values)
+    return {
+        "p50": _quantile(ordered, 0.50),
+        "p99": _quantile(ordered, 0.99),
+        "max": ordered[-1],
+    }
+
+
+def summarize_ops(records: list[dict[str, Any]]) -> dict[str, Any]:
+    """Roll a record list up into the ``repro ops summary`` payload.
+
+    Pure and deterministic in the records: counts per kind and outcome
+    family, latency/queue-wait quantiles over the served requests, the
+    rejection rate, and the distinct trace-id count.
+    """
+    by_kind: dict[str, int] = {}
+    by_outcome: dict[str, int] = {}
+    latencies: list[float] = []
+    waits: list[float] = []
+    trace_ids: set[str] = set()
+    rejected = 0
+    for record in records:
+        kind = str(record.get("kind", ""))
+        outcome = str(record.get("outcome", ""))
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        family = outcome.split(":", 1)[0]
+        by_outcome[family] = by_outcome.get(family, 0) + 1
+        if family == "rejected":
+            rejected += 1
+        if outcome == "ok" and kind in ("decision", "simulation", "job"):
+            latencies.append(float(record.get("latency_s", 0.0)))
+            waits.append(float(record.get("queue_wait_s", 0.0)))
+        if record.get("trace_id"):
+            trace_ids.add(str(record["trace_id"]))
+    timestamps = [float(r.get("ts", 0.0)) for r in records]
+    return {
+        "total": len(records),
+        "by_kind": dict(sorted(by_kind.items())),
+        "by_outcome": dict(sorted(by_outcome.items())),
+        "rejection_rate": rejected / len(records) if records else 0.0,
+        "latency_s": _latency_stats(latencies),
+        "queue_wait_s": _latency_stats(waits),
+        "distinct_trace_ids": len(trace_ids),
+        "span_s": (max(timestamps) - min(timestamps)) if timestamps else 0.0,
+    }
+
+
+def format_ops_summary(summary: Mapping[str, Any]) -> str:
+    """The human-readable rendering of :func:`summarize_ops`."""
+    lines = [f"{summary['total']} record(s) over {summary['span_s']:.1f} s"]
+    kinds = ", ".join(
+        f"{kind}={count}" for kind, count in summary["by_kind"].items()
+    )
+    outcomes = ", ".join(
+        f"{outcome}={count}" for outcome, count in summary["by_outcome"].items()
+    )
+    lines.append(f"kinds:    {kinds or '-'}")
+    lines.append(f"outcomes: {outcomes or '-'}")
+    lines.append(f"rejection rate: {summary['rejection_rate']:.2%}")
+    for label, key in (("latency", "latency_s"), ("queue wait", "queue_wait_s")):
+        stats = summary.get(key)
+        if stats:
+            lines.append(
+                f"{label}: p50 {stats['p50'] * 1e3:.3f} ms, "
+                f"p99 {stats['p99'] * 1e3:.3f} ms, "
+                f"max {stats['max'] * 1e3:.3f} ms"
+            )
+    lines.append(f"distinct trace ids: {summary['distinct_trace_ids']}")
+    return "\n".join(lines)

@@ -3,7 +3,10 @@
 Loads a trained policy snapshot and serves observation→action decision
 requests and whole simulation jobs from a bounded queue with explicit
 backpressure, per-request deadlines, and graceful drain-on-shutdown.
-See ``docs/serving.md`` for the architecture and SLOs.
+Out-of-band ``health``/``stats`` requests bypass the queue, every
+request carries a ``trace_id`` for end-to-end correlation, and an
+optional structured ops log records one line per outcome.  See
+``docs/serving.md`` for the architecture and SLOs.
 """
 
 from repro.serve.client import serve_jsonl, serve_once
@@ -15,11 +18,15 @@ from repro.serve.protocol import (
     REJECT_SHUTDOWN,
     DecisionReply,
     DecisionRequest,
+    HealthReply,
+    HealthRequest,
     Rejection,
     Reply,
     Request,
     SimulationReply,
     SimulationRequest,
+    StatsReply,
+    StatsRequest,
     observation_from_mapping,
     reply_to_mapping,
     request_from_mapping,
@@ -36,6 +43,8 @@ __all__ = [
     "DecisionReply",
     "DecisionRequest",
     "DecisionSession",
+    "HealthReply",
+    "HealthRequest",
     "InProcessQueue",
     "PolicyServer",
     "QueueBackend",
@@ -46,6 +55,8 @@ __all__ = [
     "ServerStats",
     "SimulationReply",
     "SimulationRequest",
+    "StatsReply",
+    "StatsRequest",
     "observation_from_mapping",
     "reply_to_mapping",
     "request_from_mapping",

@@ -91,15 +91,17 @@ async def serve_jsonl(
                 raise ServeError("a request line must be a JSON object")
             request = request_from_mapping(data, server.chip)
         except (json.JSONDecodeError, ReproError) as exc:
-            request_id = ""
+            request_id = trace_id = ""
             if isinstance(data := _maybe_mapping(line), dict):
                 request_id = str(data.get("request_id", ""))
+                trace_id = str(data.get("trace_id", ""))
             write_reply(
                 reply_to_mapping(
                     Rejection(
                         request_id=request_id,
                         reason=REJECT_ERROR,
                         detail=f"malformed request line: {exc}",
+                        trace_id=trace_id,
                     )
                 )
             )

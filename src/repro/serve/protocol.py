@@ -1,17 +1,31 @@
 """Request/response types of the policy-decision service.
 
-Two request kinds travel through the queue:
+Four request kinds exist; two travel through the queue:
 
 * :class:`DecisionRequest` — one observation → one OPP decision, the
   online analogue of a single governor step.
 * :class:`SimulationRequest` — a whole simulation job, delegated to the
-  fleet measurement core (:func:`repro.fleet.worker.simulate_spec`).
+  fleet measurement core (:func:`repro.fleet.worker.execute_job`).
+
+and two are answered out-of-band, *bypassing* the bounded worker queue
+(an overloaded service must still be able to say how overloaded it is):
+
+* :class:`HealthRequest` — liveness plus sliding-window indicators.
+* :class:`StatsRequest` — the raw lifetime counters.
 
 Every request is answered with exactly one reply: a
-:class:`DecisionReply`, a :class:`SimulationReply`, or a
-:class:`Rejection` (backpressure, deadline, shutdown, or a handler
-error).  Rejections are *responses*, not exceptions — a loaded service
-saying "no" is a normal outcome the client must handle.
+:class:`DecisionReply`, a :class:`SimulationReply`, a
+:class:`HealthReply`, a :class:`StatsReply`, or a :class:`Rejection`
+(backpressure, deadline, shutdown, or a handler error).  Rejections are
+*responses*, not exceptions — a loaded service saying "no" is a normal
+outcome the client must handle.
+
+Correlation: every request and reply carries a ``trace_id`` alongside
+the client's ``request_id``.  A client may supply its own trace id (it
+is echoed verbatim); when correlation is active server-side and the
+field is empty, the server stamps a fresh one at submission, so the
+reply, the ops-log record, and every span/instant the request touched
+share one id.
 
 All types round-trip through plain JSON-serialisable mappings
 (:func:`request_from_mapping` / :func:`reply_to_mapping`) so a future
@@ -55,12 +69,15 @@ class DecisionRequest:
         deadline_s: Seconds (from submission) after which the request
             should be rejected rather than served late; ``None`` falls
             back to the server's default.
+        trace_id: End-to-end correlation id; empty means "let the
+            server stamp one" (when correlation is active).
     """
 
     observation: ClusterObservation
     session: str = "default"
     request_id: str = ""
     deadline_s: float | None = None
+    trace_id: str = ""
 
 
 @dataclass(frozen=True)
@@ -72,14 +89,37 @@ class SimulationRequest:
             to ``repro fleet`` running the same spec.
         request_id: Client-chosen correlation id, echoed on the reply.
         deadline_s: Same semantics as on :class:`DecisionRequest`.
+        trace_id: Same semantics as on :class:`DecisionRequest`; the
+            server forwards it into ``spec.trace_context`` so the
+            executor-side flight recorder tags its spans with it.
     """
 
     spec: JobSpec
     request_id: str = ""
     deadline_s: float | None = None
+    trace_id: str = ""
 
 
-Request = Union[DecisionRequest, SimulationRequest]
+@dataclass(frozen=True)
+class HealthRequest:
+    """Out-of-band health probe (never enters the worker queue)."""
+
+    request_id: str = ""
+    trace_id: str = ""
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    """Out-of-band stats dump (never enters the worker queue)."""
+
+    request_id: str = ""
+    trace_id: str = ""
+
+
+Request = Union[DecisionRequest, SimulationRequest, HealthRequest, StatsRequest]
+
+#: Request kinds answered at submission, bypassing the bounded queue.
+OOB_KINDS = (HealthRequest, StatsRequest)
 
 
 @dataclass(frozen=True)
@@ -91,12 +131,14 @@ class DecisionReply:
         cluster: The cluster decided for.
         opp_index: The chosen OPP index (the governor's output).
         latency_s: Submit-to-reply service latency in seconds.
+        trace_id: The end-to-end correlation id of this request's path.
     """
 
     request_id: str
     cluster: str
     opp_index: int
     latency_s: float
+    trace_id: str = ""
 
 
 @dataclass(frozen=True)
@@ -110,6 +152,41 @@ class SimulationReply:
     deadline_miss_rate: float
     energy_per_qos_j: float
     latency_s: float
+    trace_id: str = ""
+
+
+@dataclass(frozen=True)
+class HealthReply:
+    """The out-of-band health answer.
+
+    Attributes:
+        request_id / trace_id: Correlation echoes.
+        status: ``"ok"`` while accepting, ``"stopped"`` once draining.
+        queue_depth: Requests currently queued.
+        workers: Worker-task count.
+        served / rejected: Lifetime totals.
+        indicators: Sliding-window numbers from
+            :func:`repro.obs.runtime.health_indicators` (empty when the
+            server has no metrics window to draw on).
+    """
+
+    request_id: str
+    status: str
+    queue_depth: int
+    workers: int
+    served: int
+    rejected: int
+    indicators: dict[str, float | None]
+    trace_id: str = ""
+
+
+@dataclass(frozen=True)
+class StatsReply:
+    """The out-of-band stats answer (raw lifetime counters)."""
+
+    request_id: str
+    stats: dict[str, int]
+    trace_id: str = ""
 
 
 @dataclass(frozen=True)
@@ -122,14 +199,17 @@ class Rejection:
             (expired while queued), ``shutdown`` (submitted after drain
             began), or ``error`` (the handler raised).
         detail: Human-readable explanation.
+        trace_id: The end-to-end correlation id, when one was stamped
+            before the rejection.
     """
 
     request_id: str
     reason: str
     detail: str = ""
+    trace_id: str = ""
 
 
-Reply = Union[DecisionReply, SimulationReply, Rejection]
+Reply = Union[DecisionReply, SimulationReply, HealthReply, StatsReply, Rejection]
 
 
 def observation_from_mapping(
@@ -195,14 +275,15 @@ def request_from_mapping(
 ) -> Request:
     """Parse one request mapping (e.g. a JSONL line).
 
-    The ``kind`` key picks the request type: ``"decision"`` (default)
-    or ``"simulate"``.
+    The ``kind`` key picks the request type: ``"decision"`` (default),
+    ``"simulate"``, ``"health"``, or ``"stats"``.
 
     Raises:
         ServeError: On an unknown kind or a malformed payload.
     """
     kind = str(data.get("kind", "decision"))
     request_id = str(data.get("request_id", ""))
+    trace_id = str(data.get("trace_id", ""))
     deadline = data.get("deadline_s")
     deadline_s = float(deadline) if deadline is not None else None
     if deadline_s is not None and deadline_s <= 0:
@@ -216,6 +297,7 @@ def request_from_mapping(
             session=str(data.get("session", "default")),
             request_id=request_id,
             deadline_s=deadline_s,
+            trace_id=trace_id,
         )
     if kind == "simulate":
         payload = data.get("spec")
@@ -225,9 +307,15 @@ def request_from_mapping(
             spec=JobSpec.from_mapping(payload),
             request_id=request_id,
             deadline_s=deadline_s,
+            trace_id=trace_id,
         )
+    if kind == "health":
+        return HealthRequest(request_id=request_id, trace_id=trace_id)
+    if kind == "stats":
+        return StatsRequest(request_id=request_id, trace_id=trace_id)
     raise ServeError(
-        f"unknown request kind {kind!r}; expected 'decision' or 'simulate'"
+        f"unknown request kind {kind!r}; expected 'decision', 'simulate', "
+        "'health', or 'stats'"
     )
 
 
@@ -237,4 +325,8 @@ def reply_to_mapping(reply: Reply) -> dict[str, Any]:
         return {"kind": "decision", **asdict(reply)}
     if isinstance(reply, SimulationReply):
         return {"kind": "simulation", **asdict(reply)}
+    if isinstance(reply, HealthReply):
+        return {"kind": "health", **asdict(reply)}
+    if isinstance(reply, StatsReply):
+        return {"kind": "stats", **asdict(reply)}
     return {"kind": "rejection", **asdict(reply)}

@@ -25,6 +25,13 @@ class QueueBackend(Protocol):
     Items are opaque to the backend; the in-process backend passes
     object references, a remote backend would serialise the protocol
     mappings (:mod:`repro.serve.protocol`).
+
+    Correlation contract: queued items carry the request's
+    ``trace_id``/``request_id`` (and, for simulation jobs, the spec's
+    ``trace_context``).  A remote backend must preserve those envelope
+    fields byte-for-byte across serialisation — the ids are how
+    ``repro trace --merge`` and the ops log stitch a request's path
+    back together once it has crossed a process boundary.
     """
 
     def put_nowait(self, item: Any) -> None:

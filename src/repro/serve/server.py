@@ -1,7 +1,7 @@
 """The asyncio policy server: worker pool, backpressure, deadlines, drain.
 
 :class:`PolicyServer` boots from a trained policy snapshot
-(:mod:`repro.core.checkpoint`) and serves the two request kinds of
+(:mod:`repro.core.checkpoint`) and serves the queued request kinds of
 :mod:`repro.serve.protocol` from a bounded queue:
 
 * decision requests are answered on the event loop itself — one greedy
@@ -9,8 +9,24 @@
   what makes the service latency comparable to the paper's
   software-policy decision path;
 * simulation requests are shipped to an executor thread around
-  :func:`repro.fleet.worker.simulate_spec`, the same measurement core
-  the fleet uses, so a served job is bit-identical to a batch row.
+  :func:`repro.fleet.worker.execute_job`, the same measurement core
+  the fleet uses, so a served job is bit-identical to a batch row —
+  and, because the job spec carries the request's
+  :class:`~repro.obs.context.TraceContext`, the executor-side flight
+  recorder tags the whole simulation with the originating trace_id.
+
+``health`` and ``stats`` requests are answered *out-of-band* at
+submission, bypassing the bounded queue entirely — an overloaded (or
+draining) service must still be able to report how overloaded it is.
+
+Correlation and ops logging: when an observability session is active or
+an :class:`~repro.obs.opslog.OpsLogger` is attached, every submitted
+request without a client-supplied ``trace_id`` gets one stamped here,
+the id is echoed on the reply, every span/instant on the request's
+path carries it, and one structured ops record (outcome, latency,
+queue wait) is appended per request.  With neither active, the
+correlation fields are pure string copies — the zero-overhead contract
+holds.
 
 Lifecycle (the cog-style setup → serve → drain → shutdown):
 
@@ -32,12 +48,15 @@ from __future__ import annotations
 
 import asyncio
 import logging
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.core.policy import RLPowerManagementPolicy
 from repro.errors import ReproError, ServeError, ServeOverloaded
 from repro.obs import OBS
+from repro.obs.context import TraceContext, bind, new_trace_id
+from repro.obs.runtime import SlidingWindow, health_indicators
 from repro.serve.config import ServeConfig
 from repro.serve.protocol import (
     REJECT_DEADLINE,
@@ -46,16 +65,23 @@ from repro.serve.protocol import (
     REJECT_SHUTDOWN,
     DecisionReply,
     DecisionRequest,
+    HealthReply,
+    HealthRequest,
     Rejection,
     Reply,
     Request,
     SimulationReply,
     SimulationRequest,
+    StatsReply,
+    StatsRequest,
 )
 from repro.serve.queue import InProcessQueue, QueueBackend
 from repro.serve.session import DecisionSession
 from repro.soc.chip import Chip
 from repro.soc.presets import PRESETS
+
+if TYPE_CHECKING:
+    from repro.obs.opslog import OpsLogger
 
 log = logging.getLogger("repro.serve")
 
@@ -73,6 +99,8 @@ class ServerStats:
 
     served_decisions: int = 0
     served_simulations: int = 0
+    served_health: int = 0
+    served_stats: int = 0
     rejected_overloaded: int = 0
     rejected_deadline: int = 0
     rejected_shutdown: int = 0
@@ -80,7 +108,21 @@ class ServerStats:
 
     @property
     def served(self) -> int:
+        """Queued requests served (out-of-band probes not included)."""
         return self.served_decisions + self.served_simulations
+
+    def as_mapping(self) -> dict[str, int]:
+        """The raw counters, for a :class:`~repro.serve.protocol.StatsReply`."""
+        return {
+            "served_decisions": self.served_decisions,
+            "served_simulations": self.served_simulations,
+            "served_health": self.served_health,
+            "served_stats": self.served_stats,
+            "rejected_overloaded": self.rejected_overloaded,
+            "rejected_deadline": self.rejected_deadline,
+            "rejected_shutdown": self.rejected_shutdown,
+            "rejected_error": self.rejected_error,
+        }
 
     @property
     def rejected(self) -> int:
@@ -111,6 +153,8 @@ class PolicyServer:
         config: Worker/queue/deadline tunables.
         queue: Queue backend; a fresh bounded
             :class:`~repro.serve.queue.InProcessQueue` when omitted.
+        ops_log: Structured ops logger; one record per request outcome
+            when attached (also activates trace-id stamping).
 
     Raises:
         ServeError: When the snapshot lacks a policy for one of the
@@ -123,6 +167,7 @@ class PolicyServer:
         chip: Chip,
         config: ServeConfig | None = None,
         queue: QueueBackend | None = None,
+        ops_log: "OpsLogger | None" = None,
     ) -> None:
         self.config = config or ServeConfig()
         missing = set(chip.cluster_names) - set(policies)
@@ -138,6 +183,10 @@ class PolicyServer:
         self._workers: list["asyncio.Task[None]"] = []
         self._pending: set["asyncio.Future[Reply]"] = set()
         self._accepting = False
+        self._ops = ops_log
+        # Health-indicator window over the live metrics registry; only
+        # fed (lazily) while an observability session is active.
+        self._window = SlidingWindow()
 
     # -- lifecycle -----------------------------------------------------
 
@@ -148,6 +197,7 @@ class PolicyServer:
         chip: Chip | str = "exynos5422",
         config: ServeConfig | None = None,
         queue: QueueBackend | None = None,
+        ops_log: "OpsLogger | None" = None,
     ) -> "PolicyServer":
         """Boot a server from a saved checkpoint directory.
 
@@ -171,7 +221,8 @@ class PolicyServer:
                     f"{sorted(PRESETS)}"
                 ) from None
         policies = load_policies(directory, chip=chip)
-        return cls(policies, chip, config=config, queue=queue)
+        return cls(policies, chip, config=config, queue=queue,
+                   ops_log=ops_log)
 
     async def start(self) -> None:
         """Spawn the worker pool and begin accepting submissions."""
@@ -238,18 +289,57 @@ class PolicyServer:
             self._sessions[session_id] = session
         return session
 
+    def _correlate(self, request: Request) -> Request:
+        """Stamp a fresh trace_id when correlation is active.
+
+        A client-supplied trace_id is always kept verbatim; with neither
+        an observability session nor an ops logger attached, the request
+        passes through untouched (zero overhead beyond two checks).
+        """
+        if request.trace_id or not (OBS.enabled or self._ops is not None):
+            return request
+        return replace(request, trace_id=new_trace_id())
+
     def submit(self, request: Request) -> "asyncio.Future[Reply]":
         """Enqueue a request; the returned future resolves to its reply.
 
         Never raises for service-level conditions: overload, shutdown,
         and deadline outcomes arrive as :class:`Rejection` replies.
+        ``health``/``stats`` requests resolve immediately — they never
+        touch the bounded queue, so they still answer under overload
+        and while draining.
         """
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[Reply]" = loop.create_future()
+        request = self._correlate(request)
+        if isinstance(request, HealthRequest):
+            future.set_result(self._serve_health(request, loop))
+            return future
+        if isinstance(request, StatsRequest):
+            future.set_result(self._serve_stats(request))
+            return future
         if not self._accepting:
             self._reject(future, request, REJECT_SHUTDOWN,
                          "server is not accepting requests")
             return future
+        if (
+            isinstance(request, SimulationRequest)
+            and request.trace_id
+            and request.spec.trace_context is None
+        ):
+            # Forward the correlation identity into the job spec so the
+            # executor thread (where contextvars do not follow) re-binds
+            # it; deliberately absent from the spec's cache identity.
+            request = replace(
+                request,
+                spec=replace(
+                    request.spec,
+                    trace_context=TraceContext(
+                        trace_id=request.trace_id,
+                        request_id=request.request_id,
+                    ),
+                ),
+            )
         deadline_s = request.deadline_s
         if deadline_s is None:
             deadline_s = self.config.default_deadline_s
@@ -271,11 +361,55 @@ class PolicyServer:
         if OBS.enabled:
             OBS.metrics.counter("serve.requests").inc()
             OBS.metrics.gauge("serve.queue_depth").set(self._queue.depth())
+            if OBS.tracer.enabled:
+                OBS.tracer.instant(
+                    "serve.request.queued", cat="serve",
+                    kind=type(request).__name__,
+                    trace_id=request.trace_id,
+                    request_id=request.request_id,
+                    depth=self._queue.depth(),
+                )
         return future
 
     async def request(self, request: Request) -> Reply:
         """Submit and wait for the reply (the one-call client path)."""
         return await self.submit(request)
+
+    # -- out-of-band (queue-bypassing) handlers ------------------------
+
+    def _serve_health(
+        self, request: HealthRequest, loop: asyncio.AbstractEventLoop
+    ) -> HealthReply:
+        """Answer a health probe from live state + the metrics window."""
+        indicators: dict[str, float | None] = {}
+        if OBS.enabled:
+            # Each probe feeds the window, so poll cadence sets the
+            # indicator resolution; the window bounds memory either way.
+            self._window.observe(OBS.metrics.snapshot(), at_s=loop.time())
+            if len(self._window) >= 2:
+                indicators = health_indicators(self._window)
+        self.stats.served_health += 1
+        self._log_ops(request, "ok", 0.0, 0.0, kind="health")
+        return HealthReply(
+            request_id=request.request_id,
+            status="ok" if self._accepting else "stopped",
+            queue_depth=self._queue.depth(),
+            workers=len(self._workers),
+            served=self.stats.served,
+            rejected=self.stats.rejected,
+            indicators=indicators,
+            trace_id=request.trace_id,
+        )
+
+    def _serve_stats(self, request: StatsRequest) -> StatsReply:
+        """Answer a stats dump from the lifetime counters."""
+        self.stats.served_stats += 1
+        self._log_ops(request, "ok", 0.0, 0.0, kind="stats")
+        return StatsReply(
+            request_id=request.request_id,
+            stats=self.stats.as_mapping(),
+            trace_id=request.trace_id,
+        )
 
     # -- workers -------------------------------------------------------
 
@@ -294,23 +428,65 @@ class PolicyServer:
     async def _handle(self, item: _Pending) -> None:
         loop = asyncio.get_running_loop()
         request = item.request
+        queue_wait_s = loop.time() - item.submitted_at
+        if OBS.enabled and OBS.tracer.enabled:
+            OBS.tracer.instant(
+                "serve.request.dequeued", cat="serve",
+                kind=type(request).__name__,
+                trace_id=request.trace_id,
+                request_id=request.request_id,
+                queue_wait_s=queue_wait_s,
+            )
         if item.deadline_at is not None and loop.time() > item.deadline_at:
             self._reject(
                 item.future, request, REJECT_DEADLINE,
                 f"deadline of {request.deadline_s or self.config.default_deadline_s} s "
                 "expired while queued",
+                queue_wait_s=queue_wait_s,
             )
             return
+        ctx = (
+            TraceContext(
+                trace_id=request.trace_id, request_id=request.request_id
+            )
+            if request.trace_id
+            else None
+        )
         try:
-            if isinstance(request, DecisionRequest):
-                reply = self._serve_decision(request, item, loop)
-            else:
-                reply = await self._serve_simulation(request, item, loop)
+            # The contextvar binding follows this task through the
+            # decision path; the executor path re-binds explicitly from
+            # the spec's trace_context inside the worker.
+            with bind(ctx):
+                if isinstance(request, DecisionRequest):
+                    reply = self._serve_decision(request, item, loop)
+                elif isinstance(request, SimulationRequest):
+                    reply = await self._serve_simulation(request, item, loop)
+                else:  # pragma: no cover - OOB kinds never enqueue
+                    raise ServeError(
+                        f"unroutable queued request {type(request).__name__}"
+                    )
         except asyncio.CancelledError:
             raise
         except ReproError as exc:
-            self._reject(item.future, request, REJECT_ERROR, str(exc))
+            self._reject(item.future, request, REJECT_ERROR, str(exc),
+                         queue_wait_s=queue_wait_s)
             return
+        self._log_ops(
+            request, "ok", reply.latency_s, queue_wait_s,
+            kind=(
+                "decision"
+                if isinstance(request, DecisionRequest)
+                else "simulation"
+            ),
+        )
+        if OBS.enabled and OBS.tracer.enabled:
+            OBS.tracer.instant(
+                "serve.request.replied", cat="serve",
+                kind=type(request).__name__,
+                trace_id=request.trace_id,
+                request_id=request.request_id,
+                latency_s=reply.latency_s,
+            )
         if not item.future.done():
             item.future.set_result(reply)
 
@@ -331,15 +507,22 @@ class PolicyServer:
             cluster=request.observation.cluster,
             opp_index=opp_index,
             latency_s=latency_s,
+            trace_id=request.trace_id,
         )
 
     async def _serve_simulation(
         self, request: SimulationRequest, item: _Pending,
         loop: asyncio.AbstractEventLoop,
     ) -> SimulationReply:
-        from repro.fleet.worker import simulate_spec
+        # execute_job, not simulate_spec: the full fleet entry re-binds
+        # the spec's trace_context in the executor thread and honours
+        # collect_metrics/trace_dir, while producing numbers that are
+        # bit-identical to a batch fleet row (it wraps the same core).
+        from repro.fleet.worker import execute_job
 
-        result = await loop.run_in_executor(None, simulate_spec, request.spec)
+        measurement = await loop.run_in_executor(
+            None, execute_job, request.spec
+        )
         latency_s = loop.time() - item.submitted_at
         self.stats.served_simulations += 1
         if OBS.enabled:
@@ -350,16 +533,17 @@ class PolicyServer:
         return SimulationReply(
             request_id=request.request_id,
             job_id=request.spec.job_id,
-            energy_j=result.total_energy_j,
-            mean_qos=result.qos.mean_qos,
-            deadline_miss_rate=result.qos.deadline_miss_rate,
-            energy_per_qos_j=result.energy_per_qos_j,
+            energy_j=measurement.energy_j,
+            mean_qos=measurement.mean_qos,
+            deadline_miss_rate=measurement.deadline_miss_rate,
+            energy_per_qos_j=measurement.energy_per_qos_j,
             latency_s=latency_s,
+            trace_id=request.trace_id,
         )
 
     def _reject(
         self, future: "asyncio.Future[Reply]", request: Request,
-        reason: str, detail: str,
+        reason: str, detail: str, queue_wait_s: float = 0.0,
     ) -> None:
         counter = {
             REJECT_OVERLOADED: "rejected_overloaded",
@@ -370,11 +554,61 @@ class PolicyServer:
         setattr(self.stats, counter, getattr(self.stats, counter) + 1)
         if OBS.enabled:
             OBS.metrics.counter(f"serve.{counter}").inc()
+        self._log_ops(
+            request, f"rejected:{reason}", 0.0, queue_wait_s, detail=detail
+        )
         if not future.done():
             future.set_result(
                 Rejection(
                     request_id=request.request_id,
                     reason=reason,
                     detail=detail,
+                    trace_id=request.trace_id,
                 )
             )
+
+    def _log_ops(
+        self,
+        request: Request,
+        outcome: str,
+        latency_s: float,
+        queue_wait_s: float,
+        kind: str | None = None,
+        detail: str = "",
+    ) -> None:
+        """Append one structured ops record, when a logger is attached.
+
+        A no-op without one — the record constructor never runs, so the
+        unlogged path pays a single attribute check.  The append itself
+        is a buffered line write (sub-millisecond); latency-critical
+        deployments can point the log at tmpfs.
+        """
+        if self._ops is None:
+            return
+        from repro.obs.opslog import ops_record
+
+        if kind is None:
+            kind = (
+                "decision"
+                if isinstance(request, DecisionRequest)
+                else "simulation"
+            )
+        extra: dict[str, str] = {}
+        if detail:
+            extra["detail"] = detail
+        if isinstance(request, DecisionRequest):
+            extra["session"] = request.session
+            extra["cluster"] = request.observation.cluster
+        elif isinstance(request, SimulationRequest):
+            extra["job_id"] = request.spec.job_id
+        self._ops.log(
+            ops_record(
+                kind=kind,
+                outcome=outcome,
+                latency_s=latency_s,
+                queue_wait_s=queue_wait_s,
+                trace_id=request.trace_id,
+                request_id=request.request_id,
+                **extra,
+            )
+        )

@@ -16,6 +16,8 @@ from __future__ import annotations
 from repro.core.policy import RLPowerManagementPolicy
 from repro.core.state import StateFeaturizer
 from repro.errors import ServeError
+from repro.obs import OBS
+from repro.obs.context import trace_args
 from repro.sim.telemetry import ClusterObservation
 from repro.soc.chip import Chip
 
@@ -82,4 +84,14 @@ class DecisionSession:
                 f"snapshot serves {self.clusters}"
             )
         self.decisions += 1
-        return policy.decide(obs)
+        action = policy.decide(obs)
+        if OBS.enabled and OBS.tracer.enabled:
+            # An instant, not a span: decisions also run inside engine
+            # spans on executor threads, and the tracer's LIFO stack
+            # must never interleave across threads of control.
+            OBS.tracer.instant(
+                "serve.session.decide", cat="serve",
+                cluster=obs.cluster, opp_index=action,
+                **trace_args(),
+            )
+        return action

@@ -25,6 +25,7 @@ from typing import Callable, Mapping
 from repro.errors import GovernorError, SimulationError
 from repro.governors.base import Governor
 from repro.obs import OBS
+from repro.obs.context import trace_args
 from repro.idle.governor import MenuIdleGovernor
 from repro.mem.dram import DRAMModel
 from repro.power.energy import EnergyMeter
@@ -208,6 +209,7 @@ class Simulator:
             tracer.begin(
                 "engine.run", cat="engine",
                 trace=self.trace.name, intervals=n_steps,
+                **trace_args(),
             )
             if tracer
             else None

@@ -92,7 +92,7 @@ class TestSelection:
         expected = {
             "RPL001", "RPL002", "RPL003", "RPL101", "RPL102",
             "RPL201", "RPL202", "RPL203", "RPL301", "RPL401", "RPL402",
-            "RPL501", "RPL601", "RPL701",
+            "RPL501", "RPL601", "RPL701", "RPL801",
         }
         assert set(all_rules()) == expected
 
@@ -726,6 +726,85 @@ class TestServeDiscipline:
     def test_catalogue_lists_rpl701(self):
         assert "RPL701" in all_rules()
         assert any(line.startswith("RPL701") for line in
+                   rule_catalogue().splitlines())
+
+
+# ---------------------------------------------------------------------------
+# Ops-log discipline (RPL801)
+# ---------------------------------------------------------------------------
+
+
+class TestOpsLogDiscipline:
+    def test_open_append_to_ops_log_path_flagged(self):
+        r = lint(
+            """\
+            import json
+
+            def save(payload):
+                with open("serve-ops-log.jsonl", "a") as fh:
+                    json.dump(payload, fh)
+            """,
+            "serve/server.py",
+        )
+        assert "RPL801" in codes(r)
+
+    def test_json_dump_to_ops_log_variable_flagged(self):
+        r = lint(
+            """\
+            import json
+
+            def save(ops_log_file, payload):
+                json.dump(payload, ops_log_file)
+            """,
+            "cli.py",
+        )
+        assert codes(r) == ["RPL801"]
+
+    def test_write_text_on_opslog_path_flagged(self):
+        r = lint(
+            "def f(opslog_path, line):\n"
+            "    opslog_path.write_text(line)\n",
+            "fleet/runner.py",
+        )
+        assert codes(r) == ["RPL801"]
+
+    def test_blessed_writer_module_exempt(self):
+        r = lint(
+            """\
+            import json
+
+            def log(self, record):
+                with self.path.open("a") as fh:
+                    fh.write(json.dumps(record) + "\\n")
+            """,
+            "obs/opslog.py",
+        )
+        assert codes(r) == []
+
+    def test_non_ops_writes_unflagged(self):
+        r = lint(
+            """\
+            import json
+
+            def save(path, payload):
+                with open(path, "w") as fh:
+                    json.dump(payload, fh)
+            """,
+            "analysis/export.py",
+        )
+        assert codes(r) == []
+
+    def test_logger_call_is_the_sanctioned_path(self):
+        r = lint(
+            "from repro.obs import OpsLogger\n"
+            "OpsLogger('ops.jsonl').log({'kind': 'decision'})\n",
+            "serve/server.py",
+        )
+        assert codes(r) == []
+
+    def test_catalogue_lists_rpl801(self):
+        assert "RPL801" in all_rules()
+        assert any(line.startswith("RPL801") for line in
                    rule_catalogue().splitlines())
 
 

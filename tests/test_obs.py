@@ -225,6 +225,48 @@ class TestHistogramQuantile:
         qs = [histogram_quantile(h, q) for q in (0.1, 0.5, 0.9, 0.99)]
         assert qs == sorted(qs)
 
+    def test_single_observation_every_q_is_that_value(self):
+        # One sample: min == max == the sample, and every quantile must
+        # collapse onto it (no interpolation artefacts off a lone point).
+        h = self._snapshot([5.0])
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert histogram_quantile(h, q) == pytest.approx(5.0)
+
+    def test_q_zero_and_one_bracket_the_data(self):
+        values = [0.3, 2.0, 7.5, 42.0]
+        h = self._snapshot(values)
+        lo = histogram_quantile(h, 0.0)
+        hi = histogram_quantile(h, 1.0)
+        assert lo <= min(values)
+        assert hi == max(values)
+        for q in (0.1, 0.5, 0.9):
+            assert lo <= histogram_quantile(h, q) <= hi
+
+    def test_quantiles_over_merged_snapshots(self):
+        # Quantiles must be computable off a merged snapshot exactly as
+        # off a single registry that saw the union of observations.
+        def snap(values):
+            reg = MetricsRegistry()
+            h = reg.histogram("h", buckets=(1.0, 10.0, 100.0))
+            for v in values:
+                h.observe(v)
+            return reg.snapshot()
+
+        a, b = [0.5, 2.0, 3.0], [20.0, 150.0]
+        merged = merge_snapshots([snap(a), snap(b)])["histograms"]["h"]
+        union = self._snapshot(a + b)
+        for q in (0.0, 0.1, 0.5, 0.9, 1.0):
+            assert histogram_quantile(merged, q) == pytest.approx(
+                histogram_quantile(union, q)
+            )
+        # Merging an empty snapshot in changes nothing.
+        padded = merge_snapshots(
+            [snap(a), snap([]), snap(b)]
+        )["histograms"]["h"]
+        assert histogram_quantile(padded, 0.5) == pytest.approx(
+            histogram_quantile(union, 0.5)
+        )
+
 
 class TestHub:
     def test_disabled_by_default(self):

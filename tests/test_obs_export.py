@@ -198,6 +198,47 @@ class TestPrometheus:
             assert name[0].isalpha() or name[0] == "_"
             assert all(c.isalnum() or c == "_" for c in name)
 
+    def test_constant_labels_attach_to_every_series(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs").inc()
+        reg.histogram("lat", buckets=(1.0,)).observe(0.5)
+        text = prometheus_text(reg, labels={"job": "serve", "host": "a"})
+        # Sorted label keys, merged with `le` on buckets.
+        assert 'repro_jobs{host="a",job="serve"} 1' in text
+        assert 'repro_lat_bucket{host="a",job="serve",le="1"} 1' in text
+        assert 'repro_lat_bucket{host="a",job="serve",le="+Inf"} 1' in text
+        assert 'repro_lat_sum{host="a",job="serve"}' in text
+        assert 'repro_lat_count{host="a",job="serve"} 1' in text
+
+    def test_hostile_label_values_are_escaped(self):
+        """Backslashes, quotes, and newlines in label values must escape
+        per the exposition format: \\ -> \\\\, " -> \\", newline -> \\n.
+        """
+        reg = MetricsRegistry()
+        reg.counter("jobs").inc()
+        text = prometheus_text(
+            reg,
+            labels={"path": 'C:\\tmp\\"x"', "note": "line1\nline2"},
+        )
+        line = next(
+            ln for ln in text.splitlines() if ln.startswith("repro_jobs{")
+        )
+        assert "\n" not in line  # a raw newline would split the series
+        assert '\\n' in line
+        assert 'path="C:\\\\tmp\\\\\\"x\\""' in line
+        assert 'note="line1\\nline2"' in line
+
+    def test_hostile_label_names_are_sanitised(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs").inc()
+        text = prometheus_text(reg, labels={'0bad"name': "v"})
+        line = next(
+            ln for ln in text.splitlines() if ln.startswith("repro_jobs{")
+        )
+        label_name = line.split("{")[1].split("=")[0]
+        assert label_name[0].isalpha() or label_name[0] == "_"
+        assert all(c.isalnum() or c == "_" for c in label_name)
+
 
 def _trace_with_epoch(pid: int, epoch_us: float, name: str):
     tracer = Tracer()

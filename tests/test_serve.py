@@ -612,6 +612,59 @@ class TestServeCli:
         assert reply["kind"] == "decision"
         assert isinstance(reply["opp_index"], int)
 
+    def test_decide_prints_correlation_ids(self, checkpoint, capsys):
+        chip = tiny_test_chip()
+        rc = main([
+            "decide", "--checkpoint", str(checkpoint), "--chip", "tiny",
+            "--observation",
+            json.dumps({"cluster": chip.cluster_names[0],
+                        "utilization": 0.4}),
+        ])
+        assert rc == 0
+        captured = capsys.readouterr()
+        reply = json.loads(captured.out.splitlines()[0])
+        # The reply always carries a client-stamped trace id...
+        assert len(reply["trace_id"]) == 16
+        # ...and stderr names it so the run joins against server logs.
+        assert f"trace_id={reply['trace_id']}" in captured.err
+
+    def test_decide_echoes_supplied_trace_id(
+        self, checkpoint, tmp_path, capsys
+    ):
+        chip = tiny_test_chip()
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(json.dumps({
+            "kind": "decision", "request_id": "r1",
+            "trace_id": "feedfacecafebeef",
+            "observation": {"cluster": chip.cluster_names[0],
+                            "utilization": 0.5},
+        }) + "\n")
+        rc = main([
+            "decide", "--checkpoint", str(checkpoint), "--chip", "tiny",
+            "--requests", str(requests),
+        ])
+        assert rc == 0
+        reply = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert reply["trace_id"] == "feedfacecafebeef"
+
+    def test_serve_writes_ops_log(self, checkpoint, tmp_path, capsys):
+        requests = self.write_requests(
+            tmp_path / "requests.jsonl", tiny_test_chip()
+        )
+        ops_log = tmp_path / "ops.jsonl"
+        rc = main([
+            "serve", "--checkpoint", str(checkpoint), "--chip", "tiny",
+            "--requests", str(requests), "--ops-log", str(ops_log),
+        ])
+        assert rc == 0
+        assert "ops log: 4 record(s)" in capsys.readouterr().err
+        records = [
+            json.loads(line) for line in ops_log.read_text().splitlines()
+        ]
+        assert len(records) == 4
+        assert all(r["outcome"] == "ok" for r in records)
+        assert all(r["trace_id"] for r in records)
+
     def test_decide_requires_input(self, checkpoint, capsys):
         rc = main([
             "decide", "--checkpoint", str(checkpoint), "--chip", "tiny",
