@@ -832,10 +832,14 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print(lint.rule_catalogue())
         return 0
     paths = args.paths or ["src"]
-    result = lint.check_paths(
+    result = lint.analyze_paths(
         paths,
         select=args.select.split(",") if args.select else None,
         ignore=args.ignore.split(",") if args.ignore else None,
+        jobs=args.jobs,
+        flow=args.flow,
+        cache=not args.no_lintcache,
+        cache_dir=args.lintcache_dir,
     )
     findings = result.findings
     accepted = 0
@@ -856,6 +860,15 @@ def _cmd_check(args: argparse.Namespace) -> int:
         findings = split.new
         accepted = len(split.accepted)
         stale = len(split.stale)
+    statistics = None
+    if args.statistics:
+        statistics = lint.build_statistics(
+            findings,
+            files_checked=result.files_checked,
+            cache_hits=result.cache_hits,
+            cache_misses=result.cache_misses,
+            flow=result.flow,
+        )
     report = lint.render(
         args.format,
         findings,
@@ -863,6 +876,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         suppressed=len(result.suppressed),
         accepted=accepted,
         stale=stale,
+        statistics=statistics,
     )
     if report:
         print(report)
@@ -874,6 +888,28 @@ def _cmd_check(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 1 if findings else 0
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    from repro import lint
+    from repro.lint.flow import CallGraph, ImportGraph
+
+    result = lint.analyze_paths(
+        args.paths or ["src"],
+        jobs=args.jobs,
+        flow=False,
+        cache=not args.no_lintcache,
+        cache_dir=args.lintcache_dir,
+    )
+    project = result.project
+    assert project is not None  # analyze_paths always assembles one
+    graph = (
+        ImportGraph(project)
+        if args.graph_command == "imports"
+        else CallGraph(project)
+    )
+    print(graph.to_json() if args.format == "json" else graph.to_dot())
+    return 0
 
 
 def _polarity_overrides(args: argparse.Namespace) -> dict[str, str] | None:
@@ -1336,7 +1372,46 @@ def build_parser() -> argparse.ArgumentParser:
                               "baseline file and exit 0")
     check_p.add_argument("--list-rules", action="store_true",
                          help="print the rule catalogue and exit")
+    check_p.add_argument("--flow", action=argparse.BooleanOptionalAction,
+                         default=True,
+                         help="run the whole-program RPL9xx rules "
+                              "(default: on; --no-flow for per-file only)")
+    check_p.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for per-file analysis")
+    check_p.add_argument("--statistics", action="store_true",
+                         help="append per-rule/per-file counts and "
+                              "cache traffic to the report")
+    check_p.add_argument("--no-lintcache", action="store_true",
+                         help="do not read or write the lint summary cache")
+    check_p.add_argument("--lintcache-dir", default=None, metavar="DIR",
+                         help="lint-cache directory (default: "
+                              "$REPRO_LINTCACHE_DIR or .repro/lintcache)")
     check_p.set_defaults(func=_cmd_check)
+
+    graph_p = sub.add_parser(
+        "graph", parents=[common],
+        help="render the whole-program import or call graph",
+    )
+    graph_sub = graph_p.add_subparsers(dest="graph_command", required=True)
+    for kind, blurb in (
+        ("imports", "module import graph (dashed edges = deferred)"),
+        ("calls", "name-resolved function call graph"),
+    ):
+        kind_p = graph_sub.add_parser(kind, parents=[common], help=blurb)
+        kind_p.add_argument("paths", nargs="*",
+                            help="files or directories (default: src)")
+        kind_p.add_argument("--format", default="dot",
+                            choices=("dot", "json"),
+                            help="output format (default: dot)")
+        kind_p.add_argument("--jobs", type=int, default=1,
+                            help="worker processes for per-file analysis")
+        kind_p.add_argument("--no-lintcache", action="store_true",
+                            help="do not read or write the lint summary "
+                                 "cache")
+        kind_p.add_argument("--lintcache-dir", default=None, metavar="DIR",
+                            help="lint-cache directory (default: "
+                                 "$REPRO_LINTCACHE_DIR or .repro/lintcache)")
+        kind_p.set_defaults(func=_cmd_graph)
 
     cache_p = sub.add_parser(
         "cache", parents=[common],

@@ -8,19 +8,30 @@ never-swallow-a-worker-failure exception policy.  This package encodes
 each as an AST rule with a stable ``RPLnnn`` code and gates them behind
 ``repro check``.
 
+Beyond the per-file rules, ``repro check --flow`` (the default) runs
+the whole-program RPL9xx family (:mod:`repro.lint.flow`): architecture
+layering against a declared layer DAG, interprocedural determinism
+taint from the simulation/training entry points, asyncio shared-state
+hazards, and transitive blocking calls.  Per-file analyses are
+content-addressed in ``.repro/lintcache`` so warm runs re-parse only
+edited files, and ``--jobs N`` fans cold files over a process pool.
+
 Typical use::
 
     repro check src/                         # human output, exit 1 on findings
     repro check src/ --format json           # machine report
     repro check src/ --select RPL0 --ignore RPL003
+    repro check src/ --jobs 4 --statistics   # parallel + run statistics
+    repro check src/ --no-flow               # per-file rules only
     repro check src/ --write-baseline        # accept current findings
     repro check src/ --baseline lint-baseline.json   # the CI gate
+    repro graph imports --format dot         # the project import graph
 
 Library API::
 
-    from repro.lint import check_paths, check_source
+    from repro.lint import analyze_paths, check_paths, check_source
 
-    result = check_paths(["src/repro"])
+    result = analyze_paths(["src/repro"], jobs=4)
     for finding in result.findings:
         print(finding.location(), finding.code, finding.message)
 
@@ -30,7 +41,9 @@ workflow live in ``docs/static-analysis.md``.
 """
 
 from repro.lint.baseline import Baseline, BaselineResult, filter_findings
+from repro.lint.driver import AnalysisResult, analyze_paths
 from repro.lint.engine import (
+    LINT_ENGINE_VERSION,
     CheckResult,
     FileResult,
     ImportMap,
@@ -48,6 +61,7 @@ from repro.lint.engine import (
 from repro.lint.findings import Finding
 from repro.lint.output import (
     FORMATS,
+    build_statistics,
     render,
     render_github,
     render_json,
@@ -56,6 +70,7 @@ from repro.lint.output import (
 )
 
 __all__ = [
+    "AnalysisResult",
     "Baseline",
     "BaselineResult",
     "CheckResult",
@@ -63,9 +78,12 @@ __all__ = [
     "FileResult",
     "Finding",
     "ImportMap",
+    "LINT_ENGINE_VERSION",
     "LintContext",
     "Rule",
     "all_rules",
+    "analyze_paths",
+    "build_statistics",
     "check_paths",
     "check_source",
     "filter_findings",

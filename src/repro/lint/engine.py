@@ -29,13 +29,21 @@ test fixture at ``/tmp/x/sim/engine.py`` all match the ``sim/`` scope.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
 from repro.errors import LintError
 from repro.lint.findings import Finding
+
+#: Version of the analysis semantics (rules, summaries, resolution).
+#: Participates in every lint-cache key, so bumping it invalidates all
+#: cached per-file analyses at once — bump on any change that could
+#: alter findings or module summaries for unchanged source.
+LINT_ENGINE_VERSION = "1"
 
 _NOQA_RE = re.compile(
     r"#\s*noqa(?::\s*(?P<codes>[A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*))?",
@@ -270,24 +278,38 @@ def select_rules(
 def noqa_map(source: str) -> dict[int, set[str] | None]:
     """Per-line suppressions: ``None`` means all codes, a set means those.
 
-    Only simple trailing-comment noqa is recognised (the same contract
-    flake8 uses); a bare ``# noqa`` silences every rule on its line.
+    Only real trailing ``# noqa`` *comments* are recognised (the same
+    contract flake8 uses) — the source is tokenised so a noqa mentioned
+    inside a string or docstring does not count.  A bare ``# noqa``
+    silences every rule on its line.  Unparsable source falls back to
+    raw line scanning.
     """
     out: dict[int, set[str] | None] = {}
-    for i, line in enumerate(source.splitlines(), start=1):
-        if "#" not in line:
-            continue
-        m = _NOQA_RE.search(line)
+
+    def record(line_no: int, text: str) -> None:
+        m = _NOQA_RE.search(text)
         if not m:
-            continue
+            return
         codes = m.group("codes")
         if codes is None:
-            out[i] = None
+            out[line_no] = None
         else:
             parsed = {c.strip().upper() for c in codes.split(",")}
-            existing = out.get(i)
-            out[i] = parsed if existing is None else parsed | (existing or set())
-    return out
+            existing = out.get(line_no)
+            out[line_no] = parsed if existing is None else parsed | existing
+
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                record(tok.start[0], tok.string)
+        return out
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        out.clear()
+        for i, line in enumerate(source.splitlines(), start=1):
+            if "#" in line:
+                record(i, line)
+        return out
 
 
 def _apply_noqa(
@@ -414,29 +436,28 @@ def check_paths(
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
     project_root: str | Path | None = None,
+    jobs: int = 1,
 ) -> CheckResult:
-    """Lint every Python file under ``paths``.
+    """Lint every Python file under ``paths`` (per-file rules only).
 
     ``project_root`` defaults to the common parent that contains the
     first path — good enough for ``repro check src/`` from a checkout.
+    Delegates to the analysis driver (:mod:`repro.lint.driver`), which
+    also provides the whole-program ``--flow`` mode and the summary
+    cache; this entry point keeps the historical contract — per-file
+    rules, no cache I/O — while gaining ``jobs`` parallelism.
     """
-    files = list(iter_python_files(paths))
-    if project_root is None and files:
-        project_root = _guess_project_root(files[0])
-    findings: list[Finding] = []
-    suppressed: list[Finding] = []
-    for f in files:
-        result = check_source(
-            f.read_text(encoding="utf-8"),
-            str(f),
-            select=select,
-            ignore=ignore,
-            project_root=project_root,
-        )
-        findings.extend(result.findings)
-        suppressed.extend(result.suppressed)
-    return CheckResult(
-        findings=findings, suppressed=suppressed, files_checked=len(files)
+    # Deferred import: the driver imports the engine.
+    from repro.lint.driver import analyze_paths
+
+    return analyze_paths(
+        paths,
+        select=select,
+        ignore=ignore,
+        project_root=project_root,
+        jobs=jobs,
+        flow=False,
+        cache=False,
     )
 
 

@@ -1,0 +1,76 @@
+"""repro.lint.flow — whole-program analysis behind ``repro check --flow``.
+
+The per-file rules (RPL001–801) see one AST at a time, so a helper two
+modules away that calls ``time.time()`` on behalf of ``sim.engine.run``
+is invisible to RPL001, and nothing stops ``sim/`` from quietly
+importing ``serve/``.  This package closes that gap in three stages:
+
+1. **Summaries** (:mod:`repro.lint.flow.summary`) — one compact,
+   JSON-serialisable :class:`ModuleSummary` per file: imports (with
+   deferral), defined functions, resolved outgoing calls,
+   nondeterminism / blocking-I/O sources, and ``self.*``-mutation vs
+   ``await`` ordering in async methods.
+2. **Graphs** (:mod:`repro.lint.flow.graphs`) — a project import graph
+   and a name-resolution-based call graph assembled from the summaries,
+   with cycle detection and reachability.
+3. **Rules** (:mod:`repro.lint.flow.rules`) — the RPL9xx family run
+   over the graphs: RPL901 architecture layering (the DAG lives in
+   :mod:`repro.lint.flow.layers`), RPL902 interprocedural determinism
+   taint, RPL903 asyncio shared-state hazards, RPL904 transitive
+   blocking calls.
+
+Summaries are content-addressed (:mod:`repro.lint.flow.cache`) under
+``.repro/lintcache`` — keyed by source hash + lint-engine version,
+mirroring the run cache's discipline — so a warm ``repro check --flow``
+re-parses only edited files.
+"""
+
+from repro.lint.flow.cache import (
+    DEFAULT_LINTCACHE_DIR,
+    LINTCACHE_ENV_VAR,
+    CachedAnalysis,
+    SummaryCache,
+    extra_inputs_digest,
+    resolve_lintcache_dir,
+)
+from repro.lint.flow.graphs import CallGraph, ImportGraph, Project
+from repro.lint.flow.layers import LAYER_RANKS, LAYERS, layer_of
+from repro.lint.flow.rules import FLOW_CODES, FlowRule, check_project
+from repro.lint.flow.summary import (
+    SUMMARY_SCHEMA,
+    AwaitHazard,
+    CallSite,
+    FunctionSummary,
+    Hazard,
+    ImportRecord,
+    ModuleSummary,
+    module_name,
+    summarize_source,
+)
+
+__all__ = [
+    "AwaitHazard",
+    "CachedAnalysis",
+    "CallGraph",
+    "CallSite",
+    "DEFAULT_LINTCACHE_DIR",
+    "FLOW_CODES",
+    "FlowRule",
+    "FunctionSummary",
+    "Hazard",
+    "ImportGraph",
+    "ImportRecord",
+    "LAYERS",
+    "LAYER_RANKS",
+    "LINTCACHE_ENV_VAR",
+    "ModuleSummary",
+    "Project",
+    "SUMMARY_SCHEMA",
+    "SummaryCache",
+    "check_project",
+    "extra_inputs_digest",
+    "layer_of",
+    "module_name",
+    "resolve_lintcache_dir",
+    "summarize_source",
+]

@@ -1,0 +1,366 @@
+"""The RPL9xx whole-program rule family.
+
+These rules run over an assembled :class:`~repro.lint.flow.graphs.Project`
+rather than one file's AST — the per-file engine registers them (so
+``--select``/``--ignore``/``--list-rules`` treat them like any other
+rule) but their :meth:`~repro.lint.engine.Rule.run` is a no-op; the
+flow driver calls :func:`check_project` instead.
+
+* **RPL901** — architecture layering: an import whose target sits in a
+  *higher* layer of the declared DAG (:mod:`repro.lint.flow.layers`),
+  plus module-level import cycles.  ``sim/``, ``rl/``, ``hw/``,
+  ``governors/`` can never reach ``serve/``, ``fleet/`` or the CLI.
+* **RPL902** — interprocedural determinism taint: RPL001/RPL002
+  sources propagated transitively to any function reachable from
+  ``sim.engine``'s run loop or the trainer, across module boundaries
+  and *outside* the per-file determinism scope (inside it, RPL001/002
+  already own the finding).
+* **RPL903** — asyncio shared-state hazards in ``serve/``: a
+  ``self.*`` attribute accessed before an ``await`` and written after
+  it in the same async function, without a lock — two handler
+  instances interleave exactly at awaits.
+* **RPL904** — transitive blocking calls: RPL701 made
+  interprocedural; an async handler in ``serve/`` that reaches
+  ``time.sleep`` / sync file I/O through one or more sync helpers,
+  possibly in other modules.
+
+Findings are anchored at real source positions (the offending import,
+the nondeterministic call, the first hop into a blocking chain), so
+``# noqa`` and the baseline treat them exactly like per-file findings.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import Rule, register
+from repro.lint.findings import Finding
+from repro.lint.flow.graphs import CallGraph, ImportGraph, Project
+from repro.lint.flow.layers import layer_of
+from repro.lint.flow.summary import Hazard, ModuleSummary
+
+#: Call-graph roots for the determinism taint: the simulation run loop
+#: and the training loops the headline numbers come from.
+ENTRY_POINTS: tuple[str, ...] = (
+    "sim.engine.Simulator.run",
+    "sim.engine.run",
+    "core.trainer.train_policy",
+    "core.trainer.train_curriculum",
+)
+
+
+class FlowRule(Rule):
+    """Base class for whole-program rules.
+
+    Registered in the normal rule registry for selection/catalogue
+    purposes, but inert per file — subclasses implement
+    :meth:`check_project` and the flow driver invokes it once per run.
+    """
+
+    def run(self) -> None:
+        """Per-file pass: nothing to do (whole-program rules)."""
+
+    @classmethod
+    def check_project(
+        cls, project: Project, imports: ImportGraph, calls: CallGraph
+    ) -> list[Finding]:
+        raise NotImplementedError
+
+    @classmethod
+    def _finding(
+        cls, summary: ModuleSummary, line: int, message: str
+    ) -> Finding:
+        return Finding(
+            path=summary.path,
+            line=line,
+            col=0,
+            code=cls.code,
+            message=message,
+            rule=cls.name,
+            line_text=summary.line_text(line),
+        )
+
+
+@register
+class LayeringRule(FlowRule):
+    """RPL901: imports must respect the declared layer DAG."""
+
+    code = "RPL901"
+    name = "flow.layering"
+    summary = (
+        "import from a higher architecture layer (or a module-level "
+        "import cycle); the layer DAG lives in repro.lint.flow.layers"
+    )
+
+    @classmethod
+    def check_project(
+        cls, project: Project, imports: ImportGraph, calls: CallGraph
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for edge in imports.edges:
+            src_layer = layer_of(edge.src)
+            dst_layer = layer_of(edge.dst)
+            if src_layer is None or dst_layer is None:
+                continue
+            src_name, src_rank = src_layer
+            dst_name, dst_rank = dst_layer
+            if dst_rank <= src_rank:
+                continue
+            summary = project.summaries[edge.src]
+            how = "deferred import of" if edge.deferred else "imports"
+            findings.append(
+                cls._finding(
+                    summary,
+                    edge.line,
+                    f"{edge.src} (layer {src_name}, rank {src_rank}) "
+                    f"{how} {edge.dst} (layer {dst_name}, rank "
+                    f"{dst_rank}); lower layers must stay importable "
+                    "without the execution machinery above them",
+                )
+            )
+        for cycle in imports.cycles():
+            anchor = cycle[0]
+            summary = project.summaries[anchor]
+            # Anchor at the import in `anchor` that participates in the
+            # cycle, falling back to line 1.
+            members = set(cycle)
+            line = 1
+            for edge in imports.edges:
+                if edge.src == anchor and edge.dst in members and not edge.deferred:
+                    line = edge.line
+                    break
+            chain = " -> ".join([*cycle, cycle[0]])
+            findings.append(
+                cls._finding(
+                    summary,
+                    line,
+                    f"module-level import cycle: {chain}; break it with a "
+                    "deferred import or by moving the shared piece down a "
+                    "layer",
+                )
+            )
+        return findings
+
+
+@register
+class TaintRule(FlowRule):
+    """RPL902: determinism taint reachable from the sim/training loops."""
+
+    code = "RPL902"
+    name = "flow.determinism-taint"
+    summary = (
+        "wall-clock/global-RNG call reachable from sim.engine.run or "
+        "the trainer through the call graph, outside RPL001/002's "
+        "per-file scope"
+    )
+
+    @classmethod
+    def check_project(
+        cls, project: Project, imports: ImportGraph, calls: CallGraph
+    ) -> list[Finding]:
+        from repro.lint.rules.determinism import WallClockRule
+
+        roots = [
+            fn_id
+            for fn_id in calls.index
+            if any(
+                fn_id == entry or fn_id.endswith(f".{entry}")
+                for entry in ENTRY_POINTS
+            )
+        ]
+        parents = calls.reachable(roots)
+        findings: list[Finding] = []
+        for fn_id in sorted(parents):
+            module, fn = calls.index[fn_id]
+            if not fn.nondet:
+                continue
+            summary = project.summaries[module]
+            if WallClockRule.applies_to(summary.module_path):
+                # The per-file determinism rules own this file; flow
+                # would only duplicate (or resurrect noqa'd) findings.
+                continue
+            chain = CallGraph.chain(parents, fn_id)
+            chain_text = " -> ".join(chain)
+            for hazard in fn.nondet:
+                source = (
+                    "the wall clock"
+                    if hazard.code == "RPL001"
+                    else "global/unseeded RNG state"
+                )
+                findings.append(
+                    cls._finding(
+                        summary,
+                        hazard.line,
+                        f"{hazard.origin}() depends on {source} and is "
+                        f"reachable from the simulation/training loop: "
+                        f"{chain_text} (suppressed nowhere on the way); "
+                        "simulated results must be a pure function of "
+                        "spec and seeds [propagates RPL001/002 "
+                        f"interprocedurally, via {hazard.code}]",
+                    )
+                )
+        return findings
+
+
+@register
+class AwaitStateRule(FlowRule):
+    """RPL903: ``self.*`` mutation spanning an await in serve handlers."""
+
+    code = "RPL903"
+    name = "flow.await-shared-state"
+    summary = (
+        "self.* attribute accessed before an await and written after "
+        "it in a serve/ async function without a lock; handlers "
+        "interleave at awaits"
+    )
+
+    @classmethod
+    def check_project(
+        cls, project: Project, imports: ImportGraph, calls: CallGraph
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for module in sorted(project.summaries):
+            summary = project.summaries[module]
+            if not summary.module_path.startswith("serve/"):
+                continue
+            for fn in summary.functions:
+                for hazard in fn.await_hazards:
+                    findings.append(
+                        cls._finding(
+                            summary,
+                            hazard.write_line,
+                            f"self.{hazard.attr} is written here after an "
+                            f"await (line {hazard.await_line}) and was "
+                            f"accessed before it (line {hazard.first_line}) "
+                            f"in {fn.qualname}; another handler can "
+                            "interleave at the await — guard it with a "
+                            "lock or restructure to a single assignment",
+                        )
+                    )
+        return findings
+
+
+@register
+class TransitiveBlockingRule(FlowRule):
+    """RPL904: blocking I/O reached from serve handlers via sync helpers."""
+
+    code = "RPL904"
+    name = "flow.transitive-blocking"
+    summary = (
+        "async serve/ handler reaches time.sleep or sync file I/O "
+        "through sync helpers (RPL701, made interprocedural)"
+    )
+
+    @classmethod
+    def check_project(
+        cls, project: Project, imports: ImportGraph, calls: CallGraph
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        seen: set[tuple[str, int, str, int]] = set()
+        for module in sorted(project.summaries):
+            summary = project.summaries[module]
+            if not summary.module_path.startswith("serve/"):
+                continue
+            for fn in summary.functions:
+                if not fn.is_async:
+                    continue
+                src_id = f"{module}.{fn.qualname}"
+                for first_hop in calls.callees(src_id):
+                    target = calls.index.get(first_hop.dst)
+                    if target is None or target[1].is_async:
+                        continue
+                    hit = cls._find_blocking(calls, first_hop.dst)
+                    if hit is None:
+                        continue
+                    chain, hazard_fn, hazard = hit
+                    key = (src_id, first_hop.line, hazard_fn, hazard.line)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    hazard_path = project.summaries[
+                        calls.index[hazard_fn][0]
+                    ].path
+                    op = (
+                        "time.sleep"
+                        if hazard.code == "sleep"
+                        else f"sync file I/O ({hazard.origin})"
+                    )
+                    chain_text = " -> ".join([src_id, *chain])
+                    findings.append(
+                        cls._finding(
+                            summary,
+                            first_hop.line,
+                            f"this call chain blocks the serve event "
+                            f"loop: {chain_text} performs {op} at "
+                            f"{hazard_path}:{hazard.line}; ship the sync "
+                            "work to a thread via loop.run_in_executor",
+                        )
+                    )
+        return findings
+
+    @classmethod
+    def _find_blocking(
+        cls, calls: CallGraph, start: str
+    ) -> tuple[list[str], str, Hazard] | None:
+        """BFS through sync callees for the nearest blocking hazard.
+
+        Returns (chain from ``start`` to the hazard's function, hazard
+        function id, hazard) or ``None``.
+        """
+        parents: dict[str, tuple[str, int] | None] = {start: None}
+        frontier = [start]
+        while frontier:
+            next_frontier: list[str] = []
+            for node in frontier:
+                entry = calls.index.get(node)
+                if entry is None:
+                    continue
+                _module, fn = entry
+                if fn.blocking:
+                    chain = CallGraph.chain(parents, node)
+                    return chain, node, fn.blocking[0]
+                for edge in calls.callees(node):
+                    target = calls.index.get(edge.dst)
+                    if (
+                        target is None
+                        or target[1].is_async
+                        or edge.dst in parents
+                    ):
+                        continue
+                    parents[edge.dst] = (node, edge.line)
+                    next_frontier.append(edge.dst)
+            frontier = next_frontier
+        return None
+
+
+#: The whole-program rules, in code order — the driver iterates this.
+FLOW_RULES: tuple[type[FlowRule], ...] = (
+    LayeringRule,
+    TaintRule,
+    AwaitStateRule,
+    TransitiveBlockingRule,
+)
+
+FLOW_CODES: frozenset[str] = frozenset(rule.code for rule in FLOW_RULES)
+
+
+def check_project(
+    project: Project, codes: frozenset[str] | set[str] | None = None
+) -> list[Finding]:
+    """Run the (selected) flow rules over an assembled project.
+
+    Args:
+        project: Summaries of every file in the run.
+        codes: Optional allow-set of rule codes (the driver passes the
+            effective ``--select``/``--ignore`` expansion).
+
+    Returns raw findings — ``# noqa`` suppression is the driver's job,
+    using each summary's suppression map.
+    """
+    imports = ImportGraph(project)
+    calls = CallGraph(project)
+    findings: list[Finding] = []
+    for rule_cls in FLOW_RULES:
+        if codes is not None and rule_cls.code not in codes:
+            continue
+        findings.extend(rule_cls.check_project(project, imports, calls))
+    findings.sort()
+    return findings

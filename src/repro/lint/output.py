@@ -20,6 +20,30 @@ from repro.lint.findings import Finding
 FORMATS = ("text", "json", "github")
 
 
+def build_statistics(
+    findings: list[Finding],
+    *,
+    files_checked: int = 0,
+    cache_hits: int = 0,
+    cache_misses: int = 0,
+    flow: bool = False,
+) -> dict[str, object]:
+    """The ``--statistics`` payload: per-rule and per-file counts plus
+    how much work the run actually did (files checked, cache traffic).
+    """
+    by_path: dict[str, int] = {}
+    for f in findings:
+        by_path[f.path] = by_path.get(f.path, 0) + 1
+    return {
+        "files_checked": files_checked,
+        "cache_hits": cache_hits,
+        "cache_misses": cache_misses,
+        "flow": flow,
+        "by_code": _by_code(findings),
+        "by_path": dict(sorted(by_path.items())),
+    }
+
+
 def render_text(
     findings: list[Finding],
     *,
@@ -27,6 +51,7 @@ def render_text(
     suppressed: int = 0,
     accepted: int = 0,
     stale: int = 0,
+    statistics: dict[str, object] | None = None,
 ) -> str:
     """The human report: findings, then a one-line summary."""
     lines = [f"{f.location()}: {f.code} {f.message}" for f in findings]
@@ -49,6 +74,28 @@ def render_text(
     if stale:
         tail.append(f"{stale} stale baseline entries")
     lines.append(", ".join(tail))
+    if statistics is not None:
+        lines.append("")
+        lines.append("statistics:")
+        lines.append(f"  files checked: {statistics['files_checked']}")
+        lines.append(
+            f"  cache: {statistics['cache_hits']} hits, "
+            f"{statistics['cache_misses']} misses"
+        )
+        lines.append(
+            "  flow rules: "
+            + ("on" if statistics.get("flow") else "off")
+        )
+        by_code = statistics.get("by_code") or {}
+        if isinstance(by_code, dict) and by_code:
+            lines.append("  findings by code:")
+            for code, n in by_code.items():
+                lines.append(f"    {code}: {n}")
+        by_path = statistics.get("by_path") or {}
+        if isinstance(by_path, dict) and by_path:
+            lines.append("  findings by file:")
+            for path, n in by_path.items():
+                lines.append(f"    {path}: {n}")
     return "\n".join(lines)
 
 
@@ -59,9 +106,10 @@ def render_json(
     suppressed: int = 0,
     accepted: int = 0,
     stale: int = 0,
+    statistics: dict[str, object] | None = None,
 ) -> str:
     """The machine report (stable schema; CI artifact)."""
-    payload = {
+    payload: dict[str, object] = {
         "version": 1,
         "findings": [f.to_mapping() for f in findings],
         "summary": {
@@ -73,10 +121,17 @@ def render_json(
             "by_code": _by_code(findings),
         },
     }
+    if statistics is not None:
+        payload["statistics"] = statistics
     return json.dumps(payload, indent=2)
 
 
-def render_github(findings: list[Finding], **_: int) -> str:
+def render_github(
+    findings: list[Finding],
+    *,
+    statistics: dict[str, object] | None = None,
+    **_: int,
+) -> str:
     """GitHub Actions annotations, one ``::error`` command per finding."""
     lines = []
     for f in findings:
@@ -85,16 +140,37 @@ def render_github(findings: list[Finding], **_: int) -> str:
             f"::error file={f.path},line={f.line},col={f.col + 1},"
             f"title={f.code} {f.rule}::{message}"
         )
+    if statistics is not None:
+        by_code = statistics.get("by_code") or {}
+        codes = (
+            " ".join(f"{c}={n}" for c, n in by_code.items())
+            if isinstance(by_code, dict)
+            else ""
+        )
+        lines.append(
+            "::notice title=repro check statistics::"
+            f"files={statistics['files_checked']} "
+            f"cache_hits={statistics['cache_hits']} "
+            f"cache_misses={statistics['cache_misses']} "
+            f"flow={'on' if statistics.get('flow') else 'off'}"
+            + (f" {codes}" if codes else "")
+        )
     return "\n".join(lines)
 
 
-def render(fmt: str, findings: list[Finding], **stats: int) -> str:
+def render(
+    fmt: str,
+    findings: list[Finding],
+    *,
+    statistics: dict[str, object] | None = None,
+    **stats: int,
+) -> str:
     """Dispatch on a ``--format`` value."""
     return {
         "text": render_text,
         "json": render_json,
         "github": render_github,
-    }[fmt](findings, **stats)
+    }[fmt](findings, statistics=statistics, **stats)
 
 
 def rule_catalogue() -> str:

@@ -13,8 +13,15 @@ Rule code families:
 * ``RPL7xx`` — serve-loop discipline
   (:mod:`repro.lint.rules.asyncblocking`)
 * ``RPL8xx`` — ops-log discipline (:mod:`repro.lint.rules.opslog`)
+* ``RPL90x`` — whole-program flow analysis
+  (:mod:`repro.lint.flow.rules`): architecture layering,
+  interprocedural determinism taint, asyncio shared-state hazards,
+  transitive blocking calls
+* ``RPL910`` — suppression hygiene
+  (:mod:`repro.lint.rules.suppressions`)
 """
 
+from repro.lint.flow import rules as _flow_rules  # noqa: F401
 from repro.lint.rules import (  # noqa: F401
     asyncblocking,
     cachedir,
@@ -24,5 +31,6 @@ from repro.lint.rules import (  # noqa: F401
     obsguard,
     opslog,
     perfledger,
+    suppressions,
     units,
 )

@@ -140,7 +140,10 @@ def job_record_from_event(event: "FleetEvent") -> dict[str, Any] | None:
     ``JobCached``, and *final* ``JobFailed`` — so a retried job logs
     once, with its last outcome.
     """
-    from repro.fleet.events import JobCached, JobDone, JobFailed
+    # Deliberate upward reach: this adapter exists precisely to translate
+    # fleet events into ops records, and the deferred import keeps obs
+    # importable (and zero-cost) without the fleet machinery loaded.
+    from repro.fleet.events import JobCached, JobDone, JobFailed  # noqa: RPL901
 
     if isinstance(event, JobDone):
         return ops_record(

@@ -263,7 +263,10 @@ class PolicyServer:
             worker.cancel()
         if self._workers:
             await asyncio.gather(*self._workers, return_exceptions=True)
-        self._workers = []
+        # Benign await-spanning write: shutdown() runs once, on the owner
+        # task, after every worker has been cancelled and awaited — no
+        # concurrent mutator of _workers can exist at this point.
+        self._workers = []  # noqa: RPL903
         for future in list(self._pending):
             if not future.done():
                 future.set_result(

@@ -124,7 +124,10 @@ def profile(trace: Trace, window_s: float = 0.1) -> WorkloadProfile:
 
 def compare_profiles(profiles: list[WorkloadProfile]) -> str:
     """Render a comparison table across several profiles."""
-    from repro.analysis.tables import format_table
+    # Deliberate upward reach: rendering borrows the analysis layer's
+    # table formatter; deferred so characterisation itself stays
+    # importable without the orchestration layer.
+    from repro.analysis.tables import format_table  # noqa: RPL901
 
     if not profiles:
         raise WorkloadError("need at least one profile")

@@ -93,6 +93,7 @@ class TestSelection:
             "RPL001", "RPL002", "RPL003", "RPL101", "RPL102",
             "RPL201", "RPL202", "RPL203", "RPL301", "RPL401", "RPL402",
             "RPL501", "RPL601", "RPL701", "RPL801",
+            "RPL901", "RPL902", "RPL903", "RPL904", "RPL910",
         }
         assert set(all_rules()) == expected
 
@@ -107,7 +108,7 @@ class TestSelection:
 
     def test_unknown_selector_raises(self):
         with pytest.raises(LintError):
-            select_rules(select=["RPL9"])
+            select_rules(select=["RPL999"])
 
     def test_syntax_error_raises(self):
         with pytest.raises(LintError):
@@ -997,7 +998,7 @@ class TestCheckCli:
         assert "RPL301" in capsys.readouterr().out
 
     def test_bad_selector_is_cli_error(self, violating_tree, capsys):
-        code = main(["check", str(violating_tree), "--select", "RPL9"])
+        code = main(["check", str(violating_tree), "--select", "RPL999"])
         assert code == 1
         assert "error" in capsys.readouterr().err
 
