@@ -235,11 +235,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_train(args: argparse.Namespace) -> int:
     chip = _resolve_chip(args)
     scenario = get_scenario(args.scenario)
+    recorder = None
+    if args.learn_log:
+        from repro.obs import LearnRecorder
+
+        recorder = LearnRecorder(args.learn_log)
     training = train_policy(
         chip,
         scenario,
         episodes=args.episodes,
         episode_duration_s=args.duration,
+        recorder=recorder,
     )
     for record in training.history:
         print(
@@ -249,6 +255,11 @@ def _cmd_train(args: argparse.Namespace) -> int:
         )
     path = save_policies(training.policies, args.save or args.out)
     print(f"checkpoint saved to {path}")
+    if recorder is not None:
+        print(
+            f"learning ledger: {recorder.written} record(s) appended to "
+            f"{recorder.path}"
+        )
     return 0
 
 
@@ -385,7 +396,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ops_log = OpsLogger(args.ops_log)
     server = PolicyServer.from_checkpoint(
         args.checkpoint, chip=args.chip, config=_serve_config(args),
-        ops_log=ops_log,
+        ops_log=ops_log, drift_reference=args.drift_reference,
     )
     stream = open(args.requests) if args.requests else sys.stdin
 
@@ -411,6 +422,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{stats.rejected} rejected",
         file=sys.stderr,
     )
+    if server.drift is not None:
+        drift = server.drift
+        print(
+            f"drift: {drift.disagreements}/{drift.decisions} decision(s) "
+            f"disagreed with the reference checkpoint",
+            file=sys.stderr,
+        )
     if ops_log is not None:
         print(
             f"ops log: {ops_log.written} record(s) appended to "
@@ -667,6 +685,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         spec = replace(spec, collect_metrics=True)
     if args.trace_dir:
         spec = replace(spec, trace_dir=args.trace_dir)
+    if args.learn_log:
+        spec = replace(spec, learn_log_dir=args.learn_log)
     log.info("fleet: %d-job grid, jobs=%d", len(spec.expand()), args.jobs)
 
     progress_mode = "none" if args.quiet else args.progress
@@ -716,6 +736,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             f"{len(paths)} per-job trace(s) in {args.trace_dir}; "
             f"stitch with: repro trace --merge {args.trace_dir}/*.json "
             f"--out merged.json"
+        )
+    if args.learn_log:
+        print(
+            f"per-job learning ledgers in {args.learn_log}; read back "
+            f"with: repro learn report --learn-log {args.learn_log}/<job>.jsonl"
         )
     if _ledger_requested(args):
         from repro import perf
@@ -1100,6 +1125,101 @@ def _cmd_slo_gate(args: argparse.Namespace) -> int:
     return result.exit_code
 
 
+def _load_learn_spec(args: argparse.Namespace):
+    from repro.obs import DEFAULT_CONVERGENCE, load_convergence_spec
+
+    return load_convergence_spec(args.spec) if args.spec else DEFAULT_CONVERGENCE
+
+
+def _cmd_learn_report(args: argparse.Namespace) -> int:
+    """Summarise a learning ledger + run the convergence detectors."""
+    from repro.obs import (
+        LEARN_RENDERERS,
+        evaluate_learning,
+        format_learn_summary,
+        read_learn_log,
+        summarize_learning,
+    )
+
+    records = read_learn_log(args.learn_log)
+    report = evaluate_learning(records, _load_learn_spec(args))
+    if args.format == "json":
+        payload = {
+            "summary": summarize_learning(records),
+            "report": json.loads(LEARN_RENDERERS["json"](report)),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(format_learn_summary(summarize_learning(records)))
+    print()
+    print(LEARN_RENDERERS[args.format](report))
+    return 0
+
+
+def _cmd_learn_gate(args: argparse.Namespace) -> int:
+    """Convergence gate over a learning ledger; non-zero exit on failure."""
+    from repro.obs import (
+        LEARN_RENDERERS,
+        evaluate_learning,
+        learn_gate,
+        read_learn_log,
+    )
+
+    report = evaluate_learning(read_learn_log(args.learn_log),
+                               _load_learn_spec(args))
+    print(LEARN_RENDERERS[args.format](report))
+    result = learn_gate(report, warn_only=args.warn_only)
+    if result.report.failures and args.warn_only:
+        print(
+            f"learn gate: {len(result.report.failures)} "
+            "failing detector(s) (warn-only, not failing)",
+            file=sys.stderr,
+        )
+    return result.exit_code
+
+
+def _cmd_policy_show(args: argparse.Namespace) -> int:
+    """Render a checkpoint's learned behaviour, per cluster."""
+    from repro.core.checkpoint import load_policies
+    from repro.core.introspect import (
+        decision_surface,
+        policy_summary,
+        sanity_report,
+        visitation_heatmap,
+    )
+
+    policies = load_policies(args.checkpoint)
+    if args.format == "json":
+        payload = {
+            name: policy_summary(policy)
+            for name, policy in sorted(policies.items())
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for name, policy in sorted(policies.items()):
+        surface = decision_surface(policy)
+        print(f"== cluster {name} ==")
+        print(sanity_report(policy))
+        print()
+        print(visitation_heatmap(surface))
+        print()
+        print(surface.render_slice(slack_bin=policy.config.slack_bins - 1))
+        print()
+    return 0
+
+
+def _cmd_policy_diff(args: argparse.Namespace) -> int:
+    """Compare two checkpoints; non-zero exit when they disagree."""
+    from repro.core.introspect import diff_checkpoints, render_policy_diff
+
+    diff = diff_checkpoints(args.checkpoint_a, args.checkpoint_b)
+    if args.format == "json":
+        print(json.dumps(diff.as_mapping(), indent=2, sort_keys=True))
+    else:
+        print(render_policy_diff(diff))
+    return 0 if diff.identical else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -1151,6 +1271,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="checkpoint directory (overrides --out); the "
                               "manifest stamps the engine version, and "
                               "'repro serve' refuses stale stamps")
+    train_p.add_argument("--learn-log", default=None, metavar="FILE",
+                         help="append one learning-ledger record per episode "
+                              "(read back with 'repro learn report' and "
+                              "'repro learn gate'); training results are "
+                              "bit-identical with or without it")
     train_p.set_defaults(func=_cmd_train)
 
     cmp_p = sub.add_parser("compare", parents=[common],
@@ -1219,6 +1344,10 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_p.add_argument("--trace-dir", default=None, metavar="DIR",
                          help="write one pid-tagged Chrome trace per job "
                               "into DIR (merge with: repro trace --merge)")
+    fleet_p.add_argument("--learn-log", default=None, metavar="DIR",
+                         help="write one pid-tagged learning ledger per "
+                              "rl-policy job into DIR (read back with "
+                              "'repro learn report')")
     fleet_p.add_argument("--ledger", nargs="?", const="", default=None,
                          metavar="FILE",
                          help="append per-job rows + the grid summary to "
@@ -1276,6 +1405,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="append one structured JSONL record per "
                               "request outcome (read back with 'repro ops' "
                               "and 'repro slo gate')")
+    serve_p.add_argument("--drift-reference", default=None, metavar="DIR",
+                         help="reference checkpoint to shadow-score every "
+                              "decision against; disagreements surface in "
+                              "stats, metrics, and the ops log (kind=drift)")
     serve_p.set_defaults(func=_cmd_serve)
 
     dec_p = sub.add_parser(
@@ -1555,6 +1688,62 @@ def build_parser() -> argparse.ArgumentParser:
                             help="report violations but exit 0 "
                                  "(CI bring-up mode)")
     slo_gate_p.set_defaults(func=_cmd_slo_gate)
+
+    policy_p = sub.add_parser(
+        "policy", parents=[common],
+        help="introspect saved policy checkpoints: show, diff",
+    )
+    policy_sub = policy_p.add_subparsers(dest="policy_command", required=True)
+    policy_show_p = policy_sub.add_parser(
+        "show", parents=[common],
+        help="greedy-action tables, visitation heatmap, sanity readout",
+    )
+    policy_show_p.add_argument("checkpoint", metavar="DIR",
+                               help="checkpoint directory "
+                                    "(from 'repro train --save')")
+    policy_show_p.add_argument("--format", default="text",
+                               choices=("text", "json"))
+    policy_show_p.set_defaults(func=_cmd_policy_show)
+    policy_diff_p = policy_sub.add_parser(
+        "diff", parents=[common],
+        help="per-state action disagreement between two checkpoints "
+             "(exit 1 when they differ, like diff(1))",
+    )
+    policy_diff_p.add_argument("checkpoint_a", metavar="DIR_A",
+                               help="baseline checkpoint directory")
+    policy_diff_p.add_argument("checkpoint_b", metavar="DIR_B",
+                               help="candidate checkpoint directory")
+    policy_diff_p.add_argument("--format", default="text",
+                               choices=("text", "json"))
+    policy_diff_p.set_defaults(func=_cmd_policy_diff)
+
+    learn_p = sub.add_parser(
+        "learn", parents=[common],
+        help="read learning ledgers written by '--learn-log'",
+    )
+    learn_sub = learn_p.add_subparsers(dest="learn_command", required=True)
+    learn_common = argparse.ArgumentParser(add_help=False)
+    learn_common.add_argument("--learn-log", required=True, metavar="FILE",
+                              help="learning ledger (JSONL) to read")
+    learn_common.add_argument("--spec", default=None, metavar="FILE",
+                              help="convergence spec JSON (default: the "
+                                   "built-in detector bounds)")
+    learn_common.add_argument("--format", default="text",
+                              choices=("text", "json", "github"),
+                              help="github emits workflow error annotations")
+    learn_report_p = learn_sub.add_parser(
+        "report", parents=[common, learn_common],
+        help="training summary + convergence detector verdicts",
+    )
+    learn_report_p.set_defaults(func=_cmd_learn_report)
+    learn_gate_p = learn_sub.add_parser(
+        "gate", parents=[common, learn_common],
+        help="convergence/divergence gate; non-zero exit on failure",
+    )
+    learn_gate_p.add_argument("--warn-only", action="store_true",
+                              help="report failures but exit 0 "
+                                   "(CI bring-up mode)")
+    learn_gate_p.set_defaults(func=_cmd_learn_gate)
     return parser
 
 

@@ -10,14 +10,23 @@ take — and renders the slices a human checks first:
 
 Used by the test suite to verify the learned policy is *sensible*, not
 just effective, and available to users debugging a training run.
+
+The same machinery backs the ``repro policy`` CLI: ``repro policy
+show`` renders a checkpoint's greedy-action tables and visitation
+heatmaps, and ``repro policy diff`` (:func:`diff_policies`) compares
+two checkpoints state by state — action disagreement, Q-delta
+quantiles, and coverage drift.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
 
 import numpy as np
 
+from repro.core.checkpoint import load_policies
 from repro.core.policy import RLPowerManagementPolicy
 from repro.errors import PolicyError
 
@@ -126,4 +135,211 @@ def sanity_report(policy: RLPowerManagementPolicy) -> str:
         lines.append(f"critical slack: mean delta {critical:+.2f}")
     except PolicyError:
         lines.append("critical slack: (no visited states)")
+    return "\n".join(lines)
+
+
+#: Ten shades from never-visited to fully-visited (heatmap cells).
+_HEAT_CHARS = " .:-=+*#%@"
+
+
+def visitation_heatmap(surface: DecisionSurface) -> str:
+    """An ASCII heatmap of visitation over (utilisation x OPP).
+
+    Each cell is the fraction of (trend, slack) states visited at that
+    utilisation/OPP pair, shaded from `` `` (never) to ``@`` (all) —
+    the quickest read of *where* in state space training actually went.
+    """
+    fractions = surface.visits.mean(axis=(1, 3))
+    n_util, n_opp = fractions.shape
+    lines = ["visitation (util rows x OPP columns; ' '=0% .. '@'=100%)"]
+    lines.append("util\\opp " + " ".join(f"{o:>1d}" for o in range(n_opp)))
+    for u in range(n_util):
+        cells = []
+        for o in range(n_opp):
+            level = min(int(fractions[u, o] * len(_HEAT_CHARS)),
+                        len(_HEAT_CHARS) - 1)
+            cells.append(_HEAT_CHARS[level])
+        lines.append(f"{u:>8d} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def policy_summary(policy: RLPowerManagementPolicy) -> dict[str, Any]:
+    """One cluster's ``repro policy show --format json`` payload.
+
+    Deterministic in the policy: coverage, training episodes, the
+    greedy-delta histogram, and the per-(util, opp) visitation grid.
+    """
+    surface = decision_surface(policy)
+    deltas, counts = np.unique(surface.deltas, return_counts=True)
+    return {
+        "coverage": surface.coverage,
+        "episodes": policy.episodes,
+        "greedy_delta_histogram": {
+            f"{int(d):+d}": int(c) for d, c in zip(deltas, counts)
+        },
+        "visitation_by_util_opp": [
+            [float(f) for f in row]
+            for row in surface.visits.mean(axis=(1, 3))
+        ],
+        "greedy_deltas": [
+            [[[int(d) for d in s3] for s3 in s2] for s2 in s1]
+            for s1 in surface.deltas
+        ],
+    }
+
+
+# -- checkpoint diffing -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClusterDiff:
+    """How one cluster's Q-table differs between two checkpoints.
+
+    Attributes:
+        cluster: Cluster name.
+        states: Q-table row count (shared geometry).
+        disagreements: States whose greedy action differs.
+        q_delta_p50: Median ``|Q_a - Q_b|`` over all table entries.
+        q_delta_p90: 90th percentile of the same.
+        q_delta_p99: 99th percentile of the same.
+        q_delta_max: Largest entry-wise Q difference.
+        coverage_a: Visited-state fraction in the first checkpoint.
+        coverage_b: Visited-state fraction in the second.
+    """
+
+    cluster: str
+    states: int
+    disagreements: int
+    q_delta_p50: float
+    q_delta_p90: float
+    q_delta_p99: float
+    q_delta_max: float
+    coverage_a: float
+    coverage_b: float
+
+    @property
+    def disagreement_fraction(self) -> float:
+        """Fraction of states whose greedy action differs."""
+        return self.disagreements / self.states if self.states else 0.0
+
+
+@dataclass(frozen=True)
+class PolicyDiff:
+    """A full checkpoint-vs-checkpoint comparison.
+
+    Attributes:
+        clusters: Per-cluster diffs for clusters present in both.
+        only_a: Cluster names only the first checkpoint has.
+        only_b: Cluster names only the second checkpoint has.
+    """
+
+    clusters: tuple[ClusterDiff, ...]
+    only_a: tuple[str, ...] = ()
+    only_b: tuple[str, ...] = ()
+
+    @property
+    def identical(self) -> bool:
+        """Whether the checkpoints serve byte-for-byte the same tables."""
+        return (
+            not self.only_a
+            and not self.only_b
+            and all(
+                d.disagreements == 0 and d.q_delta_max == 0.0
+                for d in self.clusters
+            )
+        )
+
+    def as_mapping(self) -> dict[str, Any]:
+        """The JSON payload ``repro policy diff --format json`` prints."""
+        return {
+            "identical": self.identical,
+            "only_a": list(self.only_a),
+            "only_b": list(self.only_b),
+            "clusters": [
+                {
+                    "cluster": d.cluster,
+                    "states": d.states,
+                    "disagreements": d.disagreements,
+                    "disagreement_fraction": d.disagreement_fraction,
+                    "q_delta_p50": d.q_delta_p50,
+                    "q_delta_p90": d.q_delta_p90,
+                    "q_delta_p99": d.q_delta_p99,
+                    "q_delta_max": d.q_delta_max,
+                    "coverage_a": d.coverage_a,
+                    "coverage_b": d.coverage_b,
+                }
+                for d in self.clusters
+            ],
+        }
+
+
+def diff_policies(
+    a: dict[str, RLPowerManagementPolicy],
+    b: dict[str, RLPowerManagementPolicy],
+) -> PolicyDiff:
+    """Compare two policy sets state by state.
+
+    Raises:
+        PolicyError: When a shared cluster's Q-table geometries differ
+            (different bins/actions are not comparable state by state),
+            or a shared policy is unbound.
+    """
+    shared = sorted(set(a) & set(b))
+    diffs: list[ClusterDiff] = []
+    for name in shared:
+        pa, pb = a[name], b[name]
+        if pa.agent is None or pb.agent is None:
+            raise PolicyError(f"policy for cluster {name!r} is not trained")
+        ta, tb = pa.agent.table, pb.agent.table
+        if ta.values.shape != tb.values.shape:
+            raise PolicyError(
+                f"cluster {name!r}: Q-table geometries differ "
+                f"({ta.values.shape} vs {tb.values.shape})"
+            )
+        disagree = int(np.count_nonzero(
+            np.argmax(ta.values, axis=1) != np.argmax(tb.values, axis=1)
+        ))
+        delta = np.abs(ta.values - tb.values)
+        diffs.append(ClusterDiff(
+            cluster=name,
+            states=int(ta.values.shape[0]),
+            disagreements=disagree,
+            q_delta_p50=float(np.quantile(delta, 0.50)),
+            q_delta_p90=float(np.quantile(delta, 0.90)),
+            q_delta_p99=float(np.quantile(delta, 0.99)),
+            q_delta_max=float(delta.max()),
+            coverage_a=ta.visited_fraction(),
+            coverage_b=tb.visited_fraction(),
+        ))
+    return PolicyDiff(
+        clusters=tuple(diffs),
+        only_a=tuple(sorted(set(a) - set(b))),
+        only_b=tuple(sorted(set(b) - set(a))),
+    )
+
+
+def diff_checkpoints(dir_a: str | Path, dir_b: str | Path) -> PolicyDiff:
+    """Load two checkpoint directories and diff them."""
+    return diff_policies(load_policies(dir_a), load_policies(dir_b))
+
+
+def render_policy_diff(diff: PolicyDiff) -> str:
+    """Human-readable rendering of a :class:`PolicyDiff`."""
+    lines: list[str] = []
+    for d in diff.clusters:
+        lines.append(
+            f"{d.cluster}: {d.disagreements}/{d.states} states disagree "
+            f"({d.disagreement_fraction:.1%}); |dQ| p50 {d.q_delta_p50:.4g}, "
+            f"p90 {d.q_delta_p90:.4g}, p99 {d.q_delta_p99:.4g}, "
+            f"max {d.q_delta_max:.4g}; coverage {d.coverage_a:.1%} -> "
+            f"{d.coverage_b:.1%}"
+        )
+    if diff.only_a:
+        lines.append(f"only in A: {', '.join(diff.only_a)}")
+    if diff.only_b:
+        lines.append(f"only in B: {', '.join(diff.only_b)}")
+    lines.append(
+        "checkpoints are identical" if diff.identical
+        else "checkpoints differ"
+    )
     return "\n".join(lines)

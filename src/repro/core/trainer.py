@@ -7,12 +7,17 @@ seeded trace) and then evaluate greedily on a held-out seed.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
+
+import numpy as np
 
 from repro.core.config import PolicyConfig
 from repro.core.policy import RLPowerManagementPolicy
 from repro.errors import PolicyError
+from repro.obs.learn import LearnRecorder, learn_record
 from repro.power.model import PowerModel
+from repro.rl.stats import TDErrorStats
 from repro.sim.engine import Simulator
 from repro.sim.result import SimulationResult
 from repro.soc.chip import Chip
@@ -100,6 +105,8 @@ def train_policy(
     interval_s: float = 0.01,
     power_model: PowerModel | None = None,
     policies: dict[str, RLPowerManagementPolicy] | None = None,
+    recorder: LearnRecorder | None = None,
+    episode_offset: int = 0,
 ) -> TrainingResult:
     """Train the RL policy on a scenario over several episodes.
 
@@ -114,6 +121,13 @@ def train_policy(
         power_model: Chip power model (default model when omitted).
         policies: Pre-existing policies to continue training (e.g. for
             curriculum over several scenarios); fresh ones when omitted.
+        recorder: Learning ledger to append one record per episode to.
+            Training is bit-identical with or without one — the
+            recorder only *reads* learner state (greedy snapshots,
+            Q norms, TD statistics) after each episode.
+        episode_offset: Added to the ledger's ``episode`` field so
+            curriculum stages and resumed runs keep a global index
+            (the returned history stays zero-based regardless).
 
     Returns:
         A :class:`TrainingResult` with the per-episode learning curve.
@@ -126,6 +140,9 @@ def train_policy(
         raise PolicyError(f"no policy for clusters: {sorted(missing)}")
     power_model = power_model or PowerModel()
 
+    prev_greedy: dict[str, np.ndarray] | None = None
+    if recorder is not None:
+        prev_greedy = _greedy_snapshot(policies)
     history: list[EpisodeRecord] = []
     reward_before = sum(p.cumulative_reward for p in policies.values())
     for episode in range(episodes):
@@ -138,7 +155,82 @@ def train_policy(
         reward_before += record.reward
         history.append(record)
         _emit_episode_obs(record)
+        if recorder is not None and prev_greedy is not None:
+            greedy = _greedy_snapshot(policies)
+            _record_episode(
+                recorder, record, policies, scenario.name,
+                churn=_policy_churn(prev_greedy, greedy),
+                episode_offset=episode_offset,
+            )
+            prev_greedy = greedy
     return TrainingResult(policies=policies, history=history)
+
+
+def _greedy_snapshot(
+    policies: dict[str, RLPowerManagementPolicy],
+) -> dict[str, np.ndarray]:
+    """Greedy action per state for every bound policy's Q-table."""
+    return {
+        name: np.argmax(p.agent.table.values, axis=1)
+        for name, p in policies.items()
+        if p.agent is not None
+    }
+
+
+def _policy_churn(
+    before: dict[str, np.ndarray], after: dict[str, np.ndarray]
+) -> float:
+    """Fraction of states whose greedy action changed between snapshots.
+
+    Measured over the clusters present in both snapshots; a policy whose
+    table only came into existence this episode contributes nothing (the
+    first episode of a fresh run therefore reports 0.0 churn).
+    """
+    changed = 0
+    total = 0
+    for name, current in after.items():
+        prev = before.get(name)
+        if prev is None or prev.shape != current.shape:
+            continue
+        changed += int(np.count_nonzero(prev != current))
+        total += int(current.size)
+    return changed / total if total else 0.0
+
+
+def _record_episode(
+    recorder: LearnRecorder,
+    record: EpisodeRecord,
+    policies: dict[str, RLPowerManagementPolicy],
+    scenario_name: str,
+    churn: float,
+    episode_offset: int,
+) -> None:
+    """Append one episode's learning record to the ledger."""
+    sq = 0.0
+    peak = 0.0
+    merged = TDErrorStats()
+    for p in policies.values():
+        if p.agent is None:
+            continue
+        values = p.agent.table.values
+        sq += float(np.sum(values * values))
+        peak = max(peak, float(np.max(np.abs(values))))
+        merged = merged.merge(p.agent.td_stats)
+    recorder.log(learn_record(
+        episode=episode_offset + record.episode,
+        scenario=scenario_name,
+        reward=record.reward,
+        td_error_mean_abs=record.td_error_mean_abs,
+        td_error_var=merged.variance,
+        epsilon=record.epsilon,
+        q_norm_l2=math.sqrt(sq),
+        q_max_abs=peak,
+        coverage=record.q_coverage,
+        churn=churn,
+        energy_per_qos_j=record.energy_per_qos_j,
+        mean_qos=record.mean_qos,
+        updates=merged.count,
+    ))
 
 
 def _episode_record(
@@ -202,6 +294,7 @@ def train_curriculum(
     config: PolicyConfig | None = None,
     interval_s: float = 0.01,
     power_model: PowerModel | None = None,
+    recorder: LearnRecorder | None = None,
 ) -> TrainingResult:
     """Train one policy set across several scenarios in sequence.
 
@@ -209,7 +302,8 @@ def train_curriculum(
     producing a generalist (the paper's "regardless of the application
     scenario" deployment mode) rather than a per-scenario specialist.
     The returned history concatenates all scenarios' episodes; seeds are
-    offset per scenario so no trace repeats.
+    offset per scenario so no trace repeats.  When a ``recorder`` is
+    given, ledger episodes carry the concatenated (global) index.
 
     Raises:
         PolicyError: On an empty curriculum.
@@ -229,6 +323,8 @@ def train_curriculum(
             interval_s=interval_s,
             power_model=power_model,
             policies=policies,
+            recorder=recorder,
+            episode_offset=len(history),
         )
         offset = len(history)
         history.extend(

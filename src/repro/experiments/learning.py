@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.analysis.plot import sparkline
 from repro.analysis.stats import mean
@@ -10,11 +11,31 @@ from repro.analysis.tables import format_table
 from repro.core.config import PolicyConfig
 from repro.core.trainer import evaluate_policy, make_policies, train_policy
 from repro.governors import create
+from repro.obs.learn import ConvergenceSpec, LearnRecorder, plateau_episode
 from repro.sim.engine import Simulator
 from repro.sim.result import SimulationResult
 from repro.soc.chip import Chip
 from repro.soc.presets import exynos5422
 from repro.workload.scenarios import get_scenario
+
+#: The detector settings matching E5's historical tail heuristic: the
+#: greedy curve has converged once a 4-point window stops moving by more
+#: than 25% relative spread (``max/min < 1.25``, bench_e5's old assert).
+E5_CONVERGENCE = ConvergenceSpec(window=4, reward_plateau_tol=0.25)
+
+
+def e5_convergence_episode(
+    values: Sequence[float], spec: ConvergenceSpec | None = None
+) -> int | None:
+    """First curve index whose trailing window plateaus, or ``None``.
+
+    Routes the old ad-hoc "tail max/min ratio" convergence test through
+    the declarative :class:`~repro.obs.learn.ConvergenceSpec` detector
+    (window + ``reward_plateau_tol`` are the fields that apply to a bare
+    energy curve).
+    """
+    spec = spec or E5_CONVERGENCE
+    return plateau_episode(values, spec.window, spec.reward_plateau_tol)
 
 
 @dataclass(frozen=True)
@@ -42,6 +63,14 @@ class E5Result:
         """Mean QoS over the last ``n`` curve points."""
         return mean([run.qos.mean_qos for _, run in self.curve[-n:]])
 
+    def convergence_episode(
+        self, spec: ConvergenceSpec | None = None
+    ) -> int | None:
+        """First curve index where greedy energy/QoS plateaus, or None."""
+        return e5_convergence_episode(
+            [run.energy_per_qos_j for _, run in self.curve], spec
+        )
+
 
 def e5_learning_curve(
     scenario_name: str = "gaming",
@@ -50,9 +79,14 @@ def e5_learning_curve(
     eval_seed: int = 100,
     chip: Chip | None = None,
     config: PolicyConfig | None = None,
+    recorder: LearnRecorder | None = None,
 ) -> E5Result:
     """Train episode by episode, evaluating greedily on one fixed trace
-    after each — the proper learning curve (see DESIGN.md E5)."""
+    after each — the proper learning curve (see DESIGN.md E5).
+
+    With a ``recorder``, each training episode appends one learning
+    record (global episode index matching the curve's x-axis).
+    """
     chip = chip or exynos5422()
     scenario = get_scenario(scenario_name)
     eval_trace = scenario.trace(episode_duration_s, seed=eval_seed)
@@ -69,6 +103,8 @@ def e5_learning_curve(
             base_seed=episode,
             config=config,
             policies=policies,
+            recorder=recorder,
+            episode_offset=episode,
         )
         curve.append((episode + 1, evaluate_policy(chip, policies, eval_trace)))
 
@@ -122,16 +158,21 @@ def e6_adaptation(
     train_episode_s: float = 15.0,
     eval_seed: int = 100,
     chip: Chip | None = None,
+    recorder: LearnRecorder | None = None,
 ) -> E6Result:
     """A policy trained on the first segment's scenario keeps learning
     online as the device moves through the remaining segments; each
     segment is compared against a per-scenario specialist and ondemand.
+
+    A ``recorder`` ledgers the travelling policy's training episodes
+    (the specialists trained per segment stay out of the ledger — they
+    are baselines, not the learner under study).
     """
     segments = segments or ["gaming", "video_playback", "web_browsing"]
     chip = chip or exynos5422()
     travelling = train_policy(
         chip, get_scenario(segments[0]), episodes=train_episodes,
-        episode_duration_s=train_episode_s,
+        episode_duration_s=train_episode_s, recorder=recorder,
     ).policies
 
     out: list[E6Segment] = []

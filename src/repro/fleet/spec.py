@@ -64,6 +64,12 @@ class JobSpec:
             the worker pid and the tracer epoch so
             :func:`repro.obs.export.merge_traces` can stitch the fleet
             onto one timeline.
+        learn_log_dir: When set on an ``rl-policy`` job, the worker's
+            training loop appends a per-episode learning ledger
+            (:class:`repro.obs.learn.LearnRecorder`) named
+            ``<job_id>-pid<pid>.jsonl`` into this directory.  Training
+            results are bit-identical either way; ``full_system`` RL
+            jobs run their own episode loop and do not ledger.
         policy_config: RL policy configuration override.
         chip_obj: Escape hatch for non-preset chips (e.g. loaded from a
             device-tree JSON); takes precedence over ``chip``.  Not
@@ -89,6 +95,7 @@ class JobSpec:
     full_system: bool = False
     collect_metrics: bool = False
     trace_dir: str | None = None
+    learn_log_dir: str | None = None
     policy_config: PolicyConfig | None = field(default=None, repr=False)
     chip_obj: Chip | None = field(default=None, repr=False, compare=False)
     trace_context: TraceContext | None = field(
@@ -199,6 +206,8 @@ class FleetSpec:
             via :func:`repro.fleet.aggregate.merge_job_metrics`.
         trace_dir: Directory for per-job Chrome traces (see
             :attr:`JobSpec.trace_dir`); ``None`` disables tracing.
+        learn_log_dir: Directory for per-job learning ledgers (see
+            :attr:`JobSpec.learn_log_dir`); ``None`` disables them.
         jobs: Default worker-process count for
             :func:`repro.fleet.runner.run_fleet` (``None`` = CPU count).
         timeout_s: Per-job wall-clock timeout (``None`` = unlimited).
@@ -218,6 +227,7 @@ class FleetSpec:
     full_system: bool = False
     collect_metrics: bool = False
     trace_dir: str | None = None
+    learn_log_dir: str | None = None
     jobs: int | None = 1
     timeout_s: float | None = None
     retries: int = 0
@@ -281,6 +291,7 @@ class FleetSpec:
                                 full_system=self.full_system,
                                 collect_metrics=self.collect_metrics,
                                 trace_dir=self.trace_dir,
+                                learn_log_dir=self.learn_log_dir,
                             )
                         )
         return specs

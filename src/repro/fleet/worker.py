@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Callable, Mapping
 
 if TYPE_CHECKING:
     from repro.obs import ObsSession
+    from repro.obs.learn import LearnRecorder
 
 from repro.errors import ReproError
 from repro.fleet.spec import CHECKPOINT_PREFIX, JobSpec
@@ -174,6 +175,22 @@ def _make_simulator(
     )
 
 
+def _job_learn_recorder(spec: JobSpec) -> "LearnRecorder | None":
+    """The job's learning-ledger recorder, when the spec asks for one.
+
+    Ledger files follow the per-job trace naming scheme —
+    ``<job-id>-pid<pid>.jsonl`` — so a parallel fleet's workers never
+    contend for one file and ledgers join back to traces by name.
+    """
+    if spec.learn_log_dir is None:
+        return None
+    from repro.obs.learn import LearnRecorder
+
+    safe_id = spec.job_id.replace("/", "-").replace(":", "_")
+    directory = Path(spec.learn_log_dir)
+    return LearnRecorder(directory / f"{safe_id}-pid{os.getpid()}.jsonl")
+
+
 def _run_rl(
     spec: JobSpec, chip: Chip, eval_trace: Trace, power_model: PowerModel
 ) -> SimulationResult:
@@ -192,6 +209,7 @@ def _run_rl(
             config=spec.policy_config,
             interval_s=spec.interval_s,
             power_model=power_model,
+            recorder=_job_learn_recorder(spec),
         )
         policies = training.policies
     else:

@@ -12,7 +12,9 @@ Rule code families:
 * ``RPL6xx`` — run-cache discipline (:mod:`repro.lint.rules.cachedir`)
 * ``RPL7xx`` — serve-loop discipline
   (:mod:`repro.lint.rules.asyncblocking`)
-* ``RPL8xx`` — ops-log discipline (:mod:`repro.lint.rules.opslog`)
+* ``RPL801`` — ops-log discipline (:mod:`repro.lint.rules.opslog`)
+* ``RPL802`` — learning-ledger discipline
+  (:mod:`repro.lint.rules.learnlog`)
 * ``RPL90x`` — whole-program flow analysis
   (:mod:`repro.lint.flow.rules`): architecture layering,
   interprocedural determinism taint, asyncio shared-state hazards,
@@ -28,6 +30,7 @@ from repro.lint.rules import (  # noqa: F401
     determinism,
     exceptions,
     fixedpoint,
+    learnlog,
     obsguard,
     opslog,
     perfledger,

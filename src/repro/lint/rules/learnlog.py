@@ -1,0 +1,104 @@
+"""Learning-ledger discipline rule (RPL802).
+
+The learning ledger is only gateable because every line has the same
+shape — episode, scenario, reward, TD-error stats, epsilon, Q norms,
+coverage, churn — which holds only while
+:class:`repro.obs.learn.LearnRecorder` is the sole writer (its ``log()``
+validates the required fields before appending).  An ad-hoc
+``json.dump`` into a learn-log file forks the schema: ``repro learn
+report`` chokes on the line, or ``repro learn gate`` silently scopes it
+out and a divergent run sails through unevaluated.
+
+**RPL802** flags write-ish calls (``json.dump``/``json.dumps``,
+``open``, ``write_text``, ``.open``, ``.write``) whose arguments
+mention a learning ledger — a name or string constant containing
+``learn_log`` / ``learn-log`` / ``learnlog`` — anywhere outside
+:mod:`repro.obs.learn` itself, pointing the author at
+``LearnRecorder.log()``.  It is the learning-ledger twin of RPL801
+(ops-log discipline).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import Rule, register
+
+#: The one module allowed to touch learning-ledger files directly.
+_BLESSED = "obs/learn.py"
+
+#: Call shapes that write data: plain names and attribute tails.
+_WRITE_NAMES = {"open"}
+_WRITE_ATTRS = {"dump", "dumps", "open", "write", "write_text"}
+
+#: Spellings that identify a learning ledger in names and constants.
+_MARKERS = ("learn_log", "learn-log", "learnlog")
+
+
+def _names_learn_log(text: str) -> bool:
+    """Whether ``text`` spells a learning ledger in any accepted form."""
+    lowered = text.lower()
+    return any(marker in lowered for marker in _MARKERS)
+
+
+def _mentions_learn_log(node: ast.expr) -> bool:
+    """Whether any sub-expression names a learning ledger."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            if _names_learn_log(sub.value):
+                return True
+        if isinstance(sub, ast.Name) and _names_learn_log(sub.id):
+            return True
+        if isinstance(sub, ast.Attribute) and _names_learn_log(sub.attr):
+            return True
+    return False
+
+
+def _is_write_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in _WRITE_NAMES
+    if isinstance(func, ast.Attribute):
+        return func.attr in _WRITE_ATTRS
+    return False
+
+
+@register
+class AdHocLearnLogWriteRule(Rule):
+    """RPL802: learning-ledger records go through ``LearnRecorder.log()``."""
+
+    code = "RPL802"
+    name = "obs.learnlog-discipline"
+    summary = (
+        "ad-hoc write to a learning ledger; all records must go through "
+        "repro.obs.LearnRecorder.log() so every line carries the shared "
+        "per-episode schema"
+    )
+
+    @classmethod
+    def applies_to(cls, module_path: str) -> bool:
+        # Everywhere *except* the blessed writer module.
+        return module_path != _BLESSED
+
+    def run(self) -> None:
+        self.visit(self.ctx.tree)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag writes whose receiver or arguments name a learn log."""
+        if _is_write_call(node):
+            receiver = (
+                node.func.value
+                if isinstance(node.func, ast.Attribute)
+                else None
+            )
+            targets = list(node.args) + [kw.value for kw in node.keywords]
+            if receiver is not None:
+                targets.append(receiver)
+            if any(_mentions_learn_log(t) for t in targets):
+                self.report(
+                    node,
+                    "ad-hoc learning-ledger write; append records through "
+                    "repro.obs.LearnRecorder.log() instead of dumping JSON "
+                    "directly, so every record carries the shared schema",
+                )
+        self.generic_visit(node)

@@ -27,6 +27,8 @@ Module map:
 * :mod:`repro.obs.profile` — ``engine.phase.*`` time breakdowns
 * :mod:`repro.obs.context` — ``TraceContext`` request correlation
 * :mod:`repro.obs.opslog`  — structured JSONL ops log (``OpsLogger``)
+* :mod:`repro.obs.learn`   — JSONL learning ledger (``LearnRecorder``),
+  convergence/divergence detectors, ``repro learn`` gate
 * :mod:`repro.obs.runtime` — sliding windows, health indicators, SLOs
 
 Span/metric naming conventions live in ``docs/observability.md``.
@@ -60,6 +62,30 @@ from repro.obs.export import (
     validate_chrome_trace,
     write_chrome_trace,
     write_jsonl,
+)
+from repro.obs.learn import (
+    DEFAULT_CONVERGENCE,
+    LEARN_RECORD_FIELDS,
+    LEARN_RENDERERS,
+    ConvergenceSpec,
+    LearnGateResult,
+    LearnRecorder,
+    LearnReport,
+    LearnVerdict,
+    evaluate_learning,
+    format_learn_summary,
+    gate_learn_log,
+    is_plateau,
+    learn_gate,
+    learn_record,
+    load_convergence_spec,
+    plateau_episode,
+    read_learn_log,
+    render_learn_github,
+    render_learn_json,
+    render_learn_text,
+    spec_from_mapping,
+    summarize_learning,
 )
 from repro.obs.metrics import (
     Counter,
@@ -184,12 +210,20 @@ def capture(trace: bool = True) -> Iterator[ObsSession]:
 
 
 __all__ = [
+    "ConvergenceSpec",
     "Counter",
+    "DEFAULT_CONVERGENCE",
     "DEFAULT_SLOS",
     "EPOCH_METADATA_NAME",
     "Gauge",
     "Histogram",
     "InstantRecord",
+    "LEARN_RECORD_FIELDS",
+    "LEARN_RENDERERS",
+    "LearnGateResult",
+    "LearnRecorder",
+    "LearnReport",
+    "LearnVerdict",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
@@ -214,14 +248,21 @@ __all__ = [
     "current_context",
     "disable",
     "enable",
+    "evaluate_learning",
     "evaluate_slos",
     "format_breakdown",
+    "format_learn_summary",
     "format_ops_summary",
+    "gate_learn_log",
     "gate_ops_log",
     "health_indicators",
     "histogram_quantile",
+    "is_plateau",
     "job_record_from_event",
+    "learn_gate",
+    "learn_record",
     "load_chrome_trace",
+    "load_convergence_spec",
     "load_slo_config",
     "load_spans",
     "merge_snapshots",
@@ -230,9 +271,14 @@ __all__ = [
     "new_trace_id",
     "ops_record",
     "phase_breakdown",
+    "plateau_episode",
     "prometheus_text",
     "read_jsonl",
+    "read_learn_log",
     "read_ops_log",
+    "render_learn_github",
+    "render_learn_json",
+    "render_learn_text",
     "render_slo_github",
     "render_slo_json",
     "render_slo_text",
@@ -240,6 +286,8 @@ __all__ = [
     "slos_from_mapping",
     "span_tree",
     "spans_from_chrome",
+    "spec_from_mapping",
+    "summarize_learning",
     "summarize_ops",
     "tail_ops_log",
     "trace_args",

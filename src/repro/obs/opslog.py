@@ -20,7 +20,7 @@ field                   meaning
 ======================  ====================================================
 ``ts``                  Wall-clock unix seconds when the record was logged.
 ``kind``                ``decision`` / ``simulation`` / ``health`` /
-                        ``stats`` / ``job``.
+                        ``stats`` / ``job`` / ``drift``.
 ``trace_id``            End-to-end correlation id (may be ``""`` when
                         correlation was inactive).
 ``request_id``          Client correlation id (``""`` for fleet jobs).
@@ -54,8 +54,12 @@ OPS_RECORD_FIELDS = (
     "latency_s", "queue_wait_s",
 )
 
-#: The record kinds the readers/SLO runtime understand.
-OPS_KINDS = ("decision", "simulation", "health", "stats", "job")
+#: The record kinds the readers/SLO runtime understand.  ``drift``
+#: records come from the serve-side policy drift monitor
+#: (:mod:`repro.serve.drift`): one per shadow-scored decision, with
+#: ``outcome`` ``"ok"`` (agreement) or ``"failed:drift"`` — so a drift
+#: SLO is just an availability SLO with ``kind="drift"``.
+OPS_KINDS = ("decision", "simulation", "health", "stats", "job", "drift")
 
 
 def ops_record(

@@ -4,7 +4,12 @@ Every agent pushes its raw temporal-difference error into a
 :class:`TDErrorStats` on each update.  The accumulator is a handful of
 float operations per DVFS interval — cheap enough to run
 unconditionally — and is what the trainer's per-episode convergence
-metrics (mean |TD error|, last error) read out.
+metrics (mean |TD error|, variance, last error) read out.
+
+Variance is tracked with Welford's online algorithm, and two windows
+can be combined exactly with :meth:`TDErrorStats.merge` (the parallel
+form of Chan et al.), so a fleet of training jobs can aggregate their
+per-episode TD statistics without shipping the raw error streams.
 """
 
 from __future__ import annotations
@@ -23,6 +28,9 @@ class TDErrorStats:
             value estimate is still drifting).
         max_abs: Largest magnitude seen.
         last: The most recent error.
+        welford_mean: Welford running mean (variance bookkeeping; use
+            :attr:`mean` for the signed mean read-out).
+        m2: Welford sum of squared deviations (for :attr:`variance`).
     """
 
     count: int = 0
@@ -30,6 +38,8 @@ class TDErrorStats:
     total: float = 0.0
     max_abs: float = 0.0
     last: float = 0.0
+    welford_mean: float = 0.0
+    m2: float = 0.0
 
     def push(self, td_error: float) -> None:
         """Record one update's TD error."""
@@ -40,6 +50,9 @@ class TDErrorStats:
         if magnitude > self.max_abs:
             self.max_abs = magnitude
         self.last = td_error
+        delta = td_error - self.welford_mean
+        self.welford_mean += delta / self.count
+        self.m2 += delta * (td_error - self.welford_mean)
 
     @property
     def mean_abs(self) -> float:
@@ -51,6 +64,40 @@ class TDErrorStats:
         """Mean signed TD error."""
         return self.total / self.count if self.count else 0.0
 
+    @property
+    def variance(self) -> float:
+        """Population variance of the signed TD errors (0 when empty)."""
+        return self.m2 / self.count if self.count else 0.0
+
+    def merge(self, other: "TDErrorStats") -> "TDErrorStats":
+        """Combine two windows into a new one (neither input mutates).
+
+        Exact in the statistics: the merged accumulator reports the same
+        count/mean/variance as one accumulator fed both error streams
+        (Chan et al.'s parallel variance combination).  ``other`` is
+        treated as the *later* window, so ``last`` comes from it when it
+        recorded anything.
+        """
+        if self.count == 0:
+            return TDErrorStats(**vars(other))
+        if other.count == 0:
+            return TDErrorStats(**vars(self))
+        count = self.count + other.count
+        delta = other.welford_mean - self.welford_mean
+        welford_mean = (
+            self.welford_mean * self.count + other.welford_mean * other.count
+        ) / count
+        m2 = self.m2 + other.m2 + delta * delta * self.count * other.count / count
+        return TDErrorStats(
+            count=count,
+            abs_sum=self.abs_sum + other.abs_sum,
+            total=self.total + other.total,
+            max_abs=max(self.max_abs, other.max_abs),
+            last=other.last,
+            welford_mean=welford_mean,
+            m2=m2,
+        )
+
     def reset(self) -> None:
         """Start a fresh window (the trainer calls this per episode)."""
         self.count = 0
@@ -58,6 +105,8 @@ class TDErrorStats:
         self.total = 0.0
         self.max_abs = 0.0
         self.last = 0.0
+        self.welford_mean = 0.0
+        self.m2 = 0.0
 
     def snapshot(self) -> dict[str, float]:
         """The statistics as plain data (for metric export)."""
@@ -67,4 +116,5 @@ class TDErrorStats:
             "mean": self.mean,
             "max_abs": self.max_abs,
             "last": self.last,
+            "variance": self.variance,
         }

@@ -11,6 +11,7 @@ optional structured ops log records one line per outcome.  See
 
 from repro.serve.client import serve_jsonl, serve_once
 from repro.serve.config import ServeConfig
+from repro.serve.drift import DriftMonitor
 from repro.serve.protocol import (
     REJECT_DEADLINE,
     REJECT_ERROR,
@@ -43,6 +44,7 @@ __all__ = [
     "DecisionReply",
     "DecisionRequest",
     "DecisionSession",
+    "DriftMonitor",
     "HealthReply",
     "HealthRequest",
     "InProcessQueue",

@@ -1,0 +1,139 @@
+"""Serve-side policy drift monitoring against a reference checkpoint.
+
+A deployed policy snapshot goes stale: the fleet retrains, the engine
+contract moves, or online learning continues elsewhere while the server
+keeps answering from the tables it booted with.  The drift monitor
+makes that visible *in production terms*: every decision the live
+snapshot serves is shadow-scored against a **reference checkpoint**
+(typically the last released one), and the monitor counts how often the
+two greedy policies disagree and how far their state values sit apart.
+
+Shadow scoring is read-only and per-session — the reference policies
+get their own featurizer clones (via the same
+:func:`~repro.serve.session._clone_for_evaluation` path the live
+snapshot uses), so both policies see the identical observation sequence
+and the live decision stream is bit-identical with or without a monitor
+attached.
+
+Three export paths, all optional and all downstream of one
+:meth:`DriftMonitor.record` call per decision:
+
+* **metrics** — ``serve.drift.decisions`` / ``serve.drift.disagreements``
+  counters and a ``serve.drift.q_delta`` histogram, when an
+  observability session is active;
+* **ops log** — one ``kind="drift"`` record per shadow-scored decision
+  (outcome ``ok`` on agreement, ``failed:drift`` on disagreement), when
+  an :class:`~repro.obs.opslog.OpsLogger` is attached;
+* **SLOs** — because ``drift`` is a first-class ops-record kind, a
+  drift budget is just an :class:`~repro.obs.runtime.SloSpec` with
+  ``kind="drift"`` (see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.core.policy import RLPowerManagementPolicy
+from repro.errors import ServeError
+from repro.obs import OBS
+from repro.obs.context import current_context
+
+if TYPE_CHECKING:
+    from repro.obs.opslog import OpsLogger
+
+
+class DriftMonitor:
+    """Counts live-vs-reference policy disagreement, decision by decision.
+
+    One monitor is shared by every session of a server; sessions build
+    their own shadow clones of :attr:`reference` so the monitor itself
+    holds no per-client state beyond the counters.
+
+    Args:
+        reference: Trained per-cluster reference policies (the
+            checkpoint the live snapshot is compared against).
+        ops_log: Structured ops logger; one ``drift`` record per
+            shadow-scored decision when attached.
+
+    Raises:
+        ServeError: On an empty reference snapshot.
+    """
+
+    def __init__(
+        self,
+        reference: dict[str, RLPowerManagementPolicy],
+        ops_log: "OpsLogger | None" = None,
+    ) -> None:
+        if not reference:
+            raise ServeError("a drift monitor needs a non-empty reference")
+        self.reference = reference
+        self.decisions = 0
+        self.disagreements = 0
+        self._ops = ops_log
+
+    @classmethod
+    def from_checkpoint(
+        cls, directory: str | Path, ops_log: "OpsLogger | None" = None
+    ) -> "DriftMonitor":
+        """Build a monitor from a reference checkpoint directory.
+
+        Raises:
+            PolicyError: For a missing/corrupt/stale checkpoint (the
+                same engine-version staleness check serving applies).
+        """
+        # Deliberate upward reach, mirroring PolicyServer.from_checkpoint:
+        # the deferred import keeps serve importable without core loaded.
+        from repro.core.checkpoint import load_policies
+
+        return cls(load_policies(directory), ops_log=ops_log)
+
+    @property
+    def disagreement_fraction(self) -> float:
+        """Fraction of shadow-scored decisions where the actions differ."""
+        return self.disagreements / self.decisions if self.decisions else 0.0
+
+    def as_mapping(self) -> dict[str, int]:
+        """The drift counters, for a stats reply."""
+        return {
+            "drift_decisions": self.decisions,
+            "drift_disagreements": self.disagreements,
+        }
+
+    def record(
+        self, cluster: str, action: int, ref_action: int, q_delta: float
+    ) -> None:
+        """Account one shadow-scored decision.
+
+        Args:
+            cluster: Cluster the decision was for.
+            action: OPP index the live snapshot chose.
+            ref_action: OPP index the reference policy chose for the
+                same observation.
+            q_delta: ``|V_live(s) - V_ref(s)|`` — how far the two
+                policies' state-value estimates sit apart.
+        """
+        self.decisions += 1
+        agreed = action == ref_action
+        if not agreed:
+            self.disagreements += 1
+        if OBS.enabled:
+            OBS.metrics.counter("serve.drift.decisions").inc()
+            if not agreed:
+                OBS.metrics.counter("serve.drift.disagreements").inc()
+            OBS.metrics.histogram("serve.drift.q_delta").observe(q_delta)
+        if self._ops is not None:
+            from repro.obs.opslog import ops_record
+
+            ctx = current_context()
+            self._ops.log(ops_record(
+                kind="drift",
+                outcome="ok" if agreed else "failed:drift",
+                latency_s=0.0,
+                trace_id=ctx.trace_id if ctx is not None else "",
+                request_id=ctx.request_id if ctx is not None else "",
+                cluster=cluster,
+                action=int(action),
+                reference_action=int(ref_action),
+                q_delta=float(q_delta),
+            ))

@@ -75,6 +75,7 @@ from repro.serve.protocol import (
     StatsReply,
     StatsRequest,
 )
+from repro.serve.drift import DriftMonitor
 from repro.serve.queue import InProcessQueue, QueueBackend
 from repro.serve.session import DecisionSession
 from repro.soc.chip import Chip
@@ -155,6 +156,9 @@ class PolicyServer:
             :class:`~repro.serve.queue.InProcessQueue` when omitted.
         ops_log: Structured ops logger; one record per request outcome
             when attached (also activates trace-id stamping).
+        drift: Optional :class:`~repro.serve.drift.DriftMonitor`; every
+            decision session shadow-scores its decisions against the
+            monitor's reference checkpoint.
 
     Raises:
         ServeError: When the snapshot lacks a policy for one of the
@@ -168,6 +172,7 @@ class PolicyServer:
         config: ServeConfig | None = None,
         queue: QueueBackend | None = None,
         ops_log: "OpsLogger | None" = None,
+        drift: DriftMonitor | None = None,
     ) -> None:
         self.config = config or ServeConfig()
         missing = set(chip.cluster_names) - set(policies)
@@ -184,6 +189,7 @@ class PolicyServer:
         self._pending: set["asyncio.Future[Reply]"] = set()
         self._accepting = False
         self._ops = ops_log
+        self.drift = drift
         # Health-indicator window over the live metrics registry; only
         # fed (lazily) while an observability session is active.
         self._window = SlidingWindow()
@@ -198,6 +204,7 @@ class PolicyServer:
         config: ServeConfig | None = None,
         queue: QueueBackend | None = None,
         ops_log: "OpsLogger | None" = None,
+        drift_reference: str | Path | None = None,
     ) -> "PolicyServer":
         """Boot a server from a saved checkpoint directory.
 
@@ -205,6 +212,17 @@ class PolicyServer:
         :func:`repro.core.checkpoint.load_policies` — a snapshot trained
         under a different engine contract refuses to serve rather than
         silently answering from a stale policy.
+
+        Args:
+            directory: The checkpoint to serve.
+            chip: Chip (or preset name) the checkpoint controls.
+            config: Worker/queue/deadline tunables.
+            queue: Queue backend override.
+            ops_log: Structured ops logger to attach.
+            drift_reference: Optional second checkpoint directory to
+                shadow-score every decision against (see
+                :mod:`repro.serve.drift`); drift ops records go to the
+                same ``ops_log``.
 
         Raises:
             ServeError: For an unknown chip preset.
@@ -221,8 +239,13 @@ class PolicyServer:
                     f"{sorted(PRESETS)}"
                 ) from None
         policies = load_policies(directory, chip=chip)
+        drift = (
+            DriftMonitor.from_checkpoint(drift_reference, ops_log=ops_log)
+            if drift_reference is not None
+            else None
+        )
         return cls(policies, chip, config=config, queue=queue,
-                   ops_log=ops_log)
+                   ops_log=ops_log, drift=drift)
 
     async def start(self) -> None:
         """Spawn the worker pool and begin accepting submissions."""
@@ -288,7 +311,9 @@ class PolicyServer:
         """The named decision session, created on first use."""
         session = self._sessions.get(session_id)
         if session is None:
-            session = DecisionSession(self.policies, self.chip)
+            session = DecisionSession(
+                self.policies, self.chip, drift=self.drift
+            )
             self._sessions[session_id] = session
         return session
 
@@ -408,9 +433,12 @@ class PolicyServer:
         """Answer a stats dump from the lifetime counters."""
         self.stats.served_stats += 1
         self._log_ops(request, "ok", 0.0, 0.0, kind="stats")
+        stats = self.stats.as_mapping()
+        if self.drift is not None:
+            stats.update(self.drift.as_mapping())
         return StatsReply(
             request_id=request.request_id,
-            stats=self.stats.as_mapping(),
+            stats=stats,
             trace_id=request.trace_id,
         )
 

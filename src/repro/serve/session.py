@@ -18,6 +18,7 @@ from repro.core.state import StateFeaturizer
 from repro.errors import ServeError
 from repro.obs import OBS
 from repro.obs.context import trace_args
+from repro.serve.drift import DriftMonitor
 from repro.sim.telemetry import ClusterObservation
 from repro.soc.chip import Chip
 
@@ -51,6 +52,12 @@ class DecisionSession:
     Args:
         policies: The loaded per-cluster policies (the snapshot).
         chip: The chip whose clusters the policies are bound to.
+        drift: Optional drift monitor; when given, every decision is
+            also scored by a per-session shadow clone of the monitor's
+            reference policies (for clusters the reference covers) and
+            the live/reference disagreement is recorded.  The decision
+            *returned* always comes from the live snapshot — shadow
+            scoring is observation-only.
 
     Requests of one session must be submitted in time order; the
     featurizer's predictor is advanced exactly once per decision, the
@@ -58,12 +65,25 @@ class DecisionSession:
     """
 
     def __init__(
-        self, policies: dict[str, RLPowerManagementPolicy], chip: Chip
+        self,
+        policies: dict[str, RLPowerManagementPolicy],
+        chip: Chip,
+        drift: DriftMonitor | None = None,
     ) -> None:
         self._policies = {
             name: _clone_for_evaluation(policy, chip, name)
             for name, policy in policies.items()
         }
+        self._drift = drift
+        self._shadow: dict[str, RLPowerManagementPolicy] = {}
+        if drift is not None:
+            # The shadow gets its own featurizers so both policies see
+            # the same observation sequence from the same start state.
+            self._shadow = {
+                name: _clone_for_evaluation(policy, chip, name)
+                for name, policy in drift.reference.items()
+                if name in self._policies
+            }
         self.decisions = 0
 
     @property
@@ -85,6 +105,24 @@ class DecisionSession:
             )
         self.decisions += 1
         action = policy.decide(obs)
+        shadow = self._shadow.get(obs.cluster)
+        if self._drift is not None and shadow is not None:
+            ref_action = shadow.decide(obs)
+            # decide() stashes the state it acted from; compare the two
+            # policies' greedy state values at their respective encodings.
+            q_live = (
+                policy.agent.table.max(policy._prev_state)
+                if policy.agent is not None and policy._prev_state is not None
+                else 0.0
+            )
+            q_ref = (
+                shadow.agent.table.max(shadow._prev_state)
+                if shadow.agent is not None and shadow._prev_state is not None
+                else 0.0
+            )
+            self._drift.record(
+                obs.cluster, action, ref_action, abs(q_live - q_ref)
+            )
         if OBS.enabled and OBS.tracer.enabled:
             # An instant, not a span: decisions also run inside engine
             # spans on executor threads, and the tracer's LIFO stack

@@ -92,7 +92,7 @@ class TestSelection:
         expected = {
             "RPL001", "RPL002", "RPL003", "RPL101", "RPL102",
             "RPL201", "RPL202", "RPL203", "RPL301", "RPL401", "RPL402",
-            "RPL501", "RPL601", "RPL701", "RPL801",
+            "RPL501", "RPL601", "RPL701", "RPL801", "RPL802",
             "RPL901", "RPL902", "RPL903", "RPL904", "RPL910",
         }
         assert set(all_rules()) == expected
@@ -806,6 +806,85 @@ class TestOpsLogDiscipline:
     def test_catalogue_lists_rpl801(self):
         assert "RPL801" in all_rules()
         assert any(line.startswith("RPL801") for line in
+                   rule_catalogue().splitlines())
+
+
+# ---------------------------------------------------------------------------
+# Learning-ledger discipline (RPL802)
+# ---------------------------------------------------------------------------
+
+
+class TestLearnLogDiscipline:
+    def test_open_append_to_learn_log_path_flagged(self):
+        r = lint(
+            """\
+            import json
+
+            def save(payload):
+                with open("train-learn-log.jsonl", "a") as fh:
+                    json.dump(payload, fh)
+            """,
+            "core/trainer.py",
+        )
+        assert "RPL802" in codes(r)
+
+    def test_json_dump_to_learn_log_variable_flagged(self):
+        r = lint(
+            """\
+            import json
+
+            def save(learn_log_file, payload):
+                json.dump(payload, learn_log_file)
+            """,
+            "cli.py",
+        )
+        assert codes(r) == ["RPL802"]
+
+    def test_write_text_on_learnlog_path_flagged(self):
+        r = lint(
+            "def f(learnlog_path, line):\n"
+            "    learnlog_path.write_text(line)\n",
+            "fleet/worker.py",
+        )
+        assert codes(r) == ["RPL802"]
+
+    def test_blessed_writer_module_exempt(self):
+        r = lint(
+            """\
+            import json
+
+            def log(self, record):
+                with self.path.open("a") as fh:
+                    fh.write(json.dumps(record) + "\\n")
+            """,
+            "obs/learn.py",
+        )
+        assert codes(r) == []
+
+    def test_non_learn_writes_unflagged(self):
+        r = lint(
+            """\
+            import json
+
+            def save(path, payload):
+                with open(path, "w") as fh:
+                    json.dump(payload, fh)
+            """,
+            "analysis/export.py",
+        )
+        assert codes(r) == []
+
+    def test_recorder_call_is_the_sanctioned_path(self):
+        r = lint(
+            "from repro.obs import LearnRecorder\n"
+            "LearnRecorder('learn.jsonl').log({'episode': 0})\n",
+            "core/trainer.py",
+        )
+        assert codes(r) == []
+
+    def test_catalogue_lists_rpl802(self):
+        assert "RPL802" in all_rules()
+        assert any(line.startswith("RPL802") for line in
                    rule_catalogue().splitlines())
 
 

@@ -1,0 +1,154 @@
+"""Policy introspection: heatmaps, summaries, checkpoint diffing, CLI.
+
+PR 9's ``repro policy show|diff`` surface.  Diffing is the acceptance
+contract for checkpoint churn: two saves of the *same* trained policy
+must read as identical, two different trainings must report nonzero
+greedy disagreement, and the CLI exit code mirrors ``diff(1)``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.checkpoint import save_policies
+from repro.core.introspect import (
+    decision_surface,
+    diff_checkpoints,
+    diff_policies,
+    policy_summary,
+    render_policy_diff,
+    visitation_heatmap,
+)
+from repro.core.trainer import make_policies, train_policy
+from repro.errors import PolicyError
+from repro.soc.presets import tiny_test_chip
+from repro.workload.scenarios import get_scenario
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """Two different trainings of the same tiny chip (module-cached)."""
+    chip = tiny_test_chip()
+    scenario = get_scenario("audio_playback")
+    a = train_policy(chip, scenario, episodes=4,
+                     episode_duration_s=3.0).policies
+    b = train_policy(chip, scenario, episodes=4,
+                     episode_duration_s=3.0, base_seed=777).policies
+    return a, b
+
+
+@pytest.fixture(scope="module")
+def checkpoints(trained, tmp_path_factory):
+    root = tmp_path_factory.mktemp("ckpts")
+    a, b = trained
+    save_policies(a, root / "a")
+    save_policies(b, root / "b")
+    return root / "a", root / "b"
+
+
+class TestDiff:
+    def test_identical_checkpoints_diff_clean(self, checkpoints):
+        dir_a, _ = checkpoints
+        diff = diff_checkpoints(dir_a, dir_a)
+        assert diff.identical
+        assert all(d.disagreements == 0 for d in diff.clusters)
+        assert all(d.q_delta_max == 0.0 for d in diff.clusters)
+
+    def test_different_seeds_disagree(self, checkpoints):
+        diff = diff_checkpoints(*checkpoints)
+        assert not diff.identical
+        assert sum(d.disagreements for d in diff.clusters) > 0
+        assert max(d.q_delta_max for d in diff.clusters) > 0.0
+
+    def test_quantiles_are_ordered(self, checkpoints):
+        diff = diff_checkpoints(*checkpoints)
+        for d in diff.clusters:
+            assert (0.0 <= d.q_delta_p50 <= d.q_delta_p90
+                    <= d.q_delta_p99 <= d.q_delta_max)
+            assert 0.0 <= d.disagreement_fraction <= 1.0
+
+    def test_disjoint_cluster_sets_reported(self, trained):
+        a, b = trained
+        diff = diff_policies(a, {})
+        assert diff.only_a == tuple(sorted(a)) and not diff.clusters
+        assert not diff.identical
+
+    def test_untrained_policy_rejected(self, trained):
+        a, _ = trained
+        fresh = make_policies(tiny_test_chip())
+        with pytest.raises(PolicyError, match="not trained"):
+            diff_policies(a, fresh)
+
+    def test_mapping_mirrors_render(self, checkpoints):
+        diff = diff_checkpoints(*checkpoints)
+        payload = diff.as_mapping()
+        assert payload["identical"] is False
+        assert payload["clusters"][0]["states"] > 0
+        text = render_policy_diff(diff)
+        assert "checkpoints differ" in text
+
+
+class TestShow:
+    def test_heatmap_shape_and_shading(self, trained):
+        a, _ = trained
+        policy = next(iter(a.values()))
+        surface = decision_surface(policy)
+        text = visitation_heatmap(surface)
+        lines = text.splitlines()
+        # Header + axis + one row per utilisation bin.
+        assert len(lines) == 2 + surface.visits.shape[0]
+        assert "util" in lines[1]
+
+    def test_summary_is_deterministic_and_json_safe(self, trained):
+        a, _ = trained
+        policy = next(iter(a.values()))
+        s1, s2 = policy_summary(policy), policy_summary(policy)
+        assert s1 == s2
+        encoded = json.dumps(s1, sort_keys=True)
+        assert "coverage" in encoded
+        hist = s1["greedy_delta_histogram"]
+        assert sum(hist.values()) == sum(
+            len(row) * len(row[0]) * len(row[0][0])
+            for row in s1["greedy_deltas"]
+        )
+
+
+class TestPolicyCli:
+    def test_show_text(self, checkpoints, capsys):
+        dir_a, _ = checkpoints
+        assert main(["policy", "show", str(dir_a)]) == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out and "visitation" in out
+
+    def test_show_json(self, checkpoints, capsys):
+        dir_a, _ = checkpoints
+        assert main(["policy", "show", str(dir_a),
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all("coverage" in v for v in payload.values())
+
+    def test_diff_identical_exits_zero(self, checkpoints, capsys):
+        dir_a, _ = checkpoints
+        assert main(["policy", "diff", str(dir_a), str(dir_a)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_different_exits_one(self, checkpoints, capsys):
+        dir_a, dir_b = checkpoints
+        assert main(["policy", "diff", str(dir_a), str(dir_b)]) == 1
+        assert "differ" in capsys.readouterr().out
+
+    def test_diff_json_payload(self, checkpoints, capsys):
+        dir_a, dir_b = checkpoints
+        code = main(["policy", "diff", str(dir_a), str(dir_b),
+                     "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["identical"] is False
+
+    def test_missing_checkpoint_is_clean_error(self, tmp_path, capsys):
+        code = main(["policy", "show", str(tmp_path / "nope")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
