@@ -1,0 +1,88 @@
+"""X8 — lock-step RL training: speedup with bit-identical learning.
+
+:mod:`repro.batch.rl` trains groups of structurally-matching
+``rl-policy`` jobs lock-step — every rollout advances through the same
+interval together, with the featurise → TD-update → select hot loop
+batched across rollouts — while promising results **bit-identical** to
+the serial :func:`repro.core.trainer.train_policy` path.  This bench
+runs a 32-rollout RL sweep (train + greedy evaluation) both ways and
+pins the two halves of that promise:
+
+* every rollout's evaluation result matches the serial trainer with
+  ``==`` (no tolerance) — energy, QoS report, switch counts — and
+* the lock-step path is at least 5x faster wall-clock.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.batch import run_batch
+from repro.fleet.spec import JobSpec
+from repro.fleet.worker import simulate_spec
+
+from conftest import write_result
+
+N_ROLLOUTS = 32
+TRAIN_EPISODES = 3
+EPISODE_S = 4.0
+EVAL_S = 4.0
+MIN_SPEEDUP = 5.0
+
+
+def _specs() -> list[JobSpec]:
+    return [
+        JobSpec(
+            scenario="web_browsing",
+            governor="rl-policy",
+            seed=100 + k,
+            duration_s=EVAL_S,
+            train_episodes=TRAIN_EPISODES,
+            train_episode_s=EPISODE_S,
+            train_base_seed=1000 * k,
+        )
+        for k in range(N_ROLLOUTS)
+    ]
+
+
+def test_x8_rl_batch_speedup(benchmark):
+    specs = _specs()
+
+    t0 = time.perf_counter()
+    serial = [simulate_spec(spec) for spec in specs]
+    serial_s = time.perf_counter() - t0
+
+    batch = benchmark(lambda: run_batch(specs))
+
+    t0 = time.perf_counter()
+    run_batch(specs)
+    batch_s = time.perf_counter() - t0
+
+    # Bit-identity first: a fast wrong answer is worthless.
+    for spec, a, b in zip(specs, serial, batch):
+        assert b.total_energy_j == a.total_energy_j, spec.job_id
+        assert b.dynamic_energy_j == a.dynamic_energy_j, spec.job_id
+        assert b.leakage_energy_j == a.leakage_energy_j, spec.job_id
+        assert b.qos == a.qos, spec.job_id
+        assert b.opp_switches == a.opp_switches, spec.job_id
+        assert b.energy_per_qos_j == a.energy_per_qos_j, spec.job_id
+
+    speedup = serial_s / batch_s if batch_s > 0 else float("inf")
+    lines = [
+        f"X8: lock-step RL training ({N_ROLLOUTS} rollouts, "
+        f"{TRAIN_EPISODES} episodes x {EPISODE_S:.0f} s + "
+        f"{EVAL_S:.0f} s greedy eval each)",
+        f"  serial trainer : {serial_s:8.3f} s",
+        f"  lock-step batch: {batch_s:8.3f} s  ({speedup:.2f}x)",
+        "  training + evaluation bit-identical on every rollout",
+    ]
+    write_result(
+        "x8_rl_batch_speedup",
+        "\n".join(lines),
+        metrics={
+            "serial_s": serial_s,
+            "batch_s": batch_s,
+            "speedup": speedup,
+        },
+    )
+    assert speedup >= MIN_SPEEDUP

@@ -5,20 +5,38 @@ one process, vectorising the chip/power/QoS models for table-free
 governors while remaining **bit-identical** to the reference
 :class:`repro.sim.engine.Simulator` — see :mod:`repro.batch.engine` for
 how, and :mod:`repro.batch.plans` for which rollouts qualify.
+
+``rl-policy`` jobs have their own lock-step fast path
+(:mod:`repro.batch.rl`): groups of structurally-matching RL training
+jobs advance through every interval together, batching the featurise →
+TD-update → select hot loop across rollouts under the same bit-identity
+contract.
 """
 
 from repro.batch.engine import BatchEngine, run_batch, run_fixed_opp
 from repro.batch.plans import (
     TABLE_FREE_GOVERNORS,
     fixed_opp_index,
+    is_rl_vectorisable,
     is_vectorisable,
+    rl_group_key,
+)
+from repro.batch.rl import (
+    RLTrainJob,
+    evaluate_policies_batch,
+    train_policy_batch,
 )
 
 __all__ = [
     "BatchEngine",
+    "RLTrainJob",
     "TABLE_FREE_GOVERNORS",
+    "evaluate_policies_batch",
     "fixed_opp_index",
+    "is_rl_vectorisable",
     "is_vectorisable",
+    "rl_group_key",
     "run_batch",
     "run_fixed_opp",
+    "train_policy_batch",
 ]

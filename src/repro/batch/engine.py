@@ -28,21 +28,36 @@ serial engine's exact arithmetic; its single-core branch exploits that
 ``a / a == 1.0`` exactly, so the serial ``share = w * (a / total)``
 degenerates to ``w`` with no float op at all.
 
-Rollouts the fast path cannot express — reactive or learning governors,
-full-system substrates, metric/trace collection, or any run under an
-active observability session (which must see real engine spans) — fall
-back to the reference simulator, so ``run_batch`` accepts arbitrary job
-lists and is *always* exact.
+``rl-policy`` jobs get their own fast path: training is sequential
+*within* a rollout but independent *across* rollouts, so groups of RL
+jobs sharing a chip preset, state geometry, and episode plan (see
+:func:`repro.batch.plans.rl_group_key`) train lock-step through
+:func:`repro.batch.rl.train_policy_batch` — one NumPy op per interval
+across all rollouts — and then evaluate greedily through
+:func:`repro.batch.rl.evaluate_policies_batch`, under the same
+bit-identity contract.  A group needs at least two members: lock-step
+overhead only pays for itself across lanes.
+
+Rollouts neither fast path can express — reactive governors, singleton
+RL jobs, full-system substrates, metric/trace collection, or any run
+under an active observability session (which must see real engine
+spans) — fall back to the reference simulator, so ``run_batch`` accepts
+arbitrary job lists and is *always* exact.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Hashable, Sequence
 
 import numpy as np
 
-from repro.batch.plans import fixed_opp_index, is_vectorisable
+from repro.batch.plans import (
+    fixed_opp_index,
+    is_rl_vectorisable,
+    is_vectorisable,
+    rl_group_key,
+)
 from repro.errors import SimulationError
 from repro.fleet.spec import JobSpec
 from repro.obs import OBS
@@ -319,19 +334,43 @@ class BatchEngine:
         self.force_serial = force_serial
 
     def plan(self) -> list[bool]:
-        """Per spec, whether the fast path will run it."""
+        """Per spec, whether a fast path will run it."""
         if self.force_serial:
             return [False] * len(self.specs)
         # An active observability session must see real engine spans
         # and counters, which only the serial engine emits.
         if OBS.enabled:
             return [False] * len(self.specs)
-        return [is_vectorisable(spec) for spec in self.specs]
+        fast = [is_vectorisable(spec) for spec in self.specs]
+        for indices in self._rl_groups().values():
+            # Lock-step training only pays for itself across lanes; a
+            # singleton RL job runs the (identical) serial trainer.
+            if len(indices) >= 2:
+                for i in indices:
+                    fast[i] = True
+        return fast
+
+    def _rl_groups(self) -> dict[Hashable, list[int]]:
+        """Spec indices of lock-step-eligible RL jobs, grouped."""
+        groups: dict[Hashable, list[int]] = {}
+        for i, spec in enumerate(self.specs):
+            if is_rl_vectorisable(spec):
+                groups.setdefault(rl_group_key(spec), []).append(i)
+        return groups
 
     def run(self) -> list[SimulationResult]:
         """All rollouts, in spec order."""
-        results: list[SimulationResult] = []
-        for spec, fast in zip(self.specs, self.plan()):
+        plan = self.plan()
+        results: list[SimulationResult | None] = [None] * len(self.specs)
+        if any(plan):
+            for indices in self._rl_groups().values():
+                if len(indices) >= 2:
+                    grouped = _run_rl_group([self.specs[i] for i in indices])
+                    for i, result in zip(indices, grouped):
+                        results[i] = result
+        for i, (spec, fast) in enumerate(zip(self.specs, plan)):
+            if results[i] is not None:
+                continue
             if fast:
                 from repro.fleet.worker import _build_chip
 
@@ -339,12 +378,55 @@ class BatchEngine:
                 trace = get_scenario(spec.scenario).trace(
                     spec.duration_s, seed=spec.seed
                 )
-                results.append(run_fixed_opp(spec, chip, trace))
+                results[i] = run_fixed_opp(spec, chip, trace)
             else:
                 from repro.fleet.worker import simulate_spec
 
-                results.append(simulate_spec(spec))
+                results[i] = simulate_spec(spec)
         return results
+
+
+def _run_rl_group(specs: Sequence[JobSpec]) -> list[SimulationResult]:
+    """Train one RL group lock-step, then evaluate each lane greedily.
+
+    Reproduces :func:`repro.fleet.worker.simulate_spec` per spec — fresh
+    chip, per-job learning ledger, one power model shared between a
+    job's training and its evaluation — with the training and evaluation
+    loops batched across the group.
+    """
+    from repro.batch.rl import (
+        RLTrainJob,
+        evaluate_policies_batch,
+        train_policy_batch,
+    )
+    from repro.fleet.worker import _build_chip, _job_learn_recorder
+
+    jobs = [
+        RLTrainJob(
+            chip=_build_chip(spec),
+            scenario=get_scenario(spec.scenario),
+            episodes=spec.train_episodes,
+            episode_duration_s=spec.train_episode_s or spec.duration_s,
+            base_seed=spec.train_base_seed,
+            config=spec.policy_config,
+            interval_s=spec.interval_s,
+            power_model=PowerModel(),
+            recorder=_job_learn_recorder(spec),
+        )
+        for spec in specs
+    ]
+    train_policy_batch(jobs)
+    traces = [
+        get_scenario(spec.scenario).trace(spec.duration_s, seed=spec.seed)
+        for spec in specs
+    ]
+    return evaluate_policies_batch(
+        [job.chip for job in jobs],
+        [job.policies for job in jobs],
+        traces,
+        interval_s=specs[0].interval_s,
+        power_models=[job.power_model for job in jobs],
+    )
 
 
 def run_batch(

@@ -16,12 +16,21 @@ Q-learning policy, checkpoints — is genuinely sequential: interval
 ``t``'s decision depends on interval ``t-1``'s observation, so those
 rollouts run through the reference :class:`repro.sim.engine.Simulator`
 unchanged.
+
+RL training jobs are sequential *within* a rollout but embarrassingly
+parallel *across* rollouts, which is a different kind of vectorisable:
+:func:`is_rl_vectorisable` and :func:`rl_group_key` identify groups of
+``rl-policy`` jobs that share one chip preset, state geometry, and
+episode plan, so :mod:`repro.batch.rl` can train them lock-step — one
+NumPy op per interval across all rollouts — instead of one serial
+training loop per job.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Hashable
 
+from repro.core.config import PolicyConfig
 from repro.fleet.spec import JobSpec
 from repro.soc.opp import OPPTable
 
@@ -67,4 +76,46 @@ def is_vectorisable(spec: JobSpec) -> bool:
         and spec.trace_dir is None
         and spec.chip_obj is None
         and spec.policy_config is None
+    )
+
+
+def is_rl_vectorisable(spec: JobSpec) -> bool:
+    """Whether the lock-step RL trainer can run this job.
+
+    Requires a plain ``rl-policy`` job on a named chip preset with the
+    plain simulation substrate.  Unlike :func:`is_vectorisable` this
+    *allows* a ``policy_config`` (per-job hyperparameters vectorise
+    fine) and a ``learn_log_dir`` (the ledger recorder only reads
+    learner state between episodes); ``full_system`` RL learns inside
+    the full-system simulator and must stay serial, and per-execution
+    artefacts (metric snapshots, trace files) need real engine spans.
+    """
+    return (
+        spec.is_rl
+        and not spec.full_system
+        and not spec.collect_metrics
+        and spec.trace_dir is None
+        and spec.chip_obj is None
+        and spec.train_episodes >= 1
+    )
+
+
+def rl_group_key(spec: JobSpec) -> Hashable:
+    """What must match for RL jobs to share one lock-step pass.
+
+    Lanes in a group share interval edges, episode boundaries, and one
+    population Q-table per cluster, so everything that shapes those —
+    chip preset, timing, episode plan, and the policy's state/action
+    geometry — is part of the key.  Seeds and learning-rate style
+    hyperparameters deliberately are not: they vary per lane.
+    """
+    cfg = spec.policy_config or PolicyConfig()
+    return (
+        spec.chip,
+        spec.interval_s,
+        spec.duration_s,
+        spec.train_episodes,
+        spec.train_episode_s or spec.duration_s,
+        cfg.util_bins, cfg.trend_bins, cfg.opp_bins, cfg.slack_bins,
+        cfg.n_actions,
     )

@@ -75,22 +75,9 @@ def make_policies(
     for i, name in enumerate(chip.cluster_names):
         cfg = config or PolicyConfig()
         if i > 0:
-            # Decorrelate exploration across clusters.
-            cfg = PolicyConfig(
-                util_bins=cfg.util_bins,
-                trend_bins=cfg.trend_bins,
-                opp_bins=cfg.opp_bins,
-                slack_bins=cfg.slack_bins,
-                action_deltas=cfg.action_deltas,
-                alpha=cfg.alpha,
-                gamma=cfg.gamma,
-                epsilon=cfg.epsilon,
-                lambda_qos=cfg.lambda_qos,
-                slack_threshold=cfg.slack_threshold,
-                predictor_alpha=cfg.predictor_alpha,
-                phase_change_threshold=cfg.phase_change_threshold,
-                seed=base + 1000 * i,
-            )
+            # Decorrelate exploration across clusters.  replace() keeps
+            # every other field — including ones added later — intact.
+            cfg = replace(cfg, seed=base + 1000 * i)
         policies[name] = RLPowerManagementPolicy(cfg, online=True)
     return policies
 

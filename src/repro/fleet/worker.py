@@ -20,11 +20,13 @@ import signal
 import threading
 import time
 import traceback
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Callable, Mapping
+from typing import TYPE_CHECKING, Callable, Iterator, Mapping
 
 if TYPE_CHECKING:
+    from repro.core.policy import RLPowerManagementPolicy
     from repro.obs import ObsSession
     from repro.obs.learn import LearnRecorder
 
@@ -191,6 +193,29 @@ def _job_learn_recorder(spec: JobSpec) -> "LearnRecorder | None":
     return LearnRecorder(directory / f"{safe_id}-pid{os.getpid()}.jsonl")
 
 
+@contextmanager
+def frozen_policies(
+    policies: "Mapping[str, RLPowerManagementPolicy]",
+) -> "Iterator[None]":
+    """Temporarily freeze RL policies for a greedy evaluation run.
+
+    Clears every policy's ``online`` flag on entry and restores the
+    original flags on exit (even on error), so a training loop can
+    interleave held-out evaluations without losing its learning state.
+    Freezing only toggles flags — it never touches Q-tables, exploration
+    RNGs, or TD statistics — which is what keeps an evaluate-then-resume
+    sequence bit-identical to uninterrupted training.
+    """
+    saved = {name: p.online for name, p in policies.items()}
+    try:
+        for p in policies.values():
+            p.online = False
+        yield
+    finally:
+        for name, p in policies.items():
+            p.online = saved[name]
+
+
 def _run_rl(
     spec: JobSpec, chip: Chip, eval_trace: Trace, power_model: PowerModel
 ) -> SimulationResult:
@@ -221,16 +246,10 @@ def _run_rl(
                 episode_s, seed=spec.train_base_seed + episode
             )
             _make_simulator(spec, chip, ep_trace, policies, power_model).run()
-    saved = {name: p.online for name, p in policies.items()}
-    try:
-        for p in policies.values():
-            p.online = False
+    with frozen_policies(policies):
         return _make_simulator(
             spec, chip, eval_trace, policies, power_model
         ).run()
-    finally:
-        for name, p in policies.items():
-            p.online = saved[name]
 
 
 def _run_checkpoint(

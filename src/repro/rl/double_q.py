@@ -53,6 +53,9 @@ class DoubleQAgent:
         self._coin = np.random.default_rng(seed + 0x5EED)
         self.updates = 0
         self.td_stats = TDErrorStats()
+        self._combined = QTable(
+            n_states, n_actions, initial_value=2.0 * initial_q
+        )
 
     @property
     def n_states(self) -> int:
@@ -72,11 +75,15 @@ class DoubleQAgent:
         """The combined (summed) table — what decisions are made from.
 
         Exposed under the same name as the single-table agents so the
-        policy wrapper and coverage introspection work unchanged.
+        policy wrapper and coverage introspection work unchanged.  The
+        combined table's ``initial_value`` is the *sum* of the halves'
+        (a fresh optimistic-init agent therefore reports 0.0 coverage,
+        not 1.0), and the backing buffer is cached — hot introspection
+        loops refresh it in place instead of re-allocating.
         """
-        combined = QTable(self.n_states, self.n_actions)
-        combined.values = self.table_a.values + self.table_b.values
-        return combined
+        np.add(self.table_a.values, self.table_b.values,
+               out=self._combined.values)
+        return self._combined
 
     def _combined_row(self, state: int) -> np.ndarray:
         return self.table_a.row(state) + self.table_b.row(state)

@@ -43,6 +43,29 @@ class EpsilonSchedule:
             raise PolicyError(f"step must be non-negative: {step}")
         return max(self.floor, self.start * self.decay**step)
 
+    def values(self, steps: "np.ndarray | list[int]") -> np.ndarray:
+        """Epsilon for a whole array of decision counters at once.
+
+        Bit-equal to mapping :meth:`value` over ``steps`` element for
+        element — deliberately computed with the scalar ``**`` per
+        element, because :func:`numpy.power`'s vectorised pow rounds
+        differently from the platform ``pow`` by an occasional ulp, and
+        a one-ulp epsilon shift can flip an explore/exploit draw.  That
+        exactness is what lets the lock-step trainer precompute a
+        rollout's entire epsilon trajectory without perturbing its draw
+        sequence.
+
+        Raises:
+            PolicyError: If any step is negative.
+        """
+        index = np.asarray(steps)
+        if index.size and int(index.min()) < 0:
+            raise PolicyError(f"steps must be non-negative: {index.min()}")
+        return np.array(
+            [max(self.floor, self.start * self.decay ** int(s))
+             for s in index.ravel()]
+        ).reshape(index.shape)
+
 
 class EpsilonGreedy:
     """Stateful epsilon-greedy selector over a Q-table row.
@@ -86,6 +109,42 @@ class EpsilonGreedy:
         if self._rng.random() < eps:
             return int(self._rng.integers(self.n_actions))
         return int(np.argmax(q_row))
+
+    def plan_draws(
+        self, n_steps: int
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Pre-consume the next ``n_steps`` decisions' random draws.
+
+        Replays the exact draw sequence of ``n_steps`` successive
+        :meth:`select` calls — a greedy step consumes one uniform draw,
+        an explore step consumes that draw plus one ``integers`` draw —
+        leaving the generator and the schedule counter in the precise
+        state ``n_steps`` serial selections would have left them.  The
+        caller (the lock-step batch trainer) then only needs the Q-row
+        argmax for the steps where ``explore`` is False.
+
+        Returns:
+            ``(explore, random_actions, epsilons)`` — a boolean mask of
+            explore steps, the pre-drawn random action per step (only
+            meaningful where ``explore`` is True; 0 elsewhere), and the
+            epsilon used at each step.
+
+        Raises:
+            PolicyError: If ``n_steps`` is negative.
+        """
+        if n_steps < 0:
+            raise PolicyError(f"n_steps must be non-negative: {n_steps}")
+        epsilons = self.schedule.values(
+            np.arange(self._step, self._step + n_steps)
+        )
+        explore = np.zeros(n_steps, dtype=bool)
+        random_actions = np.zeros(n_steps, dtype=np.intp)
+        for t in range(n_steps):
+            if self._rng.random() < epsilons[t]:
+                explore[t] = True
+                random_actions[t] = int(self._rng.integers(self.n_actions))
+        self._step += n_steps
+        return explore, random_actions, epsilons
 
     def reset(self, *, keep_schedule: bool = False) -> None:
         """Reset the decision counter (and thus epsilon) back to the

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import PolicyError
 from repro.rl.exploration import EpsilonGreedy, EpsilonSchedule
 from repro.rl.qtable import QTable
@@ -86,3 +88,25 @@ class QLearningAgent:
         self.updates += 1
         self.td_stats.push(td_error)
         return td_error
+
+    def update_many(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_states: np.ndarray,
+    ) -> np.ndarray:
+        """Apply a batch of updates, bit-identical to looping
+        :meth:`update` over the tuples in order (see
+        :meth:`repro.rl.qtable.QTable.td_update_many`).
+
+        Returns:
+            The per-update TD errors (before scaling by alpha).
+        """
+        td = self.table.td_update_many(
+            states, actions, rewards, next_states, self.alpha, self.gamma
+        )
+        self.updates += int(td.size)
+        for err in td:
+            self.td_stats.push(float(err))
+        return td

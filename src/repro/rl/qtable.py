@@ -98,6 +98,108 @@ class QTable:
         self._check(state)
         return float(self.values[state].max())
 
+    def td_update_many(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_states: np.ndarray,
+        alpha: "float | np.ndarray",
+        gamma: "float | np.ndarray",
+        assume_distinct: bool = False,
+    ) -> np.ndarray:
+        """Apply a batch of Q-learning updates in serial-equivalent order.
+
+        Semantically identical to looping
+        :meth:`repro.rl.qlearning.QLearningAgent.update` over the i-th
+        ``(state, action, reward, next_state)`` tuples in order — every
+        resulting table entry and every returned TD error is bit-equal
+        to the serial loop's.  ``alpha``/``gamma`` may be scalars or
+        per-update arrays (the lock-step trainer passes per-rollout
+        hyperparameters).
+
+        The batch is split greedily into *segments* of updates whose
+        read rows (``next_states``) and written rows (``states``) do not
+        collide with a row already written earlier in the same segment;
+        within a segment all updates are independent, so one vectorised
+        gather/scatter reproduces the serial order exactly.  Disjoint
+        rows — e.g. N rollouts living in disjoint row blocks of one
+        population table — collapse to a single segment.
+
+        ``assume_distinct=True`` promises that property up front —
+        written rows all distinct, and no update reading a row another
+        update writes — and skips the per-call collision scan (which
+        otherwise dominates small-batch hot loops).  The caller owns the
+        promise; a violated one silently reorders updates.
+
+        Returns:
+            The per-update TD errors (before scaling by alpha).
+
+        Raises:
+            PolicyError: On shape mismatch or out-of-range indices.
+        """
+        s = np.asarray(states, dtype=np.intp)
+        a = np.asarray(actions, dtype=np.intp)
+        r = np.asarray(rewards, dtype=float)
+        ns = np.asarray(next_states, dtype=np.intp)
+        if not (s.shape == a.shape == r.shape == ns.shape) or s.ndim != 1:
+            raise PolicyError(
+                "td_update_many needs matching 1-D arrays: "
+                f"{s.shape}/{a.shape}/{r.shape}/{ns.shape}"
+            )
+        n = s.size
+        al = np.broadcast_to(np.asarray(alpha, dtype=float), (n,))
+        ga = np.broadcast_to(np.asarray(gamma, dtype=float), (n,))
+        if n == 0:
+            return np.empty(0)
+        if (
+            int(s.min()) < 0 or int(s.max()) >= self.n_states
+            or int(ns.min()) < 0 or int(ns.max()) >= self.n_states
+        ):
+            raise PolicyError(f"state out of range [0, {self.n_states})")
+        if int(a.min()) < 0 or int(a.max()) >= self.n_actions:
+            raise PolicyError(f"action out of range [0, {self.n_actions})")
+
+        # Fast path: every written row is distinct and no update reads a
+        # row a *different* update writes — the whole batch is one
+        # segment (the lock-step trainer's disjoint-row-block case).
+        if assume_distinct or (
+            np.unique(s).size == n
+            and not np.any(np.isin(ns, s) & (ns != s))
+        ):
+            q = self.values[s, a]
+            nmax = self.values[ns].max(axis=1)
+            target = r + ga * nmax
+            err = target - q
+            self.values[s, a] = q + al * err
+            return err
+
+        td = np.empty(n)
+        written: set[int] = set()
+        start = 0
+        for i in range(n + 1):
+            boundary = i == n
+            if not boundary:
+                si, nsi = int(s[i]), int(ns[i])
+                if si in written or nsi in written:
+                    boundary = True
+            if boundary:
+                if i > start:
+                    seg = slice(start, i)
+                    q = self.values[s[seg], a[seg]]
+                    nmax = self.values[ns[seg]].max(axis=1)
+                    target = r[seg] + ga[seg] * nmax
+                    err = target - q
+                    self.values[s[seg], a[seg]] = q + al[seg] * err
+                    td[seg] = err
+                if i == n:
+                    break
+                written.clear()
+                start = i
+                si, nsi = int(s[i]), int(ns[i])
+            written.add(si)
+        return td
+
     def visited_fraction(self) -> float:
         """Fraction of entries that have moved off the construction-time
         initial value — a rough learning-coverage diagnostic."""
@@ -106,12 +208,20 @@ class QTable:
     # -- persistence -----------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Serialise to ``.npz``."""
-        np.savez_compressed(Path(path), values=self.values)
+        """Serialise to ``.npz`` (values plus ``initial_value``, so
+        :meth:`visited_fraction` survives the round-trip)."""
+        np.savez_compressed(
+            Path(path),
+            values=self.values,
+            initial_value=np.float64(self.initial_value),
+        )
 
     @classmethod
     def load(cls, path: str | Path) -> "QTable":
         """Load a table saved by :meth:`save`.
+
+        Checkpoints written before ``initial_value`` was persisted lack
+        the key; they load with the old implicit 0.0.
 
         Raises:
             PolicyError: If the file is missing the expected array.
@@ -120,8 +230,9 @@ class QTable:
             if "values" not in data:
                 raise PolicyError(f"{path} is not a saved Q-table")
             values = data["values"]
+            initial = float(data["initial_value"]) if "initial_value" in data else 0.0
         if values.ndim != 2:
             raise PolicyError(f"saved Q-table has bad shape {values.shape}")
-        table = cls(values.shape[0], values.shape[1])
+        table = cls(values.shape[0], values.shape[1], initial_value=initial)
         table.values = values.astype(float)
         return table
